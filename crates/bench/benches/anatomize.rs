@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks for the `Anatomize` algorithm (Figure 3):
+//! in-memory throughput across cardinalities and `l`.
+
+use anatomy_core::{anatomize, AnatomizeConfig};
+use anatomy_data::census::{generate_census, CensusConfig};
+use anatomy_data::occ_sal::occ_microdata;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_anatomize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("anatomize");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let census = generate_census(&CensusConfig::new(n));
+        let md = occ_microdata(census, 5).expect("OCC-5");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("occ5_l10", n), &md, |b, md| {
+            b.iter(|| anatomize(md, &AnatomizeConfig::new(10)).expect("eligible"));
+        });
+    }
+    // l sweep at fixed n.
+    let census = generate_census(&CensusConfig::new(20_000));
+    let md = occ_microdata(census, 5).expect("OCC-5");
+    for l in [2usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::new("occ5_n20k_l", l), &l, |b, &l| {
+            b.iter(|| anatomize(&md, &AnatomizeConfig::new(l)).expect("eligible"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anatomize);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the external, I/O-accounted algorithms
+//! behind Figures 8–9, plus the storage primitives they are built on.
+
+use anatomy_core::anatomize_io::{anatomize_external, microdata_to_file, recommended_pool};
+use anatomy_data::census::{generate_census, CensusConfig};
+use anatomy_data::occ_sal::sal_microdata;
+use anatomy_data::taxonomies::census_methods;
+use anatomy_generalization::{mondrian_external, MondrianConfig};
+use anatomy_storage::{
+    hash_partition, BufferPool, IoCounter, PageConfig, SeqReader, SeqWriter, SimFile, U32RowCodec,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_external_algorithms(c: &mut Criterion) {
+    let n = 20_000;
+    let census = generate_census(&CensusConfig::new(n));
+    let md = sal_microdata(census, 5).expect("SAL-5");
+    let page = PageConfig::paper();
+
+    let mut group = c.benchmark_group("external");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("anatomize_external_sal5", |b| {
+        b.iter(|| {
+            let pool = recommended_pool(md.sensitive_domain_size() as usize);
+            let counter = IoCounter::new();
+            black_box(anatomize_external(&md, 10, page, &pool, &counter).expect("eligible"));
+        });
+    });
+    let cfg = MondrianConfig {
+        l: 10,
+        methods: census_methods(5),
+    };
+    group.bench_function("mondrian_external_sal5", |b| {
+        b.iter(|| {
+            let pool = BufferPool::new(50);
+            let counter = IoCounter::new();
+            black_box(mondrian_external(&md, &cfg, page, &pool, &counter).expect("eligible"));
+        });
+    });
+    group.finish();
+}
+
+fn bench_storage_primitives(c: &mut Criterion) {
+    let n = 100_000usize;
+    let page = PageConfig::paper();
+    let codec = U32RowCodec::new(6);
+    let pool = BufferPool::unbounded();
+
+    // Prepare an input file once.
+    let census = generate_census(&CensusConfig::new(n));
+    let md = sal_microdata(census, 5).expect("SAL-5");
+    let input = microdata_to_file(&md, page).expect("serialize");
+
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("seq_write_read_100k", |b| {
+        b.iter(|| {
+            let counter = IoCounter::new();
+            let mut file = SimFile::new();
+            let mut w = SeqWriter::open(&mut file, codec, page, &pool, counter.clone()).unwrap();
+            let mut rec = vec![0u32; 6];
+            for i in 0..n as u32 {
+                rec[0] = i;
+                w.push(&rec);
+            }
+            w.finish();
+            let r = SeqReader::open(&file, codec, &pool, counter).unwrap();
+            black_box(r.count());
+        });
+    });
+    group.bench_function("hash_partition_100k_50buckets", |b| {
+        b.iter(|| {
+            let counter = IoCounter::new();
+            black_box(
+                hash_partition(&input, codec, |r| r[5], 50, page, &pool, &counter)
+                    .expect("partition"),
+            );
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_external_algorithms, bench_storage_primitives);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the l-diverse Mondrian baseline:
+//! in-memory recoding throughput across cardinalities and dimensionality.
+
+use anatomy_data::census::{generate_census, CensusConfig};
+use anatomy_data::occ_sal::occ_microdata;
+use anatomy_data::taxonomies::census_methods;
+use anatomy_generalization::{mondrian, MondrianConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_mondrian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mondrian");
+    group.sample_size(10);
+    for n in [10_000usize, 30_000] {
+        let census = generate_census(&CensusConfig::new(n));
+        let md = occ_microdata(census, 5).expect("OCC-5");
+        let cfg = MondrianConfig {
+            l: 10,
+            methods: census_methods(5),
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("occ5_l10", n), &md, |b, md| {
+            b.iter(|| mondrian(md, &cfg).expect("eligible"));
+        });
+    }
+    // Dimensionality sweep at fixed n.
+    let census = generate_census(&CensusConfig::new(15_000));
+    for d in [3usize, 5, 7] {
+        let md = occ_microdata(census.clone(), d).expect("OCC-d");
+        let cfg = MondrianConfig {
+            l: 10,
+            methods: census_methods(d),
+        };
+        group.bench_with_input(BenchmarkId::new("occ_n15k_d", d), &d, |b, _| {
+            b.iter(|| mondrian(&md, &cfg).expect("eligible"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mondrian);
+criterion_main!(benches);

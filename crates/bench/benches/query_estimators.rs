@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for query evaluation: ground truth vs the
+//! anatomy estimator vs the generalization estimator, per query.
+
+use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
+use anatomy_data::census::{generate_census, CensusConfig};
+use anatomy_data::occ_sal::occ_microdata;
+use anatomy_data::taxonomies::census_methods;
+use anatomy_generalization::{mondrian, MondrianConfig};
+use anatomy_query::{estimate_anatomy, estimate_generalization, evaluate_exact, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_estimators(c: &mut Criterion) {
+    let n = 50_000;
+    let census = generate_census(&CensusConfig::new(n));
+    let md = occ_microdata(census, 5).expect("OCC-5");
+    let partition = anatomize(&md, &AnatomizeConfig::new(10)).expect("eligible");
+    let tables = AnatomizedTables::publish(&md, &partition, 10).expect("publish");
+    let cfg = MondrianConfig {
+        l: 10,
+        methods: census_methods(5),
+    };
+    let (_, gen) = mondrian(&md, &cfg).expect("eligible");
+    let queries = WorkloadSpec {
+        qd: 5,
+        selectivity: 0.05,
+        count: 64,
+        seed: 1,
+    }
+    .generate(&md)
+    .expect("workload");
+
+    let mut group = c.benchmark_group("query_estimators");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("exact_scan", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(evaluate_exact(&md, q));
+            }
+        });
+    });
+    group.bench_function("anatomy_estimate", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(estimate_anatomy(&tables, q));
+            }
+        });
+    });
+    group.bench_function("generalization_estimate", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(estimate_generalization(&gen, q));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

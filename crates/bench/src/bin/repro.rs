@@ -1,0 +1,123 @@
+//! `repro` — regenerate every table and figure of the Anatomy paper.
+//!
+//! ```text
+//! repro <experiment> [--full] [--n N] [--queries Q] [--seed S]
+//!
+//! experiments:
+//!   table1..table7   the paper's tables (worked example + configuration)
+//!   fig1 fig2        worked-example walk-throughs (query A, pdfs)
+//!   fig4..fig7       query-accuracy experiments
+//!   fig8 fig9        I/O-cost experiments
+//!   rce              RCE ablation (Theorems 2 & 4)
+//!   all              everything above, in order
+//!
+//! flags:
+//!   --full           run at the paper's scale (n up to 500k, 10k queries)
+//!   --n N            override the default cardinality
+//!   --queries Q      override the workload size
+//!   --seed S         override the master seed
+//! ```
+
+use anatomy_bench::figures::{
+    encoding_ablation, fig1, fig2, fig4, fig5, fig6, fig7, fig8, fig9, memory_ablation,
+    rce_ablation, tradeoff_ablation, uniform_ablation,
+};
+use anatomy_bench::params::Scale;
+use anatomy_bench::runner::BenchResult;
+use anatomy_bench::tables;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1..table7|fig1|fig2|fig4..fig9|rce|encoding|uniform|tradeoff|memory|all> [--full] [--n N] [--queries Q] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_scale(args: &[String]) -> Scale {
+    let mut scale = if args.iter().any(|a| a == "--full") {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--n" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale.n_default = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--queries" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale.queries = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--full" => {}
+            other if other.starts_with("--") => usage(),
+            _ => {}
+        }
+    }
+    scale
+}
+
+fn run(cmd: &str, scale: Scale) -> BenchResult<()> {
+    let print = |s: String| {
+        println!("{s}");
+    };
+    match cmd {
+        "table1" => print(tables::table1()?),
+        "table2" => print(tables::table2()?),
+        "table3" => print(tables::table3()?),
+        "table4" => print(tables::table4()?),
+        "table5" => print(tables::table5()?),
+        "table6" => print(tables::table6()?),
+        "table7" => print(tables::table7(scale)?),
+        "fig1" => print(fig1::run()?),
+        "fig2" => print(fig2::run()?),
+        "fig4" => print(fig4::run(scale)?),
+        "fig5" => print(fig5::run(scale)?),
+        "fig6" => print(fig6::run(scale)?),
+        "fig7" => print(fig7::run(scale)?),
+        "fig8" => print(fig8::run(scale)?),
+        "fig9" => print(fig9::run(scale)?),
+        "rce" => print(rce_ablation::run(scale)?),
+        "encoding" => print(encoding_ablation::run(scale)?),
+        "uniform" => print(uniform_ablation::run(scale)?),
+        "tradeoff" => print(tradeoff_ablation::run(scale)?),
+        "memory" => print(memory_ablation::run(scale)?),
+        "all" => {
+            for c in [
+                "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig1",
+                "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "rce", "encoding",
+                "uniform",
+            ] {
+                run(c, scale)?;
+            }
+        }
+        _ => usage(),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match args.first() {
+        Some(c) if !c.starts_with("--") => c.clone(),
+        _ => usage(),
+    };
+    let scale = parse_scale(&args[1..]);
+    eprintln!(
+        "# scale: n_default={} n_sweep={:?} queries={} l={} seed={}",
+        scale.n_default, scale.n_sweep, scale.queries, scale.l, scale.seed
+    );
+    match run(&cmd, scale) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 2: original vs reconstructed pdfs of tuple 1 (Bob) in the
+//! Age–Disease plane, with their L2 errors (Section 4's worked example).
+
+use crate::report::section;
+use crate::runner::BenchResult;
+use anatomy_core::pdf::{err_generalization_tuple, SpikePdf};
+use anatomy_data::tiny;
+use anatomy_tables::stats::Histogram;
+use std::fmt::Write as _;
+
+/// Run the pdf reconstruction example; returns the report.
+pub fn run() -> BenchResult<String> {
+    let md = tiny::paper_microdata();
+    let p = tiny::paper_partition();
+    // Group 1's sensitive histogram: {dyspepsia: 2, pneumonia: 2}.
+    let hist: Histogram = p.sensitive_histogram(&md, 0);
+    let ana = SpikePdf::from_group_histogram(&hist);
+    let real = md.sensitive_value(0); // pneumonia
+
+    let ana_err = ana.l2_error(real);
+    // Generalized cell for tuple 1 in the Age-Disease plane: age spread
+    // over [21, 60] (40 values), disease exact (Equation 6).
+    let gen_err = err_generalization_tuple(40);
+
+    let mut out = section("Figure 2 / pdf reconstruction of tuple 1 (Section 4)");
+    let _ = writeln!(out, "original pdf: unit spike at (age 23, pneumonia)");
+    let _ = writeln!(out, "anatomy reconstruction (Equation 11):");
+    for (v, prob) in &ana.spikes {
+        let _ = writeln!(out, "  (age 23, {}): {prob:.2}", tiny::DISEASES[v.index()]);
+    }
+    let _ = writeln!(
+        out,
+        "generalization reconstruction (Equation 10): 1/40 over ages [21, 60] x pneumonia"
+    );
+    let _ = writeln!(
+        out,
+        "L2 error, anatomy (Equation 12):        {ana_err:.3}  (paper: 0.5)"
+    );
+    let _ = writeln!(
+        out,
+        "L2 error, generalization (Equation 12):  {gen_err:.3}  (= 1 - 1/40; see EXPERIMENTS.md)"
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_match_section_4() {
+        let md = tiny::paper_microdata();
+        let p = tiny::paper_partition();
+        let hist = p.sensitive_histogram(&md, 0);
+        let ana = SpikePdf::from_group_histogram(&hist);
+        assert!((ana.l2_error(md.sensitive_value(0)) - 0.5).abs() < 1e-12);
+        assert!(ana.l2_error(md.sensitive_value(0)) < err_generalization_tuple(40));
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run().unwrap();
+        assert!(s.contains("0.5"));
+        assert!(s.contains("pneumonia"));
+    }
+}

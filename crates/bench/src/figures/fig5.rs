@@ -1,0 +1,83 @@
+//! Figure 5: average relative error vs query dimensionality `qd`
+//! (d ∈ {3, 5, 7}, both dataset families, default parameters).
+
+use crate::params::{Scale, D_FOCUS};
+use crate::report::{pct, section, TextTable};
+use crate::runner::{accuracy_experiment, BenchResult, Env};
+use anatomy_data::occ_sal::SensitiveChoice;
+
+/// One figure cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Query dimensionality.
+    pub qd: usize,
+    /// Anatomy's mean relative error (fraction).
+    pub anatomy: f64,
+    /// Generalization's mean relative error (fraction).
+    pub generalization: f64,
+}
+
+/// The qd sweep for one (family, d) plot.
+pub fn series(env: &Env, family: SensitiveChoice, d: usize) -> BenchResult<Vec<Cell>> {
+    let s = env.scale;
+    let md = env.microdata(family, d, s.n_default)?;
+    let mut out = Vec::new();
+    for qd in 1..=d {
+        let o = accuracy_experiment(&md, s.l, qd, s.s, s.queries, s.seed ^ (d * 10 + qd) as u64)?;
+        out.push(Cell {
+            qd,
+            anatomy: o.anatomy.mean,
+            generalization: o.generalization.mean,
+        });
+    }
+    Ok(out)
+}
+
+/// Run all six sub-plots; returns the report.
+pub fn run(scale: Scale) -> BenchResult<String> {
+    let env = Env::new(scale);
+    let mut out = section("Figure 5 / query accuracy vs query dimensionality qd");
+    for family in [SensitiveChoice::Occupation, SensitiveChoice::Salary] {
+        for &d in &D_FOCUS {
+            let cells = series(&env, family, d)?;
+            let mut t = TextTable::new(vec!["qd", "anatomy", "generalization"]);
+            for c in &cells {
+                t.row(vec![
+                    c.qd.to_string(),
+                    pct(c.anatomy * 100.0),
+                    pct(c.generalization * 100.0),
+                ]);
+            }
+            out.push_str(&format!(
+                "{}-{} (avg relative error)\n{}",
+                family.family(),
+                d,
+                t.render()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anatomy_beats_generalization_across_qd() {
+        let scale = Scale {
+            n_default: 4_000,
+            n_sweep: [1_000; 5],
+            queries: 50,
+            l: 10,
+            s: 0.05,
+            seed: 43,
+        };
+        let env = Env::new(scale);
+        let cells = series(&env, SensitiveChoice::Salary, 3).unwrap();
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert!(c.anatomy < c.generalization, "qd={}", c.qd);
+        }
+    }
+}

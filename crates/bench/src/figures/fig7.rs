@@ -1,0 +1,84 @@
+//! Figure 7: average relative error vs dataset cardinality `n`
+//! (OCC-5 and SAL-5, default parameters).
+
+use crate::params::Scale;
+use crate::report::{count, pct, section, TextTable};
+use crate::runner::{accuracy_experiment, BenchResult, Env};
+use anatomy_data::occ_sal::SensitiveChoice;
+
+/// One figure cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Dataset cardinality.
+    pub n: usize,
+    /// Anatomy's mean relative error (fraction).
+    pub anatomy: f64,
+    /// Generalization's mean relative error (fraction).
+    pub generalization: f64,
+}
+
+/// The cardinality sweep for one family at d = 5.
+pub fn series(env: &Env, family: SensitiveChoice) -> BenchResult<Vec<Cell>> {
+    let s = env.scale;
+    let d = 5;
+    let mut out = Vec::new();
+    for &n in &s.n_sweep {
+        let md = env.microdata(family, d, n)?;
+        let o = accuracy_experiment(&md, s.l, d, s.s, s.queries, s.seed ^ n as u64)?;
+        out.push(Cell {
+            n,
+            anatomy: o.anatomy.mean,
+            generalization: o.generalization.mean,
+        });
+    }
+    Ok(out)
+}
+
+/// Run both families; returns the report.
+pub fn run(scale: Scale) -> BenchResult<String> {
+    let env = Env::new(scale);
+    let mut out = section("Figure 7 / query accuracy vs dataset cardinality n (d = 5)");
+    for family in [SensitiveChoice::Occupation, SensitiveChoice::Salary] {
+        let cells = series(&env, family)?;
+        let mut t = TextTable::new(vec!["n", "anatomy", "generalization"]);
+        for c in &cells {
+            t.row(vec![
+                count(c.n as u64),
+                pct(c.anatomy * 100.0),
+                pct(c.generalization * 100.0),
+            ]);
+        }
+        out.push_str(&format!(
+            "{}-5 (avg relative error)\n{}",
+            family.family(),
+            t.render()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anatomy_wins_at_every_cardinality() {
+        let scale = Scale {
+            n_default: 3_000,
+            n_sweep: [1_500, 2_000, 2_500, 3_000, 3_500],
+            queries: 40,
+            l: 10,
+            s: 0.05,
+            seed: 45,
+        };
+        let env = Env::new(Scale {
+            n_default: 3_500,
+            ..scale
+        });
+        let cells = series(&env, SensitiveChoice::Occupation).unwrap();
+        assert_eq!(cells.len(), 5);
+        for c in &cells {
+            assert!(c.anatomy < c.generalization, "n={}", c.n);
+        }
+    }
+}

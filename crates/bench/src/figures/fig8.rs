@@ -1,0 +1,88 @@
+//! Figure 8: I/O cost of computing the publishable tables vs the number
+//! `d` of QI attributes (4096-byte pages, 50-page memory).
+
+use crate::params::{Scale, D_SWEEP};
+use crate::report::{count, section, TextTable};
+use crate::runner::{io_experiment, BenchResult, Env};
+use anatomy_data::occ_sal::SensitiveChoice;
+
+/// One figure cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Number of QI attributes.
+    pub d: usize,
+    /// Anatomy's total page I/Os.
+    pub anatomy: u64,
+    /// Generalization's total page I/Os.
+    pub generalization: u64,
+}
+
+/// The d sweep for one family at the default cardinality.
+pub fn series(env: &Env, family: SensitiveChoice) -> BenchResult<Vec<Cell>> {
+    let s = env.scale;
+    let mut out = Vec::new();
+    for &d in &D_SWEEP {
+        let md = env.microdata(family, d, s.n_default)?;
+        let o = io_experiment(&md, s.l)?;
+        out.push(Cell {
+            d,
+            anatomy: o.anatomy,
+            generalization: o.generalization,
+        });
+    }
+    Ok(out)
+}
+
+/// Run both families; returns the report.
+pub fn run(scale: Scale) -> BenchResult<String> {
+    let env = Env::new(scale);
+    let mut out = section("Figure 8 / I/O cost vs number d of QI attributes");
+    for family in [SensitiveChoice::Occupation, SensitiveChoice::Salary] {
+        let cells = series(&env, family)?;
+        let mut t = TextTable::new(vec!["d", "anatomy", "generalization"]);
+        for c in &cells {
+            t.row(vec![
+                c.d.to_string(),
+                count(c.anatomy),
+                count(c.generalization),
+            ]);
+        }
+        out.push_str(&format!(
+            "{}-d (total page I/Os)\n{}",
+            family.family(),
+            t.render()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anatomy_needs_fewer_ios_at_every_d() {
+        let scale = Scale {
+            n_default: 4_000,
+            n_sweep: [1_000; 5],
+            queries: 10,
+            l: 10,
+            s: 0.05,
+            seed: 46,
+        };
+        let env = Env::new(scale);
+        let cells = series(&env, SensitiveChoice::Occupation).unwrap();
+        assert_eq!(cells.len(), 5);
+        for c in &cells {
+            assert!(
+                c.anatomy < c.generalization,
+                "d={}: {} vs {}",
+                c.d,
+                c.anatomy,
+                c.generalization
+            );
+        }
+        // I/O grows with d for both (records get wider).
+        assert!(cells[4].anatomy > cells[0].anatomy);
+    }
+}

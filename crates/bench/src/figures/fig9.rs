@@ -1,0 +1,98 @@
+//! Figure 9: I/O cost vs dataset cardinality `n` (OCC-5 and SAL-5).
+//!
+//! The paper's headline: "the cost of anatomy scales linearly with n, as
+//! opposed to the super-linear behavior of generalization. For large d or
+//! n, anatomy is 10 times faster."
+
+use crate::params::Scale;
+use crate::report::{count, section, TextTable};
+use crate::runner::{io_experiment, BenchResult, Env};
+use anatomy_data::occ_sal::SensitiveChoice;
+
+/// One figure cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Dataset cardinality.
+    pub n: usize,
+    /// Anatomy's total page I/Os.
+    pub anatomy: u64,
+    /// Generalization's total page I/Os.
+    pub generalization: u64,
+}
+
+/// The cardinality sweep for one family at d = 5.
+pub fn series(env: &Env, family: SensitiveChoice) -> BenchResult<Vec<Cell>> {
+    let s = env.scale;
+    let mut out = Vec::new();
+    for &n in &s.n_sweep {
+        let md = env.microdata(family, 5, n)?;
+        let o = io_experiment(&md, s.l)?;
+        out.push(Cell {
+            n,
+            anatomy: o.anatomy,
+            generalization: o.generalization,
+        });
+    }
+    Ok(out)
+}
+
+/// Run both families; returns the report.
+pub fn run(scale: Scale) -> BenchResult<String> {
+    let env = Env::new(scale);
+    let mut out = section("Figure 9 / I/O cost vs dataset cardinality n (d = 5)");
+    for family in [SensitiveChoice::Occupation, SensitiveChoice::Salary] {
+        let cells = series(&env, family)?;
+        let mut t = TextTable::new(vec!["n", "anatomy", "generalization"]);
+        for c in &cells {
+            t.row(vec![
+                count(c.n as u64),
+                count(c.anatomy),
+                count(c.generalization),
+            ]);
+        }
+        out.push_str(&format!(
+            "{}-5 (total page I/Os)\n{}",
+            family.family(),
+            t.render()
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anatomy_is_linear_generalization_superlinear() {
+        // n must be large enough that the fixed per-bucket partial-page
+        // overhead (λ = 50 output buffers) is negligible against the
+        // sequential passes.
+        let scale = Scale {
+            n_default: 50_000,
+            n_sweep: [10_000, 20_000, 30_000, 40_000, 50_000],
+            queries: 10,
+            l: 10,
+            s: 0.05,
+            seed: 47,
+        };
+        let env = Env::new(scale);
+        let cells = series(&env, SensitiveChoice::Salary).unwrap();
+        assert_eq!(cells.len(), 5);
+        for c in &cells {
+            assert!(c.anatomy < c.generalization, "n={}", c.n);
+        }
+        // Anatomy: cost(5n)/cost(n) ~ 5 (linear, modulo the fixed bucket
+        // floor). Generalization grows faster than linear.
+        let ana_ratio = cells[4].anatomy as f64 / cells[0].anatomy as f64;
+        let gen_ratio = cells[4].generalization as f64 / cells[0].generalization as f64;
+        assert!(
+            (3.5..=6.5).contains(&ana_ratio),
+            "anatomy ratio {ana_ratio}"
+        );
+        assert!(
+            gen_ratio > ana_ratio,
+            "generalization should scale worse: {gen_ratio} vs {ana_ratio}"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per paper figure. Each `run` returns the rendered report
+//! (and structured data where tests consume it).
+
+pub mod encoding_ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod memory_ablation;
+pub mod rce_ablation;
+pub mod tradeoff_ablation;
+pub mod uniform_ablation;

@@ -1,0 +1,131 @@
+//! Uniform-data ablation (negative control; not a paper figure).
+//!
+//! The paper attributes generalization's error to the uniformity
+//! assumption failing on real, correlated data. The control: on a census
+//! whose attributes are independently uniform, the assumption is *true*,
+//! so the generalization estimator should be nearly unbiased and its error
+//! should collapse — isolating correlation as the driver of Figures 4–6.
+
+use crate::params::Scale;
+use crate::report::{pct, section, TextTable};
+use crate::runner::{nonzero_workload, par_map, BenchResult};
+use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
+use anatomy_data::census::{generate_census, generate_uniform_census, CensusConfig};
+use anatomy_data::occ_sal::occ_microdata;
+use anatomy_data::taxonomies::census_methods;
+use anatomy_generalization::{mondrian, MondrianConfig};
+use anatomy_query::{
+    estimate_anatomy, estimate_generalization, relative_error, AccuracyReport, WorkloadSpec,
+};
+
+/// One ablation row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Whether the dataset was the correlated census or the uniform one.
+    pub correlated: bool,
+    /// Anatomy's mean relative error (fraction).
+    pub anatomy: f64,
+    /// Generalization's mean relative error (fraction).
+    pub generalization: f64,
+}
+
+/// Run both methods on both data regimes at OCC-5.
+pub fn series(scale: Scale) -> BenchResult<Vec<Row>> {
+    let mut out = Vec::new();
+    let d = 5;
+    let n = scale.n_default;
+    for correlated in [true, false] {
+        let cfg = CensusConfig::new(n).with_seed(scale.seed);
+        let census = if correlated {
+            generate_census(&cfg)
+        } else {
+            generate_uniform_census(&cfg)
+        };
+        let md = occ_microdata(census, d)?;
+        let partition = anatomize(&md, &AnatomizeConfig::new(scale.l).with_seed(scale.seed))?;
+        let tables = AnatomizedTables::publish(&md, &partition, scale.l)?;
+        let (_, gen) = mondrian(
+            &md,
+            &MondrianConfig {
+                l: scale.l,
+                methods: census_methods(d),
+            },
+        )?;
+
+        let spec = WorkloadSpec {
+            qd: d,
+            selectivity: scale.s,
+            count: scale.queries,
+            seed: scale.seed ^ 0x0F1,
+        };
+        let workload = nonzero_workload(&md, &spec)?;
+        let mut ana: Vec<f64> = par_map(&workload, |(q, act)| {
+            relative_error(*act, estimate_anatomy(&tables, q))
+        });
+        let mut gn: Vec<f64> = par_map(&workload, |(q, act)| {
+            relative_error(*act, estimate_generalization(&gen, q))
+        });
+        out.push(Row {
+            correlated,
+            anatomy: AccuracyReport::from_errors(&mut ana).mean,
+            generalization: AccuracyReport::from_errors(&mut gn).mean,
+        });
+    }
+    Ok(out)
+}
+
+/// Run the ablation; returns the report.
+pub fn run(scale: Scale) -> BenchResult<String> {
+    let rows = series(scale)?;
+    let mut t = TextTable::new(vec!["data", "anatomy", "generalization"]);
+    for r in &rows {
+        t.row(vec![
+            if r.correlated {
+                "correlated census"
+            } else {
+                "uniform census"
+            }
+            .to_string(),
+            pct(r.anatomy * 100.0),
+            pct(r.generalization * 100.0),
+        ]);
+    }
+    let mut out = section("Uniform-data ablation (negative control, OCC-5)");
+    out.push_str(&t.render());
+    out.push_str(
+        "correlation is the driver: with it gone, the uniformity assumption holds and \
+         generalization recovers.\n",
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_drives_the_gap() {
+        let scale = Scale {
+            n_default: 4_000,
+            n_sweep: [1_000; 5],
+            queries: 50,
+            l: 10,
+            s: 0.05,
+            seed: 49,
+        };
+        let rows = series(scale).unwrap();
+        assert_eq!(rows.len(), 2);
+        let corr = rows.iter().find(|r| r.correlated).unwrap();
+        let unif = rows.iter().find(|r| !r.correlated).unwrap();
+        // On uniform data the generalization error collapses relative to
+        // the correlated regime.
+        assert!(
+            unif.generalization < corr.generalization / 2.0,
+            "uniform {} vs correlated {}",
+            unif.generalization,
+            corr.generalization
+        );
+        // Anatomy still wins or ties, but the margin shrinks.
+        assert!(unif.anatomy <= unif.generalization * 1.1);
+    }
+}

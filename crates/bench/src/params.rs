@@ -1,0 +1,118 @@
+//! Experiment parameters (the paper's Table 7) and harness scale.
+
+/// The paper's Table 7, defaults in bold there: `l = 10`, `n = 300k`,
+/// `d = 5`, `s = 5%`. We interpret the default query dimensionality as
+/// `qd = d` (all QI attributes queried), the convention of the follow-up
+/// literature; Figure 5 sweeps `qd` explicitly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperParams {
+    /// Diversity parameter.
+    pub l: usize,
+    /// Default cardinality.
+    pub n: usize,
+    /// Default number of QI attributes.
+    pub d: usize,
+    /// Default expected selectivity.
+    pub s: f64,
+    /// Queries per workload.
+    pub queries: usize,
+}
+
+impl PaperParams {
+    /// The paper's defaults.
+    pub const fn paper() -> Self {
+        PaperParams {
+            l: 10,
+            n: 300_000,
+            d: 5,
+            s: 0.05,
+            queries: 10_000,
+        }
+    }
+}
+
+/// Harness scale: the paper's parameters, shrunk by default so `repro all`
+/// finishes in minutes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Default dataset cardinality.
+    pub n_default: usize,
+    /// Cardinality sweep for Figures 7 and 9.
+    pub n_sweep: [usize; 5],
+    /// Queries per workload.
+    pub queries: usize,
+    /// Diversity parameter (always the paper's 10).
+    pub l: usize,
+    /// Default selectivity.
+    pub s: f64,
+    /// Master seed for data generation and workloads.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Reduced scale: ~16× smaller data, 5× fewer queries.
+    pub const fn quick() -> Self {
+        Scale {
+            n_default: 60_000,
+            n_sweep: [20_000, 40_000, 60_000, 80_000, 100_000],
+            queries: 2_000,
+            l: 10,
+            s: 0.05,
+            seed: 20060912, // the VLDB'06 opening day
+        }
+    }
+
+    /// The paper's scale (Table 7).
+    pub const fn full() -> Self {
+        Scale {
+            n_default: 300_000,
+            n_sweep: [100_000, 200_000, 300_000, 400_000, 500_000],
+            queries: 10_000,
+            l: 10,
+            s: 0.05,
+            seed: 20060912,
+        }
+    }
+
+    /// Largest cardinality any experiment will request (the census table
+    /// is generated once at this size and sampled down).
+    pub fn n_max(&self) -> usize {
+        let sweep_max = self.n_sweep.iter().copied().max().unwrap_or(0);
+        self.n_default.max(sweep_max)
+    }
+}
+
+/// The `d` values of Figures 4 and 8.
+pub const D_SWEEP: [usize; 5] = [3, 4, 5, 6, 7];
+
+/// The `d` values Figures 5 and 6 break out.
+pub const D_FOCUS: [usize; 3] = [3, 5, 7];
+
+/// The selectivity sweep of Figure 6.
+pub const S_SWEEP: [f64; 4] = [0.01, 0.04, 0.07, 0.10];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_7() {
+        let p = PaperParams::paper();
+        assert_eq!(p.l, 10);
+        assert_eq!(p.n, 300_000);
+        assert_eq!(p.d, 5);
+        assert_eq!(p.s, 0.05);
+        assert_eq!(p.queries, 10_000);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.n_default < f.n_default);
+        assert!(q.queries < f.queries);
+        assert_eq!(q.l, f.l);
+        assert_eq!(f.n_max(), 500_000);
+        assert_eq!(q.n_max(), 100_000);
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text report rendering: aligned columns, one block per paper
+//! table/figure, so EXPERIMENTS.md can quote output verbatim.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", c, width = widths[i] + 2);
+            }
+            let _ = writeln!(out);
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths
+            .iter()
+            .map(|w| w + 2)
+            .sum::<usize>()
+            .saturating_sub(2);
+        let _ = writeln!(out, "{}", "-".repeat(total.min(100)));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        let _ = cols;
+        out
+    }
+}
+
+/// Format a percentage with sensible precision (`12.3%`, `0.42%`).
+pub fn pct(x: f64) -> String {
+    if x >= 10.0 {
+        format!("{x:.0}%")
+    } else if x >= 1.0 {
+        format!("{x:.1}%")
+    } else {
+        format!("{x:.2}%")
+    }
+}
+
+/// Format a large count with thousands separators (`140k`-style when big).
+pub fn count(x: u64) -> String {
+    if x >= 10_000 {
+        format!("{:.1}k", x as f64 / 1000.0)
+    } else {
+        x.to_string()
+    }
+}
+
+/// A titled section header for the console report.
+pub fn section(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(vec!["d", "anatomy", "generalization"]);
+        t.row(vec!["3", "7.2%", "210%"]);
+        t.row(vec!["7", "8.0%", "4100%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("generalization"));
+        // All data lines have the same prefix widths.
+        assert_eq!(
+            lines[2].find("7.2%").unwrap(),
+            lines[3].find("8.0%").unwrap()
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_is_enforced() {
+        TextTable::new(vec!["a", "b"]).row(vec!["1"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(42.31), "42%");
+        assert_eq!(pct(4.231), "4.2%");
+        assert_eq!(pct(0.423), "0.42%");
+        assert_eq!(count(123), "123");
+        assert_eq!(count(140_000), "140.0k");
+        assert!(section("Figure 4").contains("Figure 4"));
+    }
+}

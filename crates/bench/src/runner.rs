@@ -1,0 +1,287 @@
+//! Shared experiment machinery: dataset environment, parallel workload
+//! evaluation, and the two experiment kinds (query accuracy, I/O cost).
+
+use crate::params::Scale;
+use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
+use anatomy_data::census::{generate_census, CensusConfig};
+use anatomy_data::occ_sal::{census_microdata, SensitiveChoice};
+use anatomy_data::taxonomies::census_methods;
+use anatomy_generalization::{mondrian, mondrian_external, GeneralizedTable, MondrianConfig};
+use anatomy_query::{
+    estimate_anatomy, estimate_generalization, evaluate_exact, AccuracyReport, CountQuery,
+    WorkloadSpec,
+};
+use anatomy_storage::{BufferPool, IoCounter, PageConfig, PAPER_MEMORY_PAGES};
+use anatomy_tables::sample::sample_microdata;
+use anatomy_tables::{Microdata, Table};
+
+/// Errors in the harness are reported, not recovered from.
+pub type BenchResult<T> = std::result::Result<T, Box<dyn std::error::Error>>;
+
+/// A generated census plus the scale it serves: experiments sample their
+/// microdata out of one shared table, like the paper samples its `n`-tuple
+/// datasets from the full 500k extract.
+pub struct Env {
+    /// Harness scale in effect.
+    pub scale: Scale,
+    census: Table,
+}
+
+impl Env {
+    /// Generate the census once at the scale's maximum cardinality.
+    pub fn new(scale: Scale) -> Env {
+        let census = generate_census(&CensusConfig::new(scale.n_max()).with_seed(scale.seed));
+        Env { scale, census }
+    }
+
+    /// OCC-d / SAL-d microdata with `n` tuples sampled from the census.
+    pub fn microdata(&self, family: SensitiveChoice, d: usize, n: usize) -> BenchResult<Microdata> {
+        let md = census_microdata(self.census.clone(), d, family)?;
+        if n == md.len() {
+            return Ok(md);
+        }
+        Ok(sample_microdata(&md, n, self.scale.seed ^ n as u64)?)
+    }
+}
+
+/// Order-preserving parallel map over a slice, using scoped threads.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let threads = threads.min(items.len().max(1));
+    if threads <= 1 || items.len() < 32 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let out_chunks: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot_chunk, item_chunk) in out_chunks.into_iter().zip(items.chunks(chunk)) {
+            let f = &f;
+            s.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Generate `spec.count` queries with non-zero true answers, evaluating the
+/// ground truth in parallel. Mirrors `WorkloadSpec::generate_nonzero` but
+/// scales to the paper's 10 000-query workloads.
+pub fn nonzero_workload(
+    md: &Microdata,
+    spec: &WorkloadSpec,
+) -> BenchResult<Vec<(CountQuery, u64)>> {
+    let mut out: Vec<(CountQuery, u64)> = Vec::with_capacity(spec.count);
+    let mut round = 0u64;
+    while out.len() < spec.count && round < 20 {
+        let need = spec.count - out.len();
+        let batch = WorkloadSpec {
+            count: (need * 3 / 2).max(64),
+            seed: spec.seed.wrapping_add(round.wrapping_mul(0x51ED_270B)),
+            ..*spec
+        };
+        let queries = batch.generate(md)?;
+        let acts = par_map(&queries, |q| evaluate_exact(md, q));
+        for (q, act) in queries.into_iter().zip(acts) {
+            if act > 0 && out.len() < spec.count {
+                out.push((q, act));
+            }
+        }
+        round += 1;
+    }
+    if out.len() < spec.count {
+        return Err(Box::new(anatomy_query::QueryError::WorkloadExhausted {
+            produced: out.len(),
+            requested: spec.count,
+        }));
+    }
+    Ok(out)
+}
+
+/// Published tables for one accuracy experiment.
+pub struct PublishedPair {
+    /// The anatomized QIT/ST.
+    pub anatomy: AnatomizedTables,
+    /// The l-diverse Mondrian generalization.
+    pub generalization: GeneralizedTable,
+}
+
+/// Anonymize `md` both ways under the paper's Table 6 configuration.
+pub fn publish_both(md: &Microdata, l: usize, seed: u64) -> BenchResult<PublishedPair> {
+    let partition = anatomize(md, &AnatomizeConfig::new(l).with_seed(seed))?;
+    let anatomy = AnatomizedTables::publish(md, &partition, l)?;
+    let cfg = MondrianConfig {
+        l,
+        methods: census_methods(md.qi_count()),
+    };
+    let (_, generalization) = mondrian(md, &cfg)?;
+    Ok(PublishedPair {
+        anatomy,
+        generalization,
+    })
+}
+
+/// Outcome of one accuracy experiment: mean relative error of both
+/// methods, in percent (the y-axis of Figures 4–7).
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyOutcome {
+    /// Anatomy's error report.
+    pub anatomy: AccuracyReport,
+    /// Generalization's error report.
+    pub generalization: AccuracyReport,
+}
+
+/// Run one accuracy cell: anonymize both ways, evaluate one workload
+/// against both estimators.
+pub fn accuracy_experiment(
+    md: &Microdata,
+    l: usize,
+    qd: usize,
+    s: f64,
+    queries: usize,
+    seed: u64,
+) -> BenchResult<AccuracyOutcome> {
+    let pair = publish_both(md, l, seed)?;
+    let spec = WorkloadSpec {
+        qd,
+        selectivity: s,
+        count: queries,
+        seed: seed ^ 0xF00D,
+    };
+    let workload = nonzero_workload(md, &spec)?;
+
+    let ana_errors: Vec<f64> = par_map(&workload, |(q, act)| {
+        anatomy_query::relative_error(*act, estimate_anatomy(&pair.anatomy, q))
+    });
+    let gen_errors: Vec<f64> = par_map(&workload, |(q, act)| {
+        anatomy_query::relative_error(*act, estimate_generalization(&pair.generalization, q))
+    });
+    Ok(AccuracyOutcome {
+        anatomy: AccuracyReport::from_errors(&mut ana_errors.clone()),
+        generalization: AccuracyReport::from_errors(&mut gen_errors.clone()),
+    })
+}
+
+/// Outcome of one I/O-cost experiment (the y-axis of Figures 8–9).
+#[derive(Debug, Clone, Copy)]
+pub struct IoOutcome {
+    /// Total page I/Os of external `Anatomize`.
+    pub anatomy: u64,
+    /// Total page I/Os of external Mondrian.
+    pub generalization: u64,
+}
+
+/// Run one I/O cell under the paper's disk model (4096-byte pages,
+/// 50-page memory; `Anatomize` gets the `O(λ)` pages Theorem 3 requires).
+pub fn io_experiment(md: &Microdata, l: usize) -> BenchResult<IoOutcome> {
+    let page = PageConfig::paper();
+
+    let ana_counter = IoCounter::new();
+    let ana_pool =
+        anatomy_core::anatomize_io::recommended_pool(md.sensitive_domain_size() as usize);
+    let ana = anatomy_core::anatomize_external(md, l, page, &ana_pool, &ana_counter)?;
+
+    let gen_counter = IoCounter::new();
+    let gen_pool = BufferPool::new(PAPER_MEMORY_PAGES);
+    let cfg = MondrianConfig {
+        l,
+        methods: census_methods(md.qi_count()),
+    };
+    let gen = mondrian_external(md, &cfg, page, &gen_pool, &gen_counter)?;
+
+    Ok(IoOutcome {
+        anatomy: ana.stats.total(),
+        generalization: gen.stats.total(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Scale;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            n_default: 3_000,
+            n_sweep: [1_000, 1_500, 2_000, 2_500, 3_000],
+            queries: 50,
+            l: 10,
+            s: 0.05,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn env_samples_microdata() {
+        let env = Env::new(tiny_scale());
+        let md = env
+            .microdata(SensitiveChoice::Occupation, 4, 1_000)
+            .unwrap();
+        assert_eq!(md.len(), 1_000);
+        assert_eq!(md.qi_count(), 4);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn accuracy_experiment_runs_and_anatomy_wins() {
+        let env = Env::new(tiny_scale());
+        let md = env
+            .microdata(SensitiveChoice::Occupation, 4, 3_000)
+            .unwrap();
+        let out = accuracy_experiment(&md, 10, 4, 0.05, 40, 3).unwrap();
+        assert_eq!(out.anatomy.count, 40);
+        // The headline claim at small scale: anatomy is more accurate.
+        assert!(
+            out.anatomy.mean < out.generalization.mean,
+            "anatomy {} vs generalization {}",
+            out.anatomy.mean,
+            out.generalization.mean
+        );
+    }
+
+    #[test]
+    fn io_experiment_runs_and_anatomy_is_cheaper() {
+        let env = Env::new(tiny_scale());
+        let md = env.microdata(SensitiveChoice::Salary, 5, 3_000).unwrap();
+        let out = io_experiment(&md, 10).unwrap();
+        assert!(out.anatomy > 0);
+        assert!(
+            out.anatomy < out.generalization,
+            "anatomy {} vs generalization {}",
+            out.anatomy,
+            out.generalization
+        );
+    }
+
+    #[test]
+    fn nonzero_workload_delivers_requested_count() {
+        let env = Env::new(tiny_scale());
+        let md = env
+            .microdata(SensitiveChoice::Occupation, 3, 2_000)
+            .unwrap();
+        let spec = WorkloadSpec {
+            qd: 2,
+            selectivity: 0.05,
+            count: 100,
+            seed: 5,
+        };
+        let w = nonzero_workload(&md, &spec).unwrap();
+        assert_eq!(w.len(), 100);
+        assert!(w.iter().all(|&(_, act)| act > 0));
+    }
+}

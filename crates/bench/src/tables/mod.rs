@@ -1,0 +1,255 @@
+//! Regeneration of the paper's Tables 1–7.
+
+use crate::figures::fig1::paper_generalization;
+use crate::params::{PaperParams, Scale};
+use crate::report::{section, TextTable};
+use crate::runner::BenchResult;
+use anatomy_core::adversary::natural_join;
+use anatomy_core::AnatomizedTables;
+use anatomy_data::census::{ATTRIBUTE_NAMES, DOMAIN_SIZES};
+use anatomy_data::taxonomies::TAXONOMY_HEIGHTS;
+use anatomy_data::tiny;
+
+/// Table 1: the microdata.
+pub fn table1() -> BenchResult<String> {
+    let md = tiny::paper_microdata();
+    let mut out = section("Table 1 / the microdata");
+    let mut t = TextTable::new(vec!["tuple#", "Age", "Sex", "Zipcode", "Disease"]);
+    for (i, row) in md.table().tuples().enumerate() {
+        let mut cells = vec![(i + 1).to_string()];
+        cells.extend(row.labeled());
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+/// Table 2: the 2-diverse generalized table.
+pub fn table2() -> BenchResult<String> {
+    let md = tiny::paper_microdata();
+    let gen = paper_generalization(&md);
+    let schema = md.table().schema();
+    let disease = schema.attribute(3)?.clone();
+    let mut out = section("Table 2 / a 2-diverse generalized table");
+    out.push_str(&gen.format(&["Age", "Sex", "Zipcode(k)"], |v| disease.label(v)));
+    Ok(out)
+}
+
+/// Table 3: the anatomized QIT and ST.
+pub fn table3() -> BenchResult<String> {
+    let md = tiny::paper_microdata();
+    let tables = AnatomizedTables::publish(&md, &tiny::paper_partition(), 2)?;
+    let schema = md.table().schema();
+    let disease = schema.attribute(3)?.clone();
+    let mut out = section("Table 3 / the anatomized tables");
+    out.push_str("(a) quasi-identifier table (QIT)\n");
+    out.push_str(&tables.format_qit(10));
+    out.push_str("\n(b) sensitive table (ST)\n");
+    out.push_str(&tables.format_st(|v| disease.label(v)));
+    Ok(out)
+}
+
+/// Table 4: the natural join QIT ⋈ ST, restricted to QI-group 1 as in the
+/// paper.
+pub fn table4() -> BenchResult<String> {
+    let md = tiny::paper_microdata();
+    let tables = AnatomizedTables::publish(&md, &tiny::paper_partition(), 2)?;
+    let schema = md.table().schema();
+    let disease = schema.attribute(3)?.clone();
+    let join = natural_join(&tables);
+    let mut out = section("Table 4 / QIT \u{22c8} ST (records of QI-group 1)");
+    let mut t = TextTable::new(vec![
+        "Age", "Sex", "Zipcode", "Group-ID", "Disease", "Count", "Pr",
+    ]);
+    for rec in join.iter().filter(|r| r.group == 0) {
+        t.row(vec![
+            rec.qi[0].to_string(),
+            if rec.qi[1].code() == 0 {
+                "M".into()
+            } else {
+                "F".into()
+            },
+            format!("{}000", rec.qi[2].code()),
+            (rec.group + 1).to_string(),
+            disease.label(rec.value),
+            rec.count.to_string(),
+            format!("{:.0}%", rec.probability * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+/// Table 5: the voter registration list, plus the Section 3.3 comparison of
+/// `Pr_A2` (the chance the target is in the microdata) under the two
+/// publication styles.
+pub fn table5() -> BenchResult<String> {
+    let md = tiny::paper_microdata();
+    let tables = AnatomizedTables::publish(&md, &tiny::paper_partition(), 2)?;
+    let gen = paper_generalization(&md);
+    let voters = tiny::voter_list();
+
+    let mut out = section("Table 5 / the voter registration list (Section 3.3)");
+    let mut t = TextTable::new(vec![
+        "Name",
+        "Age",
+        "Sex",
+        "Zipcode",
+        "in generalized rect?",
+        "exact QI in QIT?",
+    ]);
+    let mut gen_candidates = 0usize;
+    let mut ana_candidates = 0usize;
+    for (name, age, sex, zip) in &voters {
+        // Generalization: does the voter fall in *some* group rectangle?
+        let in_rect = gen.groups().iter().any(|g| {
+            g.ranges[0].contains(*age) && g.ranges[1].contains(*sex) && g.ranges[2].contains(*zip)
+        });
+        // Anatomy: does the exact QI vector occur in the QIT?
+        let in_qit = (0..tables.len()).any(|r| {
+            tables.qi_codes(0)[r] == *age
+                && tables.qi_codes(1)[r] == *sex
+                && tables.qi_codes(2)[r] == *zip
+        });
+        gen_candidates += usize::from(in_rect);
+        ana_candidates += usize::from(in_qit);
+        t.row(vec![
+            name.to_string(),
+            age.to_string(),
+            if *sex == 0 { "M".into() } else { "F".into() },
+            format!("{zip}000"),
+            if in_rect { "yes" } else { "no" }.into(),
+            if in_qit { "yes" } else { "no" }.into(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "generalization: {gen_candidates} of {} voters are candidates -> Pr_A2(Alice) = 4/{gen_candidates}\n",
+        voters.len()
+    ));
+    out.push_str(&format!(
+        "anatomy: exact QI values expose that only {ana_candidates} voters can be present -> Pr_A2(Alice) = 1\n"
+    ));
+    out.push_str("either way the overall breach probability stays bounded by 1/l (Theorem 1).\n");
+    Ok(out)
+}
+
+/// Table 6: the CENSUS attribute summary and generalization configuration.
+pub fn table6() -> BenchResult<String> {
+    let mut out = section("Table 6 / summary of attributes");
+    let mut t = TextTable::new(vec![
+        "Attribute",
+        "distinct values",
+        "generalization method",
+    ]);
+    for (i, (&name, &dom)) in ATTRIBUTE_NAMES.iter().zip(&DOMAIN_SIZES).enumerate() {
+        let method = if i >= 7 {
+            "NA (sensitive)".to_string()
+        } else {
+            match TAXONOMY_HEIGHTS[i] {
+                None => "Free interval".to_string(),
+                Some(h) => format!("Taxonomy tree ({h})"),
+            }
+        };
+        t.row(vec![name.to_string(), dom.to_string(), method]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+/// Table 7: the experiment parameter grid, with the harness scale beside
+/// the paper's.
+pub fn table7(scale: Scale) -> BenchResult<String> {
+    let paper = PaperParams::paper();
+    let mut out = section("Table 7 / parameters and tested values");
+    let mut t = TextTable::new(vec!["parameter", "paper values (default)", "this run"]);
+    t.row(vec![
+        "l".to_string(),
+        format!("{}", paper.l),
+        format!("{}", scale.l),
+    ]);
+    t.row(vec![
+        "cardinality n".to_string(),
+        format!("100k..500k ({})", paper.n),
+        format!("{:?} (default {})", scale.n_sweep, scale.n_default),
+    ]);
+    t.row(vec![
+        "QI attributes d".to_string(),
+        "3, 4, 5, 6, 7 (5)".to_string(),
+        "3, 4, 5, 6, 7 (5)".to_string(),
+    ]);
+    t.row(vec![
+        "query dimensionality qd".to_string(),
+        "1..d (d)".to_string(),
+        "1..d (d)".to_string(),
+    ]);
+    t.row(vec![
+        "selectivity s".to_string(),
+        format!("1%..10% ({}%)", paper.s * 100.0),
+        format!("1%..10% ({}%)", scale.s * 100.0),
+    ]);
+    t.row(vec![
+        "queries per workload".to_string(),
+        format!("{}", paper.queries),
+        format!("{}", scale.queries),
+    ]);
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_bob() {
+        let s = table1().unwrap();
+        assert!(s.contains("pneumonia"));
+        assert!(s.contains("23"));
+    }
+
+    #[test]
+    fn table2_shows_intervals() {
+        let s = table2().unwrap();
+        assert!(s.contains("[21, 60]"));
+        assert!(s.contains("[61, 70]"));
+    }
+
+    #[test]
+    fn table3_matches_paper_counts() {
+        let s = table3().unwrap();
+        assert!(s.contains("dyspepsia\t2"));
+        assert!(s.contains("pneumonia\t2"));
+        assert!(s.contains("bronchitis\t1"));
+    }
+
+    #[test]
+    fn table4_shows_50_percent() {
+        let s = table4().unwrap();
+        assert!(s.contains("50%"));
+        // 4 tuples x 2 diseases = 8 join records for group 1 (+ header
+        // and separator).
+        let data_lines = s.lines().filter(|l| l.contains("50%")).count();
+        assert_eq!(data_lines, 8);
+    }
+
+    #[test]
+    fn table5_detects_emily() {
+        let s = table5().unwrap();
+        assert!(s.contains("Emily"));
+        // Emily: inside the rectangle but not in the QIT.
+        let emily_line = s.lines().find(|l| l.starts_with("Emily")).unwrap();
+        assert!(emily_line.contains("yes"));
+        assert!(emily_line.contains("no"));
+        assert!(s.contains("4/5"));
+    }
+
+    #[test]
+    fn table6_and_7_render() {
+        let s = table6().unwrap();
+        assert!(s.contains("Occupation"));
+        assert!(s.contains("Taxonomy tree (4)"));
+        let s = table7(Scale::quick()).unwrap();
+        assert!(s.contains("selectivity"));
+    }
+}

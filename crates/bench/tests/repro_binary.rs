@@ -1,0 +1,63 @@
+//! Smoke tests of the `repro` binary: the cheap worked-example
+//! subcommands must run and print the paper's numbers; bad usage must
+//! exit non-zero.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn worked_example_subcommands_print_the_paper() {
+    let out = repro().arg("table3").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("dyspepsia\t2"), "{stdout}");
+    assert!(stdout.contains("Group-ID"));
+
+    let out = repro().arg("fig1").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("actual answer (microdata):           1"));
+
+    let out = repro().arg("fig2").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("0.500"));
+
+    let out = repro().arg("table7").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("selectivity"));
+}
+
+#[test]
+fn flags_are_parsed() {
+    let out = repro()
+        .args(["table7", "--n", "12345", "--queries", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("n_default=12345"), "{stderr}");
+    assert!(stderr.contains("queries=9"));
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    assert_eq!(repro().output().unwrap().status.code(), Some(2));
+    assert_eq!(
+        repro().arg("nonsense").output().unwrap().status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        repro()
+            .args(["fig4", "--n", "NaN"])
+            .output()
+            .unwrap()
+            .status
+            .code(),
+        Some(2)
+    );
+}

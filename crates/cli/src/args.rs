@@ -1,0 +1,217 @@
+//! Minimal, dependency-free argument parsing.
+
+use crate::CliResult;
+use std::collections::HashMap;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `anatomy stats --data F --schema F --sensitive NAME`
+    Stats {
+        /// Microdata CSV path.
+        data: String,
+        /// Schema file path.
+        schema: String,
+        /// Sensitive attribute name.
+        sensitive: String,
+    },
+    /// `anatomy publish --data F --schema F --sensitive NAME --l N
+    ///  --qit F --st F [--seed N]`
+    Publish {
+        /// Microdata CSV path.
+        data: String,
+        /// Schema file path.
+        schema: String,
+        /// Sensitive attribute name.
+        sensitive: String,
+        /// Diversity parameter.
+        l: usize,
+        /// Output path for the QIT CSV.
+        qit: String,
+        /// Output path for the ST CSV.
+        st: String,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `anatomy audit --qit F --st F --schema F --sensitive NAME --l N`
+    Audit {
+        /// QIT CSV path.
+        qit: String,
+        /// ST CSV path.
+        st: String,
+        /// Schema file path.
+        schema: String,
+        /// Sensitive attribute name.
+        sensitive: String,
+        /// Claimed diversity parameter.
+        l: usize,
+    },
+    /// `anatomy query --qit F --st F --schema F --sensitive NAME --l N
+    ///  --query SPEC`
+    Query {
+        /// QIT CSV path.
+        qit: String,
+        /// ST CSV path.
+        st: String,
+        /// Schema file path.
+        schema: String,
+        /// Sensitive attribute name.
+        sensitive: String,
+        /// Claimed diversity parameter.
+        l: usize,
+        /// Query in the `anatomy_query::workload_to_text` line format.
+        query: String,
+    },
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage:
+  anatomy stats   --data F --schema F --sensitive NAME
+  anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N]
+  anatomy audit   --qit F --st F --schema F --sensitive NAME --l N
+  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0'";
+
+fn flags(args: &[String]) -> CliResult<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{a}`"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        if map.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("--{key} given twice"));
+        }
+    }
+    Ok(map)
+}
+
+fn take(map: &mut HashMap<String, String>, key: &str) -> CliResult<String> {
+    map.remove(key).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn finish(map: HashMap<String, String>) -> CliResult<()> {
+    if let Some(key) = map.keys().next() {
+        return Err(format!("unknown flag --{key}"));
+    }
+    Ok(())
+}
+
+/// Parse `argv[1..]` into a [`Command`].
+pub fn parse_args(args: &[String]) -> CliResult<Command> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| USAGE.to_string())?;
+    let mut map = flags(rest)?;
+    let parsed = match cmd.as_str() {
+        "stats" => Command::Stats {
+            data: take(&mut map, "data")?,
+            schema: take(&mut map, "schema")?,
+            sensitive: take(&mut map, "sensitive")?,
+        },
+        "publish" => Command::Publish {
+            data: take(&mut map, "data")?,
+            schema: take(&mut map, "schema")?,
+            sensitive: take(&mut map, "sensitive")?,
+            l: take(&mut map, "l")?
+                .parse()
+                .map_err(|_| "--l must be an integer")?,
+            qit: take(&mut map, "qit")?,
+            st: take(&mut map, "st")?,
+            seed: map
+                .remove("seed")
+                .map(|s| s.parse::<u64>().map_err(|_| "--seed must be an integer"))
+                .transpose()?
+                .unwrap_or(0xA7A7),
+        },
+        "audit" => Command::Audit {
+            qit: take(&mut map, "qit")?,
+            st: take(&mut map, "st")?,
+            schema: take(&mut map, "schema")?,
+            sensitive: take(&mut map, "sensitive")?,
+            l: take(&mut map, "l")?
+                .parse()
+                .map_err(|_| "--l must be an integer")?,
+        },
+        "query" => Command::Query {
+            qit: take(&mut map, "qit")?,
+            st: take(&mut map, "st")?,
+            schema: take(&mut map, "schema")?,
+            sensitive: take(&mut map, "sensitive")?,
+            l: take(&mut map, "l")?
+                .parse()
+                .map_err(|_| "--l must be an integer")?,
+            query: take(&mut map, "query")?,
+        },
+        other => return Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    finish(map)?;
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_publish() {
+        let c = parse_args(&argv(
+            "publish --data d.csv --schema s.txt --sensitive Disease --l 4 --qit q.csv --st t.csv --seed 9",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Publish {
+                data: "d.csv".into(),
+                schema: "s.txt".into(),
+                sensitive: "Disease".into(),
+                l: 4,
+                qit: "q.csv".into(),
+                st: "t.csv".into(),
+                seed: 9,
+            }
+        );
+    }
+
+    #[test]
+    fn seed_defaults() {
+        let c = parse_args(&argv(
+            "publish --data d --schema s --sensitive X --l 2 --qit q --st t",
+        ))
+        .unwrap();
+        match c {
+            Command::Publish { seed, .. } => assert_eq!(seed, 0xA7A7),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("stats --data d")).is_err()); // missing flags
+        assert!(parse_args(&argv("stats --data d --schema s --sensitive X --bogus 1")).is_err());
+        assert!(parse_args(&argv("stats --data")).is_err()); // dangling flag
+        assert!(parse_args(&argv(
+            "publish --data d --schema s --sensitive X --l nope --qit q --st t"
+        ))
+        .is_err());
+        assert!(parse_args(&argv("stats --data a --data b --schema s --sensitive X")).is_err());
+    }
+
+    #[test]
+    fn parses_audit_and_query() {
+        assert!(parse_args(&argv("audit --qit q --st t --schema s --sensitive X --l 3")).is_ok());
+        let c = parse_args(&argv(
+            "query --qit q --st t --schema s --sensitive X --l 3 --query qi0=1;s=0",
+        ))
+        .unwrap();
+        match c {
+            Command::Query { query, .. } => assert_eq!(query, "qi0=1;s=0"),
+            _ => panic!("wrong command"),
+        }
+    }
+}

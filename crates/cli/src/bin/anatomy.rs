@@ -1,0 +1,27 @@
+//! `anatomy` — command-line anatomization. See `anatomy_cli` for the
+//! command set.
+
+use anatomy_cli::{args, parse_args, run};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cmd) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

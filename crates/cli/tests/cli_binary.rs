@@ -1,0 +1,182 @@
+//! End-to-end tests of the `anatomy` binary via process spawning: the
+//! full publish → audit → query pipeline through argv, stdout and the
+//! filesystem.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_anatomy"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anatomy-bin-test-{}-{name}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn demo(dir: &std::path::Path) -> (String, String) {
+    let schema = dir.join("schema.txt");
+    fs::write(
+        &schema,
+        "Age:numerical:100\nSex:categorical:2\nDisease:categorical:5\n",
+    )
+    .unwrap();
+    let data = dir.join("data.csv");
+    let mut csv = String::from("Age,Sex,Disease\n");
+    for i in 0..40u32 {
+        csv.push_str(&format!("{},{},{}\n", 20 + i, i % 2, i % 5));
+    }
+    fs::write(&data, csv).unwrap();
+    (
+        data.to_string_lossy().into_owned(),
+        schema.to_string_lossy().into_owned(),
+    )
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let dir = scratch("pipeline");
+    let (data, schema) = demo(&dir);
+    let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+    let st = dir.join("st.csv").to_string_lossy().into_owned();
+
+    let out = bin()
+        .args([
+            "stats",
+            "--data",
+            &data,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("max feasible l: 5"), "{stdout}");
+
+    let out = bin()
+        .args([
+            "publish",
+            "--data",
+            &data,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "4",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(fs::metadata(&qit).unwrap().len() > 0);
+    assert!(fs::metadata(&st).unwrap().len() > 0);
+
+    let out = bin()
+        .args([
+            "audit",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("valid and 4-diverse"));
+
+    let out = bin()
+        .args([
+            "query",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "4",
+            "--query",
+            "s=0",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("estimate: 8.000"));
+}
+
+#[test]
+fn bad_usage_exits_2_with_usage_text() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn audit_failure_exits_1() {
+    let dir = scratch("audit-fail");
+    let (data, schema) = demo(&dir);
+    let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+    let st = dir.join("st.csv").to_string_lossy().into_owned();
+    assert!(bin()
+        .args([
+            "publish",
+            "--data",
+            &data,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "4",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+        ])
+        .status()
+        .unwrap()
+        .success());
+    // Claiming l = 5 on a 4-diverse release fails.
+    let out = bin()
+        .args([
+            "audit",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("error"));
+}

@@ -1,0 +1,365 @@
+//! The adversary's view: QIT ⋈ ST and breach probabilities.
+//!
+//! Lemma 1: the natural join of the QIT and ST has one record per (tuple,
+//! sensitive-value) combination of the tuple's group, and from the
+//! adversary's perspective `Pr{t[d+1] = v} = c_j(v) / |QI_j|` (Equation 2).
+//! Corollary 1 bounds the probability of correctly reconstructing any tuple
+//! by `1/l`; Theorem 1 extends the bound to *individuals*, whose QI values
+//! may match several tuples spread over several groups.
+
+use crate::partition::GroupId;
+use crate::published::AnatomizedTables;
+use anatomy_tables::{Microdata, Value};
+
+/// One record of QIT ⋈ ST (the paper's Table 4 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinRecord {
+    /// QIT row index the record derives from.
+    pub row: usize,
+    /// The tuple's exact QI values.
+    pub qi: Vec<Value>,
+    /// The shared group id.
+    pub group: GroupId,
+    /// A sensitive value occurring in the group.
+    pub value: Value,
+    /// `c_j(value)`.
+    pub count: u32,
+    /// Equation 2: `count / |QI_j|`.
+    pub probability: f64,
+}
+
+/// Materialize the natural join QIT ⋈ ST (Lemma 1).
+///
+/// The join has `Σ_rows λ_{group(row)}` records; for bulk data prefer the
+/// probability functions below, which avoid materialization.
+pub fn natural_join(tables: &AnatomizedTables) -> Vec<JoinRecord> {
+    let mut out = Vec::new();
+    for row in 0..tables.len() {
+        let j = tables.group_ids()[row];
+        let size = tables.group_size(j) as f64;
+        let qi: Vec<Value> = (0..tables.qi_count())
+            .map(|i| Value(tables.qi_codes(i)[row]))
+            .collect();
+        for rec in tables.st_of(j) {
+            out.push(JoinRecord {
+                row,
+                qi: qi.clone(),
+                group: j,
+                value: rec.value,
+                count: rec.count,
+                probability: rec.count as f64 / size,
+            });
+        }
+    }
+    out
+}
+
+/// Equation 2: the adversary's probability that QIT row `row` carries
+/// sensitive value `v`, i.e. `c_j(v) / |QI_j|` for the row's group `j`.
+pub fn tuple_value_probability(tables: &AnatomizedTables, row: usize, v: Value) -> f64 {
+    let j = tables.group_ids()[row];
+    tables.count_in_group(j, v) as f64 / tables.group_size(j) as f64
+}
+
+/// Corollary 1, per tuple: the probability of correctly re-constructing
+/// each microdata tuple, `c_j(v_real) / |QI_j|`. Each entry is at most
+/// `1/l` when the underlying partition is l-diverse.
+pub fn tuple_breach_probabilities(tables: &AnatomizedTables, md: &Microdata) -> Vec<f64> {
+    (0..md.len())
+        .map(|r| tuple_value_probability(tables, r, md.sensitive_value(r)))
+        .collect()
+}
+
+/// Theorem 1, per individual: an adversary targeting an individual `o`
+/// whose QI values equal `qi` (and whose real sensitive value is
+/// `real_value`) matches `f` QIT rows, assumes each belongs to `o` with
+/// probability `1/f`, and applies Lemma 1 in each scenario; the overall
+/// breach probability is `Σ_i c_{j_i}(v_real) / (f · |QI_{j_i}|)`.
+///
+/// Returns `None` when no QIT row matches `qi` (the adversary learns the
+/// individual is absent).
+pub fn individual_breach_probability(
+    tables: &AnatomizedTables,
+    qi: &[Value],
+    real_value: Value,
+) -> Option<f64> {
+    assert_eq!(qi.len(), tables.qi_count(), "QI arity mismatch");
+    let mut matches = 0usize;
+    let mut sum = 0.0f64;
+    'rows: for row in 0..tables.len() {
+        for (i, v) in qi.iter().enumerate() {
+            if tables.qi_codes(i)[row] != v.code() {
+                continue 'rows;
+            }
+        }
+        matches += 1;
+        sum += tuple_value_probability(tables, row, real_value);
+    }
+    if matches == 0 {
+        None
+    } else {
+        Some(sum / matches as f64)
+    }
+}
+
+/// Section 3.3, assumption A2 dropped: the probability that the target is
+/// in the microdata at all, estimated from an external database (e.g. the
+/// paper's voter registration list, Table 5) against an **anatomized**
+/// release.
+///
+/// Anatomy publishes exact QI values, so the adversary counts the QIT rows
+/// equal to the target's QI vector against the external individuals
+/// sharing that vector: `min(1, matching_rows / matching_candidates)`.
+/// For Alice in the worked example this is `2/2 = 1` — anatomy reveals
+/// that everyone matching her QI must be present. Returns 0 when no QIT
+/// row matches (the target is provably absent).
+pub fn presence_probability_anatomized(
+    tables: &AnatomizedTables,
+    target_qi: &[Value],
+    external: &[Vec<Value>],
+) -> f64 {
+    let rows = count_matching_rows(tables, target_qi);
+    if rows == 0 {
+        return 0.0;
+    }
+    let candidates = external
+        .iter()
+        .filter(|c| c.as_slice() == target_qi)
+        .count();
+    if candidates == 0 {
+        // The adversary's external database does not even contain the
+        // target; presence cannot be ruled out, so the row evidence stands
+        // alone.
+        return 1.0;
+    }
+    (rows as f64 / candidates as f64).min(1.0)
+}
+
+/// Formula 3: the overall breach probability of an individual when the
+/// adversary knows the QI values (A1) but not the presence (A2):
+/// `Pr_A2 · Pr_breach(· | A2)`. Bounded by `1/l` because the conditional
+/// factor is (Theorem 1).
+pub fn overall_breach_probability(
+    tables: &AnatomizedTables,
+    target_qi: &[Value],
+    real_value: Value,
+    external: &[Vec<Value>],
+) -> f64 {
+    let presence = presence_probability_anatomized(tables, target_qi, external);
+    if presence == 0.0 {
+        return 0.0;
+    }
+    let conditional = individual_breach_probability(tables, target_qi, real_value).unwrap_or(0.0);
+    presence * conditional
+}
+
+fn count_matching_rows(tables: &AnatomizedTables, qi: &[Value]) -> usize {
+    assert_eq!(qi.len(), tables.qi_count(), "QI arity mismatch");
+    let mut matches = 0usize;
+    'rows: for row in 0..tables.len() {
+        for (i, v) in qi.iter().enumerate() {
+            if tables.qi_codes(i)[row] != v.code() {
+                continue 'rows;
+            }
+        }
+        matches += 1;
+    }
+    matches
+}
+
+/// The largest tuple-level breach probability over the whole publication —
+/// must be at most `1/l` (Corollary 1).
+pub fn max_tuple_breach(tables: &AnatomizedTables, md: &Microdata) -> f64 {
+    tuple_breach_probabilities(tables, md)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anatomize::{anatomize, AnatomizeConfig};
+    use crate::partition::Partition;
+    use anatomy_tables::{Attribute, AttributeKind, Schema, TableBuilder};
+
+    /// The paper's running example (Table 1): diseases coded
+    /// bronchitis=0, dyspepsia=1, flu=2, gastritis=3, pneumonia=4.
+    fn paper_md() -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::with_labels(
+                "Sex",
+                AttributeKind::Categorical,
+                vec!["M".into(), "F".into()],
+            ),
+            Attribute::numerical("Zipcode", 60),
+            Attribute::categorical("Disease", 5),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for row in [
+            [23, 0, 11, 4],
+            [27, 0, 13, 1],
+            [35, 0, 59, 1],
+            [59, 0, 12, 4],
+            [61, 1, 54, 2],
+            [65, 1, 25, 3],
+            [65, 1, 25, 2],
+            [70, 1, 30, 0],
+        ] {
+            b.push_row(&row).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 3).unwrap()
+    }
+
+    fn paper_tables() -> (Microdata, AnatomizedTables) {
+        let md = paper_md();
+        let p = Partition::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]], 8).unwrap();
+        let t = AnatomizedTables::publish(&md, &p, 2).unwrap();
+        (md, t)
+    }
+
+    #[test]
+    fn join_reproduces_table_4() {
+        let (_, t) = paper_tables();
+        let join = natural_join(&t);
+        // Group 1 has 4 tuples x 2 ST records, group 2 has 4 x 3.
+        assert_eq!(join.len(), 4 * 2 + 4 * 3);
+        // First record: Bob's tuple (23, M, 11k) with dyspepsia, count 2,
+        // probability 50% — the paper's Table 4 first row.
+        let first = &join[0];
+        assert_eq!(first.row, 0);
+        assert_eq!(first.qi, vec![Value(23), Value(0), Value(11)]);
+        assert_eq!(first.value, Value(1));
+        assert_eq!(first.count, 2);
+        assert!((first.probability - 0.5).abs() < 1e-12);
+        // Probabilities per row sum to 1 (the c_j(v) of a group sum to
+        // |QI_j|).
+        for row in 0..t.len() {
+            let s: f64 = join
+                .iter()
+                .filter(|r| r.row == row)
+                .map(|r| r.probability)
+                .sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bob_cannot_have_flu() {
+        // "the QI-values of tuple 1 are not combined with any other disease
+        // such as flu" — Section 3.2.
+        let (_, t) = paper_tables();
+        assert_eq!(tuple_value_probability(&t, 0, Value(2)), 0.0);
+        assert_eq!(tuple_value_probability(&t, 0, Value(4)), 0.5);
+        assert_eq!(tuple_value_probability(&t, 0, Value(1)), 0.5);
+    }
+
+    #[test]
+    fn corollary_1_bound_holds() {
+        let (md, t) = paper_tables();
+        let breaches = tuple_breach_probabilities(&t, &md);
+        assert_eq!(breaches.len(), 8);
+        for b in &breaches {
+            assert!(*b <= 0.5 + 1e-12, "tuple breach {b} exceeds 1/l");
+        }
+        assert!((max_tuple_breach(&t, &md) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alice_individual_breach_is_half() {
+        // Alice (65, F, 25000) matches tuples 6 and 7 (both in group 2);
+        // her real disease is flu. Section 3.2 computes the overall breach
+        // as 1/2*50% + 1/2*50% = 50%.
+        let (_, t) = paper_tables();
+        let p =
+            individual_breach_probability(&t, &[Value(65), Value(1), Value(25)], Value(2)).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_individual_detected() {
+        // Emily (67, F, 33000) is not in the microdata: anatomy reveals her
+        // absence (Section 3.3's voter-list discussion).
+        let (_, t) = paper_tables();
+        assert!(
+            individual_breach_probability(&t, &[Value(67), Value(1), Value(33)], Value(2))
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn presence_probability_matches_section_3_3() {
+        let (_, t) = paper_tables();
+        // The voter list: Ada, Alice, Bella, Emily, Stephanie.
+        let voters: Vec<Vec<Value>> = vec![
+            vec![Value(61), Value(1), Value(54)],
+            vec![Value(65), Value(1), Value(25)],
+            vec![Value(65), Value(1), Value(25)],
+            vec![Value(67), Value(1), Value(33)],
+            vec![Value(70), Value(1), Value(30)],
+        ];
+        // Alice: 2 QIT rows match (65, F, 25000), 2 voters share the QI ->
+        // presence 1 (anatomy exposes that both must be in).
+        let alice = vec![Value(65), Value(1), Value(25)];
+        assert_eq!(presence_probability_anatomized(&t, &alice, &voters), 1.0);
+        // Emily: no QIT row matches -> provably absent.
+        let emily = vec![Value(67), Value(1), Value(33)];
+        assert_eq!(presence_probability_anatomized(&t, &emily, &voters), 0.0);
+    }
+
+    #[test]
+    fn formula_3_stays_bounded_by_one_over_l() {
+        let (md, t) = paper_tables();
+        let voters: Vec<Vec<Value>> = (0..md.len())
+            .map(|r| {
+                vec![
+                    Value(t.qi_codes(0)[r]),
+                    Value(t.qi_codes(1)[r]),
+                    Value(t.qi_codes(2)[r]),
+                ]
+            })
+            .collect();
+        for r in 0..md.len() {
+            let qi = voters[r].clone();
+            let overall = overall_breach_probability(&t, &qi, md.sensitive_value(r), &voters);
+            assert!(overall <= 0.5 + 1e-12, "row {r}: {overall}");
+        }
+        // Absent target: zero overall breach.
+        let ghost = vec![Value(1), Value(0), Value(1)];
+        assert_eq!(
+            overall_breach_probability(&t, &ghost, Value(0), &voters),
+            0.0
+        );
+    }
+
+    #[test]
+    fn theorem_1_bound_on_random_data() {
+        // Anatomize random data and verify every individual's breach
+        // probability is bounded by 1/l.
+        let schema = Schema::new(vec![
+            Attribute::numerical("A", 10),
+            Attribute::categorical("S", 12),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..120u32 {
+            b.push_row(&[i % 10, (i * 7 + i / 13) % 12]).unwrap();
+        }
+        let md = Microdata::with_leading_qi(b.finish(), 1).unwrap();
+        let l = 4;
+        let p = anatomize(&md, &AnatomizeConfig::new(l)).unwrap();
+        let t = AnatomizedTables::publish(&md, &p, l).unwrap();
+        // Every (QI value, real value) pair that occurs in the data is a
+        // potential victim.
+        for r in 0..md.len() {
+            let qi = vec![md.qi_value(r, 0)];
+            let real = md.sensitive_value(r);
+            let breach = individual_breach_probability(&t, &qi, real).unwrap();
+            assert!(
+                breach <= 1.0 / l as f64 + 1e-9,
+                "individual breach {breach} exceeds 1/{l}"
+            );
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The `Anatomize` algorithm (Figure 3 of the paper), in-memory variant.
+//!
+//! `Anatomize` computes an l-diverse partition in two phases:
+//!
+//! 1. **Group creation** (Lines 3–8): hash tuples into buckets by sensitive
+//!    value; while at least `l` buckets are non-empty, draw one random
+//!    tuple from each of the `l` *currently largest* buckets to form a new
+//!    QI-group. Property 1: under the eligibility condition, every bucket
+//!    ends with at most one tuple.
+//! 2. **Residue assignment** (Lines 9–12): each of the ≤ l−1 leftover
+//!    tuples joins a random existing group that does not yet contain its
+//!    sensitive value. Property 2: such a group always exists.
+//!
+//! The result (Property 3) is a partition where every group has at least
+//! `l` tuples, *all with distinct sensitive values* — hence l-diverse — and
+//! by Theorem 4 its re-construction error is within a factor `1 + 1/n` of
+//! the lower bound of Theorem 2.
+//!
+//! This module is the fast in-memory implementation used by the accuracy
+//! experiments (Figures 4–7); [`crate::anatomize_io`] is the external,
+//! I/O-accounted variant matching Theorem 3's cost model.
+
+use crate::diversity::check_eligibility;
+use crate::error::CoreError;
+use crate::partition::Partition;
+use anatomy_tables::Microdata;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// How group creation picks its `l` buckets each iteration.
+///
+/// The paper's Line 5 takes the `l` **largest** buckets; that choice is
+/// what makes Property 1 (at most `l − 1` residue tuples) true. The
+/// round-robin alternative exists for the ablation in `repro strategy`:
+/// on skewed data it leaves a dominant bucket undrained and fails where
+/// `Anatomize` succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BucketStrategy {
+    /// The paper's rule: the `l` currently largest buckets.
+    #[default]
+    LargestFirst,
+    /// Ablation arm: the next `l` non-empty buckets in cyclic value order.
+    RoundRobin,
+}
+
+/// Configuration for [`anatomize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnatomizeConfig {
+    /// Diversity parameter `l >= 2`.
+    pub l: usize,
+    /// Seed for the random choices (which tuple leaves a bucket, which
+    /// group receives a residue). Fixing it makes runs reproducible.
+    pub seed: u64,
+    /// Bucket selection rule (see [`BucketStrategy`]).
+    pub strategy: BucketStrategy,
+}
+
+impl AnatomizeConfig {
+    /// Configuration with the given `l`, a fixed default seed, and the
+    /// paper's largest-first strategy.
+    pub fn new(l: usize) -> Self {
+        AnatomizeConfig {
+            l,
+            seed: 0xA7A7,
+            strategy: BucketStrategy::LargestFirst,
+        }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the bucket strategy (ablation only; the default reproduces
+    /// the paper).
+    pub fn with_strategy(mut self, strategy: BucketStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// Compute an l-diverse partition of `md` with the `Anatomize` algorithm.
+///
+/// Fails with [`CoreError::NotEligible`] when no l-diverse partition exists
+/// (some sensitive value occurs more than `n/l` times) and with
+/// [`CoreError::InvalidL`] for `l < 2`.
+///
+/// ```
+/// use anatomy_core::{anatomize, AnatomizeConfig};
+/// use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder};
+///
+/// let schema = Schema::new(vec![
+///     Attribute::numerical("Age", 100),
+///     Attribute::categorical("Disease", 4),
+/// ])?;
+/// let mut b = TableBuilder::new(schema);
+/// for i in 0..12u32 {
+///     b.push_row(&[20 + i, i % 4])?;
+/// }
+/// let md = Microdata::with_leading_qi(b.finish(), 1)?;
+///
+/// let partition = anatomize(&md, &AnatomizeConfig::new(3))?;
+/// assert_eq!(partition.group_count(), 4); // floor(n / l)
+/// assert!(partition.is_l_diverse(&md, 3));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn anatomize(md: &Microdata, config: &AnatomizeConfig) -> Result<Partition, CoreError> {
+    let l = config.l;
+    check_eligibility(md, l)?;
+    let n = md.len();
+    if n == 0 {
+        return Partition::new(vec![], 0);
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Line 2: hash by sensitive value, one bucket per value. Shuffling each
+    // bucket once up front makes `pop()` equivalent to "remove an arbitrary
+    // (random) tuple" (Line 7).
+    let domain = md.sensitive_domain_size() as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); domain];
+    for (r, &code) in md.sensitive_codes().iter().enumerate() {
+        buckets[code as usize].push(r as u32);
+    }
+    for b in &mut buckets {
+        b.shuffle(&mut rng);
+    }
+
+    // Lines 3-8: group creation.
+    let mut groups: Vec<Vec<u32>> = Vec::with_capacity(n / l);
+    // Sensitive values present in each group, kept sorted for binary
+    // search during residue assignment.
+    let mut group_values: Vec<Vec<u32>> = Vec::with_capacity(n / l);
+    let mut nonempty: Vec<u32> = (0..domain as u32)
+        .filter(|&v| !buckets[v as usize].is_empty())
+        .collect();
+
+    let mut cursor = 0usize; // round-robin position (ablation strategy)
+    while nonempty.len() >= l {
+        match config.strategy {
+            BucketStrategy::LargestFirst => {
+                // Line 5: S = the l largest buckets *currently*. Sorting the
+                // non-empty list by size (descending) each iteration is
+                // O(λ log λ) with λ <= |sensitive domain|, negligible next
+                // to the scan.
+                nonempty.sort_unstable_by(|&a, &b| {
+                    buckets[b as usize]
+                        .len()
+                        .cmp(&buckets[a as usize].len())
+                        .then(a.cmp(&b))
+                });
+            }
+            BucketStrategy::RoundRobin => {
+                // Rotate so each iteration starts after the previous one's
+                // first pick.
+                nonempty.sort_unstable();
+                cursor %= nonempty.len();
+                nonempty.rotate_left(cursor);
+                cursor += 1;
+            }
+        }
+        let mut group = Vec::with_capacity(l);
+        let mut values = Vec::with_capacity(l);
+        for &v in nonempty.iter().take(l) {
+            let tuple = buckets[v as usize].pop().expect("bucket in non-empty list");
+            group.push(tuple);
+            values.push(v);
+        }
+        values.sort_unstable();
+        groups.push(group);
+        group_values.push(values);
+        nonempty.retain(|&v| !buckets[v as usize].is_empty());
+    }
+
+    // Lines 9-12: residue assignment. At most l-1 tuples remain (Property
+    // 1 guarantees one per bucket under eligibility; the loop below does
+    // not rely on that and drains whatever is left).
+    for v in nonempty {
+        while let Some(tuple) = buckets[v as usize].pop() {
+            // S' = groups that do not contain sensitive value v.
+            let candidates: Vec<usize> = group_values
+                .iter()
+                .enumerate()
+                .filter(|(_, vals)| vals.binary_search(&v).is_err())
+                .map(|(j, _)| j)
+                .collect();
+            if candidates.is_empty() {
+                return Err(CoreError::ResidueUnassignable { sensitive_code: v });
+            }
+            let j = candidates[rng.random_range(0..candidates.len())];
+            groups[j].push(tuple);
+            let pos = group_values[j].binary_search(&v).unwrap_err();
+            group_values[j].insert(pos, v);
+        }
+    }
+
+    Partition::new(groups, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anatomy_tables::stats::Histogram;
+    use anatomy_tables::{Attribute, Schema, TableBuilder};
+
+    fn md_from_sensitive(codes: &[u32], domain: u32) -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 1000),
+            Attribute::categorical("S", domain),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for (i, &c) in codes.iter().enumerate() {
+            b.push_row(&[i as u32, c]).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 1).unwrap()
+    }
+
+    fn assert_anatomize_invariants(md: &Microdata, p: &Partition, l: usize) {
+        // Property 3: every group has >= l tuples, all with distinct
+        // sensitive values; group sizes never exceed 2l-1.
+        for j in 0..p.group_count() as u32 {
+            let rows = p.group(j);
+            assert!(rows.len() >= l, "group {j} has {} < l tuples", rows.len());
+            assert!(
+                rows.len() < 2 * l,
+                "group {j} has {} > 2l-1 tuples",
+                rows.len()
+            );
+            let mut values: Vec<u32> = rows
+                .iter()
+                .map(|&r| md.sensitive_value(r as usize).code())
+                .collect();
+            values.sort_unstable();
+            values.dedup();
+            assert_eq!(
+                values.len(),
+                rows.len(),
+                "group {j} has duplicate sensitive values"
+            );
+        }
+        assert!(p.is_l_diverse(md, l));
+        // Number of groups is floor(n/l) (proof of Property 1).
+        assert_eq!(p.group_count(), md.len() / l);
+    }
+
+    #[test]
+    fn paper_example_l2() {
+        // Table 1's diseases: pneu, dysp, dysp, pneu, flu, gast, flu, bron.
+        let md = md_from_sensitive(&[0, 1, 1, 0, 2, 3, 2, 4], 5);
+        let p = anatomize(&md, &AnatomizeConfig::new(2)).unwrap();
+        assert_anatomize_invariants(&md, &p, 2);
+    }
+
+    #[test]
+    fn multiple_of_l_gives_exact_groups() {
+        let codes: Vec<u32> = (0..60).map(|i| i % 6).collect();
+        let md = md_from_sensitive(&codes, 6);
+        let p = anatomize(&md, &AnatomizeConfig::new(3)).unwrap();
+        assert_anatomize_invariants(&md, &p, 3);
+        // n divisible by l: every group has exactly l tuples.
+        assert!(p.group_sizes().iter().all(|&s| s == 3));
+    }
+
+    #[test]
+    fn residues_are_absorbed() {
+        // n = 11, l = 3 -> 3 groups, 2 residues -> some group of size 4.
+        let codes = [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 4];
+        let md = md_from_sensitive(&codes, 6);
+        let p = anatomize(&md, &AnatomizeConfig::new(3)).unwrap();
+        assert_anatomize_invariants(&md, &p, 3);
+        let total: usize = p.group_sizes().iter().sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let codes: Vec<u32> = (0..100).map(|i| (i * 7) % 9).collect();
+        let md = md_from_sensitive(&codes, 9);
+        let a = anatomize(&md, &AnatomizeConfig::new(4).with_seed(1)).unwrap();
+        let b = anatomize(&md, &AnatomizeConfig::new(4).with_seed(1)).unwrap();
+        let c = anatomize(&md, &AnatomizeConfig::new(4).with_seed(2)).unwrap();
+        assert_eq!(a, b);
+        // With 100 tuples a different seed virtually surely differs.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ineligible_input_rejected() {
+        let md = md_from_sensitive(&[0, 0, 0, 1], 3);
+        assert!(matches!(
+            anatomize(&md, &AnatomizeConfig::new(2)),
+            Err(CoreError::NotEligible { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_microdata_gives_empty_partition() {
+        let md = md_from_sensitive(&[], 3);
+        let p = anatomize(&md, &AnatomizeConfig::new(2)).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn eligibility_boundary_succeeds() {
+        // max_count * l == n exactly.
+        let codes = [0, 0, 0, 1, 1, 2]; // max 3, n 6, l 2
+        let md = md_from_sensitive(&codes, 3);
+        let p = anatomize(&md, &AnatomizeConfig::new(2)).unwrap();
+        assert_anatomize_invariants(&md, &p, 2);
+    }
+
+    #[test]
+    fn heavy_skew_at_boundary() {
+        // One value holds exactly n/l tuples: the largest-bucket rule must
+        // drain it every iteration or the run would fail.
+        let mut codes = vec![0u32; 25];
+        codes.extend((0..75).map(|i| 1 + (i % 30)));
+        let md = md_from_sensitive(&codes, 31);
+        let p = anatomize(&md, &AnatomizeConfig::new(4)).unwrap();
+        assert_anatomize_invariants(&md, &p, 4);
+    }
+
+    #[test]
+    fn round_robin_fails_where_largest_first_succeeds() {
+        // One value holds exactly n/l tuples; the largest-first rule
+        // drains it every iteration (Property 1), while round-robin visits
+        // it only once per cycle and strands it.
+        let mut codes = vec![0u32; 30]; // n = 120, l = 4 -> 30 allowed
+        codes.extend((0..90).map(|i| 1 + (i % 29)));
+        let md = md_from_sensitive(&codes, 30);
+        let ok = anatomize(&md, &AnatomizeConfig::new(4)).unwrap();
+        assert_anatomize_invariants(&md, &ok, 4);
+
+        let rr = anatomize(
+            &md,
+            &AnatomizeConfig::new(4).with_strategy(BucketStrategy::RoundRobin),
+        );
+        assert!(
+            matches!(
+                rr,
+                Err(CoreError::ResidueUnassignable { sensitive_code: 0 })
+            ),
+            "round-robin should strand the dominant bucket, got {rr:?}"
+        );
+    }
+
+    #[test]
+    fn round_robin_matches_on_uniform_data() {
+        // Without skew both strategies produce valid partitions with the
+        // same RCE (all groups have l distinct singleton values).
+        let codes: Vec<u32> = (0..60).map(|i| i % 6).collect();
+        let md = md_from_sensitive(&codes, 6);
+        let p = anatomize(
+            &md,
+            &AnatomizeConfig::new(3).with_strategy(BucketStrategy::RoundRobin),
+        )
+        .unwrap();
+        assert_anatomize_invariants(&md, &p, 3);
+    }
+
+    #[test]
+    fn output_satisfies_all_diversity_instantiations() {
+        // Groups of l distinct singleton values satisfy not only
+        // Definition 2 but also the entropy and recursive instantiations
+        // of ref [10] (Section 3.1's "straightforward to extend").
+        use crate::diversity::DiversityCriterion;
+        let codes: Vec<u32> = (0..80).map(|i| (i * 3) % 8).collect();
+        let md = md_from_sensitive(&codes, 8);
+        let l = 4;
+        let p = anatomize(&md, &AnatomizeConfig::new(l)).unwrap();
+        for j in 0..p.group_count() as u32 {
+            let hist = p.sensitive_histogram(&md, j);
+            assert!(DiversityCriterion::Frequency { l }.check(&hist));
+            assert!(DiversityCriterion::Entropy { l }.check(&hist));
+            assert!(DiversityCriterion::Recursive { c: 1.5, l }.check(&hist));
+        }
+    }
+
+    #[test]
+    fn stress_many_seeds() {
+        for seed in 0..20 {
+            let codes: Vec<u32> = (0..97)
+                .map(|i| (i * 13 + seed as usize) as u32 % 10)
+                .collect();
+            let md = md_from_sensitive(&codes, 10);
+            let p = anatomize(&md, &AnatomizeConfig::new(5).with_seed(seed)).unwrap();
+            assert_anatomize_invariants(&md, &p, 5);
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// For any eligible input, Anatomize yields an l-diverse
+            /// partition satisfying Property 3.
+            #[test]
+            fn anatomize_always_l_diverse(
+                codes in proptest::collection::vec(0u32..8, 4..200),
+                l in 2usize..5,
+                seed in 0u64..1000,
+            ) {
+                let md = md_from_sensitive(&codes, 8);
+                let hist = Histogram::of_column(md.sensitive_codes(), 8);
+                let eligible = hist
+                    .max()
+                    .map(|(_, c)| c * l <= codes.len())
+                    .unwrap_or(true);
+                let result = anatomize(&md, &AnatomizeConfig::new(l).with_seed(seed));
+                if eligible {
+                    let p = result.unwrap();
+                    assert_anatomize_invariants(&md, &p, l);
+                } else {
+                    let rejected = matches!(result, Err(CoreError::NotEligible { .. }));
+                    prop_assert!(rejected);
+                }
+            }
+        }
+    }
+}

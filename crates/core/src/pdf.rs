@@ -1,0 +1,244 @@
+//! Reconstructed per-tuple pdfs and their L2 error (Section 4).
+//!
+//! Every tuple `t` is a point in the `(d+1)`-dimensional space `DS`; its
+//! true pdf `G_t` is a unit spike at `t` (Equation 9). A researcher
+//! reconstructs an approximation from the published tables:
+//!
+//! * from a **generalized** table, `G^gen_t` spreads the unit mass
+//!   uniformly over the `V = Π_i L(QI[i])` QI cells of the tuple's
+//!   rectangle, with the sensitive value exact (Equation 10);
+//! * from **anatomized** tables, `G^ana_t` concentrates the mass on `λ`
+//!   spikes — the tuple's exact QI point combined with each sensitive value
+//!   of its group, weighted `c(v_h)/|QI|` (Equation 11).
+//!
+//! The approximation error is the squared L2 distance `Err_t`
+//! (Equation 12). Both closed forms used throughout the paper's proofs are
+//! implemented here:
+//!
+//! * `Err^ana_t = (1 − c(v)/s)² + Σ_{h'≠h} c(v_{h'})²/s²` (proof of
+//!   Theorem 2), where `v` is `t`'s real value and `s = |QI|`;
+//! * `Err^gen_t = (1 − 1/V)² + (V−1)/V² = 1 − 1/V`.
+//!
+//! The worked example of Figure 2 (tuple 1 of Table 1 under the 2-diverse
+//! partition) gives `Err^ana = 0.5`, matching the paper's "distance of
+//! `G^ana_{t1}` is 0.5". (The paper quotes 22.5 for the generalized pdf of
+//! the same tuple; Equation 12 as printed yields `1 − 1/40 = 0.975` — the
+//! anatomy value and every downstream theorem are unaffected, and we follow
+//! Equation 12.)
+
+use anatomy_tables::stats::Histogram;
+use anatomy_tables::Value;
+
+/// A reconstructed pdf with finite support, for worked examples and plots:
+/// pairs of (sensitive value, probability) at the tuple's exact QI point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikePdf {
+    /// `(v_h, c(v_h)/|QI|)` pairs, in value order.
+    pub spikes: Vec<(Value, f64)>,
+}
+
+impl SpikePdf {
+    /// The anatomy reconstruction `G^ana_t` for a tuple in a group with
+    /// sensitive histogram `hist` (Equation 11).
+    pub fn from_group_histogram(hist: &Histogram) -> SpikePdf {
+        let s = hist.total() as f64;
+        SpikePdf {
+            spikes: hist.nonzero().map(|(v, c)| (v, c as f64 / s)).collect(),
+        }
+    }
+
+    /// Probability assigned to sensitive value `v`.
+    pub fn probability(&self, v: Value) -> f64 {
+        self.spikes
+            .iter()
+            .find(|(sv, _)| *sv == v)
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0)
+    }
+
+    /// Total mass (should be 1 for a well-formed pdf).
+    pub fn total_mass(&self) -> f64 {
+        self.spikes.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// Squared L2 distance from the true unit spike at sensitive value
+    /// `real` (Equation 12 restricted to the pdf's support, which is exact
+    /// because both pdfs vanish elsewhere).
+    pub fn l2_error(&self, real: Value) -> f64 {
+        let mut err = 0.0;
+        let mut saw_real = false;
+        for &(v, p) in &self.spikes {
+            if v == real {
+                err += (1.0 - p) * (1.0 - p);
+                saw_real = true;
+            } else {
+                err += p * p;
+            }
+        }
+        if !saw_real {
+            // The reconstruction misses the true point entirely.
+            err += 1.0;
+        }
+        err
+    }
+}
+
+/// The generalized reconstruction `G^gen_t` (Equation 10) with its support
+/// enumerated, for small volumes: the unit mass spread uniformly over the
+/// `volume` QI cells of the tuple's rectangle, sensitive value exact.
+///
+/// Exists to cross-validate the closed form `Err^gen = 1 − 1/V` by
+/// brute-force enumeration (Equation 12 summed cell by cell) — see the
+/// tests and EXPERIMENTS.md's note on the paper's Figure 2 numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnumeratedGenPdf {
+    /// Number of QI cells the rectangle covers.
+    pub volume: u64,
+}
+
+impl EnumeratedGenPdf {
+    /// The pdf value at every covered cell.
+    pub fn density(&self) -> f64 {
+        1.0 / self.volume as f64
+    }
+
+    /// Equation 12 by explicit summation over the support: one cell holds
+    /// the true point (error `(1 − 1/V)²`), the other `V − 1` cells carry
+    /// spurious mass `1/V` each.
+    pub fn l2_error_enumerated(&self) -> f64 {
+        let v = self.volume as f64;
+        let density = self.density();
+        let mut err = (1.0 - density) * (1.0 - density);
+        // Summing (1/V)^2 over V-1 cells, term by term, exactly as a naive
+        // evaluation of Equation 12 would.
+        let mut rest = 0.0;
+        for _ in 1..self.volume.min(1_000_000) {
+            rest += density * density;
+        }
+        if self.volume > 1_000_000 {
+            // Guard: closed-form the tail for absurd volumes.
+            rest = (v - 1.0) * density * density;
+        }
+        err += rest;
+        err
+    }
+}
+
+/// `Err^ana_t` for a tuple with real sensitive value `real` in a group with
+/// sensitive histogram `hist` (closed form from the proof of Theorem 2).
+pub fn err_anatomy_tuple(hist: &Histogram, real: Value) -> f64 {
+    let s = hist.total() as f64;
+    debug_assert!(s > 0.0, "tuple's group cannot be empty");
+    let c_real = hist.count(real) as f64;
+    let sum_sq: f64 = hist.nonzero().map(|(_, c)| (c * c) as f64).sum();
+    let other_sq = sum_sq - c_real * c_real;
+    let a = 1.0 - c_real / s;
+    a * a + other_sq / (s * s)
+}
+
+/// `Err^gen_t = 1 − 1/V` for a generalized cell covering `volume` discrete
+/// QI points (`V = Π_i L(QI[i])`, Section 4).
+pub fn err_generalization_tuple(volume: u64) -> f64 {
+    debug_assert!(volume >= 1);
+    1.0 - 1.0 / volume as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2's worked example: tuple 1 (age 23, pneumonia) in QI-group 1
+    /// of Table 3, which holds {dyspepsia: 2, pneumonia: 2}.
+    #[test]
+    fn figure_2_anatomy_error_is_half() {
+        let hist = Histogram::of_column(&[1, 1, 4, 4], 5);
+        let pdf = SpikePdf::from_group_histogram(&hist);
+        assert_eq!(pdf.spikes.len(), 2);
+        assert!((pdf.probability(Value(4)) - 0.5).abs() < 1e-12);
+        assert!((pdf.total_mass() - 1.0).abs() < 1e-12);
+        // (1 - 1/2)^2 + (1/2)^2 = 0.5
+        assert!((pdf.l2_error(Value(4)) - 0.5).abs() < 1e-12);
+        assert!((err_anatomy_tuple(&hist, Value(4)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalization_error_follows_closed_form() {
+        // Age interval [21, 60]: 40 values, sensitive exact.
+        assert!((err_generalization_tuple(40) - (1.0 - 1.0 / 40.0)).abs() < 1e-12);
+        // A point rectangle reconstructs exactly.
+        assert_eq!(err_generalization_tuple(1), 0.0);
+    }
+
+    #[test]
+    fn closed_form_matches_direct_l2() {
+        // Group histogram {a: 3, b: 2, c: 1}, size 6.
+        let hist = Histogram::of_column(&[0, 0, 0, 1, 1, 2], 4);
+        let pdf = SpikePdf::from_group_histogram(&hist);
+        for real in [Value(0), Value(1), Value(2)] {
+            let direct = pdf.l2_error(real);
+            let closed = err_anatomy_tuple(&hist, real);
+            assert!(
+                (direct - closed).abs() < 1e-12,
+                "mismatch for {real}: {direct} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_real_value_costs_full_unit() {
+        let hist = Histogram::of_column(&[0, 1], 4);
+        let pdf = SpikePdf::from_group_histogram(&hist);
+        // Real value 3 never occurs in the group: squared error =
+        // 1 (missed spike) + sum of squared spurious mass.
+        let err = pdf.l2_error(Value(3));
+        assert!((err - (1.0 + 0.25 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anatomy_beats_generalization_in_the_example() {
+        // The Section 4 "intuition": anatomy's 0.5 is far below
+        // generalization's 1 - 1/40.
+        let hist = Histogram::of_column(&[1, 1, 4, 4], 5);
+        assert!(err_anatomy_tuple(&hist, Value(4)) < err_generalization_tuple(40));
+    }
+
+    #[test]
+    fn single_value_group_has_zero_error() {
+        // If a group had one sensitive value (not l-diverse, but legal for
+        // the formula) the reconstruction is exact.
+        let hist = Histogram::of_column(&[2, 2, 2], 4);
+        assert!((err_anatomy_tuple(&hist, Value(2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumerated_generalized_pdf_matches_closed_form() {
+        // Brute-force Equation 12 equals 1 - 1/V for every volume — the
+        // basis of EXPERIMENTS.md's note on the paper's 22.5.
+        for volume in [1u64, 2, 5, 40, 1000, 2000] {
+            let pdf = EnumeratedGenPdf { volume };
+            let enumerated = pdf.l2_error_enumerated();
+            let closed = err_generalization_tuple(volume);
+            assert!(
+                (enumerated - closed).abs() < 1e-9,
+                "V = {volume}: {enumerated} vs {closed}"
+            );
+        }
+        // Figure 2's rectangle: 40 age values.
+        let fig2 = EnumeratedGenPdf { volume: 40 };
+        assert!((fig2.l2_error_enumerated() - 0.975).abs() < 1e-12);
+        assert!((fig2.density() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_group_error_is_one_minus_one_over_lambda() {
+        // λ distinct values with count 1 each: Err = 1 - 1/λ (Case 1 of
+        // Theorem 4's proof).
+        for lambda in 2..10u32 {
+            let codes: Vec<u32> = (0..lambda).collect();
+            let hist = Histogram::of_column(&codes, lambda);
+            let err = err_anatomy_tuple(&hist, Value(0));
+            let expected = 1.0 - 1.0 / lambda as f64;
+            assert!((err - expected).abs() < 1e-12);
+        }
+    }
+}

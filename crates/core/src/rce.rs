@@ -1,0 +1,195 @@
+//! Re-construction error (RCE) and its optimality guarantees.
+//!
+//! `RCE = Σ_{t ∈ T} Err_t` (Equation 13) measures how well the published
+//! tables let a researcher re-model the microdata. Theorem 2: any pair of
+//! anatomized tables has `RCE ≥ n(1 − 1/l)`. Theorem 4: `Anatomize` meets
+//! the bound exactly when `l | n`, and otherwise exceeds it by the factor
+//! `1 + r/(n(l−1)) ≤ 1 + 1/n` where `r = n mod l`.
+
+use crate::partition::Partition;
+use crate::pdf::err_anatomy_tuple;
+use crate::published::AnatomizedTables;
+use anatomy_tables::Microdata;
+
+/// Theorem 2's lower bound: `n (1 − 1/l)`.
+pub fn rce_lower_bound(n: usize, l: usize) -> f64 {
+    assert!(l >= 1);
+    n as f64 * (1.0 - 1.0 / l as f64)
+}
+
+/// Theorem 4's predicted RCE for the output of `Anatomize`:
+/// `(n − r)(1 − 1/l) + r` with `r = n mod l`.
+pub fn rce_predicted_anatomize(n: usize, l: usize) -> f64 {
+    assert!(l >= 1);
+    let r = n % l;
+    (n - r) as f64 * (1.0 - 1.0 / l as f64) + r as f64
+}
+
+/// Exact RCE of an arbitrary partition over `md` (Equations 12–13), summed
+/// group by group from each group's sensitive histogram.
+pub fn rce_of_partition(md: &Microdata, partition: &Partition) -> f64 {
+    let mut total = 0.0;
+    for j in 0..partition.group_count() as u32 {
+        let hist = partition.sensitive_histogram(md, j);
+        // Each of the c(v) tuples with value v contributes
+        // err_anatomy_tuple(hist, v).
+        for (v, c) in hist.nonzero() {
+            total += c as f64 * err_anatomy_tuple(&hist, v);
+        }
+    }
+    total
+}
+
+/// Exact RCE computed from a published QIT/ST pair alone (the ST determines
+/// every group's histogram, and each tuple's error depends only on its
+/// group's histogram and its own value — summing `c(v) · Err(v)` over ST
+/// records needs no microdata).
+pub fn rce_of_anatomized(tables: &AnatomizedTables) -> f64 {
+    let mut total = 0.0;
+    for j in 0..tables.group_count() as u32 {
+        let records = tables.st_of(j);
+        let s = tables.group_size(j) as f64;
+        let sum_sq: f64 = records
+            .iter()
+            .map(|r| (r.count as f64) * (r.count as f64))
+            .sum();
+        for r in records {
+            let c = r.count as f64;
+            let a = 1.0 - c / s;
+            let err = a * a + (sum_sq - c * c) / (s * s);
+            total += c * err;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anatomize::{anatomize, AnatomizeConfig};
+    use anatomy_tables::{Attribute, Schema, TableBuilder};
+
+    fn md_from_sensitive(codes: &[u32], domain: u32) -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("A", 10_000),
+            Attribute::categorical("S", domain),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for (i, &c) in codes.iter().enumerate() {
+            b.push_row(&[i as u32, c]).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 1).unwrap()
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        assert!((rce_lower_bound(100, 10) - 90.0).abs() < 1e-12);
+        assert!((rce_lower_bound(8, 2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_equals_bound_when_l_divides_n() {
+        assert_eq!(rce_predicted_anatomize(100, 10), rce_lower_bound(100, 10));
+        assert_eq!(rce_predicted_anatomize(99, 3), rce_lower_bound(99, 3));
+    }
+
+    #[test]
+    fn predicted_exceeds_bound_by_at_most_1_plus_1_over_n() {
+        for n in [10usize, 11, 57, 100, 101, 999] {
+            for l in [2usize, 3, 7, 10] {
+                let predicted = rce_predicted_anatomize(n, l);
+                let bound = rce_lower_bound(n, l);
+                assert!(predicted + 1e-9 >= bound);
+                assert!(
+                    predicted <= bound * (1.0 + 1.0 / n as f64) + 1e-9,
+                    "n={n} l={l}: predicted {predicted} vs bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anatomize_rce_matches_theorem_4_exactly() {
+        // n divisible by l.
+        let codes: Vec<u32> = (0..60).map(|i| i % 6).collect();
+        let md = md_from_sensitive(&codes, 6);
+        let p = anatomize(&md, &AnatomizeConfig::new(3)).unwrap();
+        let rce = rce_of_partition(&md, &p);
+        assert!((rce - rce_lower_bound(60, 3)).abs() < 1e-9, "rce = {rce}");
+
+        // n not divisible by l: RCE equals the Theorem 4 closed form.
+        let codes: Vec<u32> = (0..61).map(|i| i % 7).collect();
+        let md = md_from_sensitive(&codes, 7);
+        let p = anatomize(&md, &AnatomizeConfig::new(3)).unwrap();
+        let rce = rce_of_partition(&md, &p);
+        assert!(
+            (rce - rce_predicted_anatomize(61, 3)).abs() < 1e-9,
+            "rce = {rce}, predicted = {}",
+            rce_predicted_anatomize(61, 3)
+        );
+    }
+
+    #[test]
+    fn rce_from_tables_matches_rce_from_partition() {
+        let codes: Vec<u32> = (0..97).map(|i| (i * 11) % 8).collect();
+        let md = md_from_sensitive(&codes, 8);
+        let p = anatomize(&md, &AnatomizeConfig::new(4)).unwrap();
+        let t = crate::published::AnatomizedTables::publish(&md, &p, 4).unwrap();
+        let a = rce_of_partition(&md, &p);
+        let b = rce_of_anatomized(&t);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suboptimal_partition_has_higher_rce() {
+        // With l = 2, groups holding λ = 4 distinct values have per-tuple
+        // error 1 - 1/4 = 0.75 instead of the optimal 1 - 1/2 = 0.5
+        // (Theorem 2's proof: the minimum needs λ = l).
+        let codes = [0u32, 1, 2, 3, 0, 1, 2, 3];
+        let md = md_from_sensitive(&codes, 4);
+        let p = anatomize(&md, &AnatomizeConfig::new(2)).unwrap();
+        let optimal = rce_of_partition(&md, &p);
+        assert!((optimal - 4.0).abs() < 1e-9); // 8 * 0.5
+
+        let coarse = Partition::new(vec![(0..8).collect()], 8).unwrap();
+        let coarse_rce = rce_of_partition(&md, &coarse);
+        assert!((coarse_rce - 6.0).abs() < 1e-9); // 8 * 0.75
+        assert!(coarse_rce > optimal);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            /// Theorem 2 + Theorem 4: for every eligible input, Anatomize's
+            /// RCE lies in [bound, bound * (1 + 1/n)].
+            #[test]
+            fn theorem_2_and_4_hold(
+                codes in proptest::collection::vec(0u32..10, 6..150),
+                l in 2usize..5,
+                seed in 0u64..100,
+            ) {
+                let md = md_from_sensitive(&codes, 10);
+                let config = AnatomizeConfig::new(l).with_seed(seed);
+                if let Ok(p) = anatomize(&md, &config) {
+                    let n = codes.len();
+                    let rce = rce_of_partition(&md, &p);
+                    let bound = rce_lower_bound(n, l);
+                    prop_assert!(rce + 1e-9 >= bound, "rce {} below bound {}", rce, bound);
+                    prop_assert!(
+                        rce <= bound * (1.0 + 1.0 / n as f64) + 1e-9,
+                        "rce {} above (1+1/n) * bound {}",
+                        rce,
+                        bound
+                    );
+                    // And the exact closed form of Theorem 4.
+                    let predicted = rce_predicted_anatomize(n, l);
+                    prop_assert!((rce - predicted).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

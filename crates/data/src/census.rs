@@ -1,0 +1,388 @@
+//! Synthetic CENSUS generator.
+//!
+//! The paper evaluates on "a real dataset CENSUS containing personal
+//! information of 500k American adults" (Section 6) with the nine discrete
+//! attributes of Table 6. The IPUMS extract is not redistributable, so this
+//! module synthesizes a stand-in with
+//!
+//! * the **same attributes and domain cardinalities** (Age 78, Gender 2,
+//!   Education 17, Marital 6, Race 9, Work-class 10, Country 83,
+//!   Occupation 50, Salary-class 50), and
+//! * **strong, realistic correlation**, produced by a latent-profile
+//!   mixture: each tuple draws a hidden profile (a socioeconomic cluster),
+//!   and every attribute is sampled conditionally on the profile and on
+//!   previously drawn attributes (education depends on age and profile,
+//!   occupation on education, salary on occupation and age, ...).
+//!
+//! Correlation is the property the paper's comparison exercises: the
+//! generalization estimator assumes uniformity inside each QI rectangle,
+//! and clustered data breaks that assumption while anatomy's exact
+//! QI release is unaffected. See DESIGN.md's substitution notes.
+
+use anatomy_tables::{Attribute, AttributeKind, Schema, Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Domain cardinalities of Table 6, in attribute order.
+pub const DOMAIN_SIZES: [u32; 9] = [78, 2, 17, 6, 9, 10, 83, 50, 50];
+
+/// Attribute names, in Table 6 order.
+pub const ATTRIBUTE_NAMES: [&str; 9] = [
+    "Age",
+    "Gender",
+    "Education",
+    "Marital",
+    "Race",
+    "Work-class",
+    "Country",
+    "Occupation",
+    "Salary-class",
+];
+
+/// Column index of `Occupation` (the OCC-d sensitive attribute).
+pub const OCCUPATION: usize = 7;
+/// Column index of `Salary-class` (the SAL-d sensitive attribute).
+pub const SALARY: usize = 8;
+
+/// Configuration for [`generate_census`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CensusConfig {
+    /// Number of tuples (the paper's full extract has 500 000).
+    pub n: usize,
+    /// RNG seed; the output is a pure function of the config.
+    pub seed: u64,
+    /// Number of latent profiles (clusters). More profiles → more, smaller
+    /// clusters. The default 24 gives pronounced multi-modal structure.
+    pub profiles: u32,
+}
+
+impl CensusConfig {
+    /// `n` tuples with default seed and profile count.
+    pub fn new(n: usize) -> Self {
+        CensusConfig {
+            n,
+            seed: 0xCE5005,
+            profiles: 24,
+        }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generate an **uncorrelated** census: every attribute independently
+/// uniform over its Table 6 domain. The negative control for the paper's
+/// comparison — on this data the generalization estimator's uniformity
+/// assumption is *correct*, so its error collapses and the anatomy
+/// advantage shrinks to the within-group mixing term (see
+/// `repro uniform`).
+pub fn generate_uniform_census(cfg: &CensusConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0111_F012_u64);
+    let mut b = TableBuilder::with_capacity(census_schema(), cfg.n);
+    let mut row = [0u32; 9];
+    for _ in 0..cfg.n {
+        for (slot, &dom) in row.iter_mut().zip(&DOMAIN_SIZES) {
+            *slot = rng.random_range(0..dom);
+        }
+        b.push_row(&row).expect("uniform codes are in domain");
+    }
+    b.finish()
+}
+
+/// The CENSUS schema (Table 6): numerical Age and Education, categorical
+/// everything else.
+pub fn census_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new(
+            ATTRIBUTE_NAMES[0],
+            AttributeKind::Numerical,
+            DOMAIN_SIZES[0],
+        ),
+        Attribute::new(
+            ATTRIBUTE_NAMES[1],
+            AttributeKind::Categorical,
+            DOMAIN_SIZES[1],
+        ),
+        Attribute::new(
+            ATTRIBUTE_NAMES[2],
+            AttributeKind::Numerical,
+            DOMAIN_SIZES[2],
+        ),
+        Attribute::new(
+            ATTRIBUTE_NAMES[3],
+            AttributeKind::Categorical,
+            DOMAIN_SIZES[3],
+        ),
+        Attribute::new(
+            ATTRIBUTE_NAMES[4],
+            AttributeKind::Categorical,
+            DOMAIN_SIZES[4],
+        ),
+        Attribute::new(
+            ATTRIBUTE_NAMES[5],
+            AttributeKind::Categorical,
+            DOMAIN_SIZES[5],
+        ),
+        Attribute::new(
+            ATTRIBUTE_NAMES[6],
+            AttributeKind::Categorical,
+            DOMAIN_SIZES[6],
+        ),
+        Attribute::new(
+            ATTRIBUTE_NAMES[7],
+            AttributeKind::Categorical,
+            DOMAIN_SIZES[7],
+        ),
+        Attribute::new(
+            ATTRIBUTE_NAMES[8],
+            AttributeKind::Categorical,
+            DOMAIN_SIZES[8],
+        ),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Deterministic per-profile parameter derivation (splitmix64 of the
+/// profile id and a salt).
+fn mix(profile: u32, salt: u64) -> u64 {
+    let mut z = (profile as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A rough standard normal via the sum of four uniforms (Irwin–Hall,
+/// variance 1/3 each → scale to unit variance). Accurate enough for data
+/// synthesis and much cheaper than Box–Muller.
+fn gauss(rng: &mut StdRng) -> f64 {
+    let s: f64 = (0..4).map(|_| rng.random::<f64>()).sum::<f64>() - 2.0;
+    // The centered sum of 4 uniforms has variance 4/12 = 1/3; scale by √3
+    // to reach unit variance.
+    s * 3.0f64.sqrt()
+}
+
+fn clamp_code(x: f64, domain: u32) -> u32 {
+    let v = x.round();
+    if v < 0.0 {
+        0
+    } else if v >= domain as f64 {
+        domain - 1
+    } else {
+        v as u32
+    }
+}
+
+/// Generate a synthetic CENSUS table.
+pub fn generate_census(cfg: &CensusConfig) -> Table {
+    assert!(cfg.profiles >= 1, "need at least one profile");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = TableBuilder::with_capacity(census_schema(), cfg.n);
+    let k = cfg.profiles;
+
+    // Zipf-ish profile weights: profile z has weight 1/(z+1)^0.7.
+    let weights: Vec<f64> = (0..k).map(|z| 1.0 / ((z + 1) as f64).powf(0.7)).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    let mut row = [0u32; 9];
+    for _ in 0..cfg.n {
+        // Draw a latent profile.
+        let mut pick = rng.random::<f64>() * total_w;
+        let mut z = 0u32;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                z = i as u32;
+                break;
+            }
+            pick -= w;
+        }
+
+        // Age: profile-centered Gaussian.
+        let age_center = 8.0 + (mix(z, 1) % 62) as f64;
+        let age = clamp_code(age_center + 4.5 * gauss(&mut rng), DOMAIN_SIZES[0]);
+
+        // Gender: profile-skewed Bernoulli.
+        let p_female = 0.30 + (mix(z, 2) % 40) as f64 / 100.0;
+        let gender = u32::from(rng.random::<f64>() < p_female);
+
+        // Education: profile center nudged by age (older → slightly more
+        // schooling in this synthetic world).
+        let edu_center = (mix(z, 3) % 13) as f64 + age as f64 / 26.0;
+        let edu = clamp_code(edu_center + 1.0 * gauss(&mut rng), DOMAIN_SIZES[2]);
+
+        // Marital status: a coarse function of age with noise.
+        let marital_center = (age as f64 / 16.0).min(4.0) + (mix(z, 4) % 2) as f64;
+        let marital = clamp_code(marital_center + 0.5 * gauss(&mut rng), DOMAIN_SIZES[3]);
+
+        // Race: one globally dominant value (as in the real CENSUS) plus a
+        // profile-specific secondary value and a uniform tail.
+        let race_main = (mix(z, 5) % DOMAIN_SIZES[4] as u64) as u32;
+        let race_draw = rng.random::<f64>();
+        let race = if race_draw < 0.70 {
+            0
+        } else if race_draw < 0.90 {
+            race_main
+        } else {
+            rng.random_range(0..DOMAIN_SIZES[4])
+        };
+
+        // Work-class: education-driven.
+        let wc_center = edu as f64 * 9.0 / 16.0;
+        let workclass = clamp_code(wc_center + 0.7 * gauss(&mut rng), DOMAIN_SIZES[5]);
+
+        // Country: one globally dominant value (the real CENSUS is mostly
+        // one country), a profile-specific origin, and a Zipf background.
+        let country_main = (mix(z, 6) % DOMAIN_SIZES[6] as u64) as u32;
+        let country_draw = rng.random::<f64>();
+        let country = if country_draw < 0.62 {
+            0
+        } else if country_draw < 0.88 {
+            country_main
+        } else {
+            // Zipf-ish background: squash a uniform.
+            let u = rng.random::<f64>();
+            clamp_code(u * u * DOMAIN_SIZES[6] as f64, DOMAIN_SIZES[6])
+        };
+
+        // Occupation: strongly tied to education and profile.
+        let occ_center = (edu as f64 * 2.9 + (mix(z, 7) % 8) as f64) % DOMAIN_SIZES[7] as f64;
+        let occupation = clamp_code(occ_center + 1.1 * gauss(&mut rng), DOMAIN_SIZES[7]);
+
+        // Salary class: driven by occupation and age.
+        let sal_center = occupation as f64 * 0.55 + age as f64 * 0.28;
+        let salary = clamp_code(sal_center + 1.3 * gauss(&mut rng), DOMAIN_SIZES[8]);
+
+        row = [
+            age, gender, edu, marital, race, workclass, country, occupation, salary,
+        ];
+        b.push_row(&row).expect("generated codes are in domain");
+    }
+    let _ = row;
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anatomy_tables::stats::Histogram;
+
+    #[test]
+    fn schema_matches_table_6() {
+        let s = census_schema();
+        assert_eq!(s.width(), 9);
+        for (i, (&name, &dom)) in ATTRIBUTE_NAMES.iter().zip(&DOMAIN_SIZES).enumerate() {
+            let a = s.attribute(i).unwrap();
+            assert_eq!(a.name(), name);
+            assert_eq!(a.domain_size(), dom);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_census(&CensusConfig::new(500));
+        let b = generate_census(&CensusConfig::new(500));
+        assert_eq!(a, b);
+        let c = generate_census(&CensusConfig::new(500).with_seed(9));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_codes_in_domain_and_domains_used() {
+        let t = generate_census(&CensusConfig::new(20_000));
+        assert_eq!(t.len(), 20_000);
+        for (col, &dom) in DOMAIN_SIZES.iter().enumerate() {
+            let hist = Histogram::of_column(t.column(col), dom);
+            assert_eq!(hist.total(), 20_000);
+            // A healthy synthetic dataset uses a decent share of each
+            // domain.
+            assert!(
+                hist.distinct() as u32 >= dom.min(10) * 7 / 10,
+                "column {col} uses only {} of {dom} values",
+                hist.distinct()
+            );
+        }
+    }
+
+    #[test]
+    fn occupation_and_salary_are_eligible_for_l10() {
+        // The paper's default l = 10 requires every sensitive value to
+        // cover at most 10% of the data.
+        let t = generate_census(&CensusConfig::new(50_000));
+        for col in [OCCUPATION, SALARY] {
+            let hist = Histogram::of_column(t.column(col), DOMAIN_SIZES[col]);
+            let (_, max) = hist.max().unwrap();
+            assert!(
+                max * 10 <= t.len(),
+                "column {col}: most frequent value covers {max} of {} tuples",
+                t.len()
+            );
+        }
+    }
+
+    #[test]
+    fn attributes_are_correlated() {
+        // Education and occupation must correlate strongly — the paper's
+        // utility comparison is meaningless on independent attributes.
+        let t = generate_census(&CensusConfig::new(30_000));
+        let edu = t.column(2);
+        let occ = t.column(OCCUPATION);
+        let corr = pearson(edu, occ);
+        assert!(
+            corr.abs() > 0.25,
+            "edu-occupation correlation too weak: {corr}"
+        );
+        let age = t.column(0);
+        let sal = t.column(SALARY);
+        let corr = pearson(age, sal);
+        assert!(corr.abs() > 0.25, "age-salary correlation too weak: {corr}");
+    }
+
+    #[test]
+    fn ages_are_not_uniform() {
+        // The latent-profile mixture should produce a clearly non-uniform
+        // age marginal (clustering is what defeats the uniformity
+        // assumption).
+        let t = generate_census(&CensusConfig::new(30_000));
+        let hist = Histogram::of_column(t.column(0), DOMAIN_SIZES[0]);
+        let uniform_entropy = (DOMAIN_SIZES[0] as f64).ln();
+        assert!(hist.entropy() < uniform_entropy - 0.05);
+    }
+
+    #[test]
+    fn uniform_census_is_uncorrelated_and_flat() {
+        let t = generate_uniform_census(&CensusConfig::new(20_000));
+        assert_eq!(t.len(), 20_000);
+        let corr = pearson(t.column(2), t.column(OCCUPATION));
+        assert!(
+            corr.abs() < 0.05,
+            "uniform census should be uncorrelated: {corr}"
+        );
+        let hist = Histogram::of_column(t.column(0), DOMAIN_SIZES[0]);
+        let uniform_entropy = (DOMAIN_SIZES[0] as f64).ln();
+        assert!(hist.entropy() > uniform_entropy - 0.02);
+        // Still eligible for l = 10.
+        let occ = Histogram::of_column(t.column(OCCUPATION), DOMAIN_SIZES[OCCUPATION]);
+        assert!(occ.max().unwrap().1 * 10 <= t.len());
+    }
+
+    fn pearson(x: &[u32], y: &[u32]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let my = y.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vx = 0.0;
+        let mut vy = 0.0;
+        for (&a, &b) in x.iter().zip(y) {
+            let da = a as f64 - mx;
+            let db = b as f64 - my;
+            cov += da * db;
+            vx += da * da;
+            vy += db * db;
+        }
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}

@@ -1,0 +1,92 @@
+//! OCC-d and SAL-d microdata designations (Section 6).
+//!
+//! "OCC-d (3 ≤ d ≤ 7) treats the first d attributes in Table 6 as the
+//! QI-attributes, and Occupation as the sensitive attribute. ... SAL-d has
+//! the same QI-attributes as OCC-d, but includes Salary-class as the As."
+
+use crate::census::{OCCUPATION, SALARY};
+use anatomy_tables::{Microdata, Table, TablesError};
+
+/// Which sensitive attribute a dataset family uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensitiveChoice {
+    /// OCC-d: `Occupation` is sensitive.
+    Occupation,
+    /// SAL-d: `Salary-class` is sensitive.
+    Salary,
+}
+
+impl SensitiveChoice {
+    /// CENSUS column index of the sensitive attribute.
+    pub fn column(self) -> usize {
+        match self {
+            SensitiveChoice::Occupation => OCCUPATION,
+            SensitiveChoice::Salary => SALARY,
+        }
+    }
+
+    /// Family name prefix used in the paper's figures.
+    pub fn family(self) -> &'static str {
+        match self {
+            SensitiveChoice::Occupation => "OCC",
+            SensitiveChoice::Salary => "SAL",
+        }
+    }
+}
+
+/// Designate a CENSUS table as OCC-d or SAL-d microdata (first `d` columns
+/// QI, chosen column sensitive). Requires `3 <= d <= 7` as in the paper.
+pub fn census_microdata(
+    census: Table,
+    d: usize,
+    sensitive: SensitiveChoice,
+) -> Result<Microdata, TablesError> {
+    if !(3..=7).contains(&d) {
+        return Err(TablesError::InvalidMicrodata(format!(
+            "the paper's datasets use 3 <= d <= 7, got {d}"
+        )));
+    }
+    Microdata::new(census, (0..d).collect(), sensitive.column())
+}
+
+/// OCC-d: first `d` attributes QI, Occupation sensitive.
+pub fn occ_microdata(census: Table, d: usize) -> Result<Microdata, TablesError> {
+    census_microdata(census, d, SensitiveChoice::Occupation)
+}
+
+/// SAL-d: first `d` attributes QI, Salary-class sensitive.
+pub fn sal_microdata(census: Table, d: usize) -> Result<Microdata, TablesError> {
+    census_microdata(census, d, SensitiveChoice::Salary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::{generate_census, CensusConfig};
+
+    #[test]
+    fn occ_and_sal_designations() {
+        let census = generate_census(&CensusConfig::new(100));
+        let occ = occ_microdata(census.clone(), 3).unwrap();
+        assert_eq!(occ.qi_count(), 3);
+        assert_eq!(occ.sensitive_column(), OCCUPATION);
+        assert_eq!(occ.sensitive_domain_size(), 50);
+
+        let sal = sal_microdata(census, 7).unwrap();
+        assert_eq!(sal.qi_count(), 7);
+        assert_eq!(sal.sensitive_column(), SALARY);
+    }
+
+    #[test]
+    fn d_out_of_paper_range_rejected() {
+        let census = generate_census(&CensusConfig::new(10));
+        assert!(occ_microdata(census.clone(), 2).is_err());
+        assert!(occ_microdata(census, 8).is_err());
+    }
+
+    #[test]
+    fn family_names() {
+        assert_eq!(SensitiveChoice::Occupation.family(), "OCC");
+        assert_eq!(SensitiveChoice::Salary.family(), "SAL");
+    }
+}

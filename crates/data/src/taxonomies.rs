@@ -1,0 +1,73 @@
+//! The generalization configuration of Table 6.
+//!
+//! | Attribute   | Method            |
+//! |-------------|-------------------|
+//! | Age         | free interval     |
+//! | Gender      | taxonomy tree (2) |
+//! | Education   | free interval     |
+//! | Marital     | taxonomy tree (3) |
+//! | Race        | taxonomy tree (2) |
+//! | Work-class  | taxonomy tree (4) |
+//! | Country     | taxonomy tree (3) |
+//!
+//! (Occupation and Salary-class are sensitive and never generalized.)
+
+use crate::census::DOMAIN_SIZES;
+use anatomy_generalization::{GenMethod, Taxonomy};
+
+/// Taxonomy heights of Table 6, indexed by CENSUS column; `None` means a
+/// free interval.
+pub const TAXONOMY_HEIGHTS: [Option<u32>; 7] =
+    [None, Some(2), None, Some(3), Some(2), Some(4), Some(3)];
+
+/// The per-attribute generalization methods for the first `d` CENSUS
+/// attributes (the QI set of OCC-d / SAL-d). Panics if `d > 7`: the last
+/// two attributes are sensitive.
+pub fn census_methods(d: usize) -> Vec<GenMethod> {
+    assert!(
+        d <= 7,
+        "only the first 7 CENSUS attributes are quasi-identifiers"
+    );
+    (0..d)
+        .map(|i| match TAXONOMY_HEIGHTS[i] {
+            None => GenMethod::FreeInterval,
+            Some(h) => GenMethod::Taxonomy(
+                Taxonomy::new(DOMAIN_SIZES[i], h).expect("static taxonomy config is valid"),
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn methods_match_table_6() {
+        let m = census_methods(7);
+        assert_eq!(m.len(), 7);
+        assert_eq!(m[0], GenMethod::FreeInterval); // Age
+        assert_eq!(m[2], GenMethod::FreeInterval); // Education
+        for (i, expected_height) in [(1usize, 2u32), (3, 3), (4, 2), (5, 4), (6, 3)] {
+            match m[i] {
+                GenMethod::Taxonomy(t) => {
+                    assert_eq!(t.height(), expected_height, "attribute {i}");
+                    assert_eq!(t.domain_size(), DOMAIN_SIZES[i]);
+                }
+                GenMethod::FreeInterval => panic!("attribute {i} should use a taxonomy"),
+            }
+        }
+    }
+
+    #[test]
+    fn prefixes_work() {
+        assert_eq!(census_methods(3).len(), 3);
+        assert!(census_methods(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quasi-identifiers")]
+    fn sensitive_attributes_cannot_be_generalized() {
+        let _ = census_methods(8);
+    }
+}

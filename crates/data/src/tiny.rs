@@ -1,0 +1,141 @@
+//! The paper's running example (Tables 1, 2, 3 and 5).
+//!
+//! Ages are stored as their own codes; zip codes are stored in thousands
+//! (11000 → code 11) with labels restoring the full number; diseases are
+//! coded alphabetically: bronchitis 0, dyspepsia 1, flu 2, gastritis 3,
+//! pneumonia 4.
+
+use anatomy_core::Partition;
+use anatomy_tables::{Attribute, AttributeKind, Microdata, Schema, TableBuilder, Value};
+
+/// Disease codes of the example, in label order.
+pub const DISEASES: [&str; 5] = ["bronchitis", "dyspepsia", "flu", "gastritis", "pneumonia"];
+
+/// The example's schema: `(Age, Sex, Zipcode, Disease)`.
+pub fn paper_schema() -> Schema {
+    let zip_labels: Vec<String> = (0..61).map(|k| format!("{k}000")).collect();
+    Schema::new(vec![
+        Attribute::numerical("Age", 100),
+        Attribute::with_labels(
+            "Sex",
+            AttributeKind::Categorical,
+            vec!["M".into(), "F".into()],
+        ),
+        Attribute::with_labels("Zipcode", AttributeKind::Numerical, zip_labels),
+        Attribute::with_labels(
+            "Disease",
+            AttributeKind::Categorical,
+            DISEASES.iter().map(|s| s.to_string()).collect(),
+        ),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Table 1: the 8-patient microdata. Tuple 1 is Bob, tuple 7 is Alice
+/// (0-based rows 0 and 6).
+pub fn paper_microdata() -> Microdata {
+    let mut b = TableBuilder::new(paper_schema());
+    for row in [
+        [23, 0, 11, 4], // 1 (Bob)      pneumonia
+        [27, 0, 13, 1], // 2            dyspepsia
+        [35, 0, 59, 1], // 3            dyspepsia
+        [59, 0, 12, 4], // 4            pneumonia
+        [61, 1, 54, 2], // 5            flu
+        [65, 1, 25, 3], // 6            gastritis
+        [65, 1, 25, 2], // 7 (Alice)    flu
+        [70, 1, 30, 0], // 8            bronchitis
+    ] {
+        b.push_row(&row).expect("static rows are valid");
+    }
+    Microdata::with_leading_qi(b.finish(), 3).expect("leading QI layout")
+}
+
+/// The 2-diverse partition behind Tables 2 and 3: tuples 1–4 and 5–8.
+pub fn paper_partition() -> Partition {
+    Partition::new(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]], 8).expect("static partition is valid")
+}
+
+/// Bob's QI values (age 23, male, zip 11000) as codes.
+pub fn bob_qi() -> Vec<Value> {
+    vec![Value(23), Value(0), Value(11)]
+}
+
+/// Alice's QI values (age 65, female, zip 25000) as codes.
+pub fn alice_qi() -> Vec<Value> {
+    vec![Value(65), Value(1), Value(25)]
+}
+
+/// Table 5: the (public) voter registration list —
+/// `(name, age, sex code, zip code in thousands)`. Emily is not in the
+/// microdata.
+pub fn voter_list() -> Vec<(&'static str, u32, u32, u32)> {
+    vec![
+        ("Ada", 61, 1, 54),
+        ("Alice", 65, 1, 25),
+        ("Bella", 65, 1, 25),
+        ("Emily", 67, 1, 33),
+        ("Stephanie", 70, 1, 30),
+    ]
+}
+
+/// Look up a disease code by label.
+pub fn disease_code(label: &str) -> Option<Value> {
+    DISEASES
+        .iter()
+        .position(|&d| d == label)
+        .map(|i| Value(i as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microdata_matches_table_1() {
+        let md = paper_microdata();
+        assert_eq!(md.len(), 8);
+        assert_eq!(md.qi_count(), 3);
+        // Bob.
+        assert_eq!(md.qi_value(0, 0), Value(23));
+        assert_eq!(md.sensitive_value(0), disease_code("pneumonia").unwrap());
+        // Alice.
+        assert_eq!(md.qi_value(6, 0), Value(65));
+        assert_eq!(md.sensitive_value(6), disease_code("flu").unwrap());
+    }
+
+    #[test]
+    fn partition_is_2_diverse() {
+        let md = paper_microdata();
+        let p = paper_partition();
+        assert!(p.is_l_diverse(&md, 2));
+        assert!(!p.is_l_diverse(&md, 3));
+    }
+
+    #[test]
+    fn labels_render_like_the_paper() {
+        let md = paper_microdata();
+        let t = md.table().tuple(0);
+        assert_eq!(t.labeled(), vec!["23", "M", "11000", "pneumonia"]);
+    }
+
+    #[test]
+    fn voter_list_contains_emily_but_microdata_does_not() {
+        let voters = voter_list();
+        assert_eq!(voters.len(), 5);
+        let md = paper_microdata();
+        let emily = voters.iter().find(|v| v.0 == "Emily").unwrap();
+        let in_microdata = (0..md.len()).any(|r| {
+            md.qi_value(r, 0).code() == emily.1
+                && md.qi_value(r, 1).code() == emily.2
+                && md.qi_value(r, 2).code() == emily.3
+        });
+        assert!(!in_microdata);
+    }
+
+    #[test]
+    fn disease_codes_are_alphabetical() {
+        assert_eq!(disease_code("bronchitis"), Some(Value(0)));
+        assert_eq!(disease_code("pneumonia"), Some(Value(4)));
+        assert_eq!(disease_code("cancer"), None);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the generalization baseline.
+
+use std::fmt;
+
+/// Errors produced by the generalization baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// A taxonomy was configured inconsistently (e.g. height too small for
+    /// the domain).
+    InvalidTaxonomy(String),
+    /// The per-attribute method list does not match the microdata's QI
+    /// attributes.
+    MethodMismatch {
+        /// Methods supplied.
+        got: usize,
+        /// QI attributes in the microdata.
+        expected: usize,
+    },
+    /// An error from the anatomy core (eligibility, invalid `l`, ...).
+    Core(anatomy_core::CoreError),
+    /// An error from the tables substrate.
+    Tables(anatomy_tables::TablesError),
+    /// An error from the storage substrate.
+    Storage(anatomy_storage::StorageError),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::InvalidTaxonomy(msg) => write!(f, "invalid taxonomy: {msg}"),
+            GenError::MethodMismatch { got, expected } => write!(
+                f,
+                "got {got} generalization methods for {expected} QI attributes"
+            ),
+            GenError::Core(e) => write!(f, "{e}"),
+            GenError::Tables(e) => write!(f, "{e}"),
+            GenError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenError::Core(e) => Some(e),
+            GenError::Tables(e) => Some(e),
+            GenError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<anatomy_core::CoreError> for GenError {
+    fn from(e: anatomy_core::CoreError) -> Self {
+        GenError::Core(e)
+    }
+}
+
+impl From<anatomy_tables::TablesError> for GenError {
+    fn from(e: anatomy_tables::TablesError) -> Self {
+        GenError::Tables(e)
+    }
+}
+
+impl From<anatomy_storage::StorageError> for GenError {
+    fn from(e: anatomy_storage::StorageError) -> Self {
+        GenError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = GenError::MethodMismatch {
+            got: 2,
+            expected: 5,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+        assert!(e.source().is_none());
+        let e = GenError::Core(anatomy_core::CoreError::InvalidL(1));
+        assert!(e.source().is_some());
+    }
+}

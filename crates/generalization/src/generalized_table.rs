@@ -1,0 +1,233 @@
+//! The published generalized table (Definition 4).
+//!
+//! Definition 4 publishes, for every tuple `t` in QI-group `QI_j`, the row
+//! `(QI_j[1], …, QI_j[d], t[d+1])`: group-wide QI intervals plus the exact
+//! sensitive value. All rows of one group share the same intervals, so the
+//! table is stored group-compressed: per group, the interval vector, the
+//! group size, and the group's sensitive histogram. [`GeneralizedTable::rows`]
+//! re-expands to the per-tuple form for display (the paper's Table 2).
+
+use anatomy_tables::stats::Histogram;
+use anatomy_tables::value::CodeRange;
+use anatomy_tables::{Microdata, Value};
+use std::fmt::Write as _;
+
+/// One QI-group of a generalized table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenGroup {
+    /// Generalized interval per QI attribute, in microdata QI order.
+    pub ranges: Vec<CodeRange>,
+    /// Number of tuples in the group.
+    pub size: u32,
+    /// `(sensitive value, count)` pairs, in value order.
+    pub sens_counts: Vec<(Value, u32)>,
+}
+
+impl GenGroup {
+    /// Build a group from its rows under `md`.
+    pub fn from_rows(md: &Microdata, rows: &[u32], ranges: Vec<CodeRange>) -> GenGroup {
+        debug_assert_eq!(ranges.len(), md.qi_count());
+        let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+        let hist = Histogram::of_rows(md.sensitive_codes(), &idx, md.sensitive_domain_size());
+        GenGroup {
+            ranges,
+            size: rows.len() as u32,
+            sens_counts: hist.nonzero().map(|(v, c)| (v, c as u32)).collect(),
+        }
+    }
+
+    /// `V = Π_i L(QI[i])`: the number of discrete QI points the group's
+    /// rectangle covers (Section 4's volume; `L` counts distinct values for
+    /// discrete attributes).
+    pub fn volume(&self) -> u64 {
+        self.ranges.iter().map(|r| r.len()).product()
+    }
+
+    /// Count of sensitive value `v` in the group.
+    pub fn count_of(&self, v: Value) -> u32 {
+        self.sens_counts
+            .binary_search_by_key(&v, |&(sv, _)| sv)
+            .map(|i| self.sens_counts[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Total mass of sensitive values accepted by `pred`.
+    pub fn sensitive_mass(&self, pred: impl Fn(Value) -> bool) -> u64 {
+        self.sens_counts
+            .iter()
+            .filter(|&&(v, _)| pred(v))
+            .map(|&(_, c)| c as u64)
+            .sum()
+    }
+
+    /// Whether the group satisfies Definition 2 for the given `l`.
+    pub fn is_l_diverse(&self, l: usize) -> bool {
+        let max = self.sens_counts.iter().map(|&(_, c)| c).max().unwrap_or(0) as usize;
+        max * l <= self.size as usize
+    }
+}
+
+/// A generalized table: the group-compressed form of Definition 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneralizedTable {
+    groups: Vec<GenGroup>,
+    l: usize,
+}
+
+impl GeneralizedTable {
+    /// Assemble a table from groups.
+    pub fn new(groups: Vec<GenGroup>, l: usize) -> Self {
+        GeneralizedTable { groups, l }
+    }
+
+    /// The diversity parameter the table was computed under.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// The QI-groups.
+    pub fn groups(&self) -> &[GenGroup] {
+        &self.groups
+    }
+
+    /// Number of groups (`m`).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total tuples (`n`).
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(|g| g.size as usize).sum()
+    }
+
+    /// Whether the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.groups.iter().all(|g| g.size == 0)
+    }
+
+    /// Whether every group satisfies Definition 2.
+    pub fn is_l_diverse(&self) -> bool {
+        self.groups.iter().all(|g| g.is_l_diverse(self.l))
+    }
+
+    /// Re-construction error of the generalized table:
+    /// `Σ_groups size · (1 − 1/V)` (Section 4's `Err^gen_t` summed).
+    pub fn rce(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| g.size as f64 * crate::metrics::err_gen_tuple(g.volume()))
+            .sum()
+    }
+
+    /// Expand to per-tuple rows `(ranges, sensitive value)` in group order —
+    /// the literal Definition 4 table, for display and tests.
+    pub fn rows(&self) -> impl Iterator<Item = (&[CodeRange], Value)> + '_ {
+        self.groups.iter().flat_map(|g| {
+            g.sens_counts
+                .iter()
+                .flat_map(move |&(v, c)| (0..c).map(move |_| (g.ranges.as_slice(), v)))
+        })
+    }
+
+    /// Render like the paper's Table 2, with `label` naming sensitive
+    /// values.
+    pub fn format(&self, qi_names: &[&str], label: impl Fn(Value) -> String) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}\tAs", qi_names.join("\t"));
+        for (ranges, v) in self.rows() {
+            for r in ranges {
+                let _ = write!(out, "{r}\t");
+            }
+            let _ = writeln!(out, "{}", label(v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anatomy_tables::{Attribute, Schema, TableBuilder};
+
+    fn md() -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::numerical("Zip", 60),
+            Attribute::categorical("Disease", 5),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for row in [[23, 11, 4], [27, 13, 1], [35, 59, 1], [59, 12, 4]] {
+            b.push_row(&row).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 2).unwrap()
+    }
+
+    fn group() -> GenGroup {
+        GenGroup::from_rows(
+            &md(),
+            &[0, 1, 2, 3],
+            vec![CodeRange::new(21, 60), CodeRange::new(10, 59)],
+        )
+    }
+
+    #[test]
+    fn from_rows_builds_histogram_and_size() {
+        let g = group();
+        assert_eq!(g.size, 4);
+        assert_eq!(g.sens_counts, vec![(Value(1), 2), (Value(4), 2)]);
+        assert_eq!(g.count_of(Value(4)), 2);
+        assert_eq!(g.count_of(Value(0)), 0);
+        assert_eq!(g.sensitive_mass(|v| v == Value(1)), 2);
+    }
+
+    #[test]
+    fn volume_is_product_of_lengths() {
+        let g = group();
+        assert_eq!(g.volume(), 40 * 50);
+    }
+
+    #[test]
+    fn diversity_check() {
+        let g = group();
+        assert!(g.is_l_diverse(2));
+        assert!(!g.is_l_diverse(3));
+    }
+
+    #[test]
+    fn table_accessors_and_rce() {
+        let t = GeneralizedTable::new(vec![group()], 2);
+        assert_eq!(t.group_count(), 1);
+        assert_eq!(t.len(), 4);
+        assert!(t.is_l_diverse());
+        let expected = 4.0 * (1.0 - 1.0 / 2000.0);
+        assert!((t.rce() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_expand_definition_4() {
+        let t = GeneralizedTable::new(vec![group()], 2);
+        let rows: Vec<(Vec<CodeRange>, Value)> = t.rows().map(|(r, v)| (r.to_vec(), v)).collect();
+        assert_eq!(rows.len(), 4);
+        // Two dyspepsia (1) rows then two pneumonia (4) rows, same ranges.
+        assert_eq!(rows[0].1, Value(1));
+        assert_eq!(rows[3].1, Value(4));
+        assert!(rows.iter().all(|(r, _)| r[0] == CodeRange::new(21, 60)));
+    }
+
+    #[test]
+    fn format_renders_intervals() {
+        let t = GeneralizedTable::new(vec![group()], 2);
+        let s = t.format(&["Age", "Zip"], |v| format!("d{}", v.code()));
+        assert!(s.contains("[21, 60]"));
+        assert!(s.contains("d4"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = GeneralizedTable::new(vec![], 2);
+        assert!(t.is_empty());
+        assert_eq!(t.rce(), 0.0);
+        assert!(t.is_l_diverse());
+    }
+}

@@ -1,0 +1,337 @@
+//! Single-dimension, full-domain global recoding — the *more constrained*
+//! encoding class of the paper's Section 2 taxonomy (after Samarati and
+//! Sweeney, the paper's refs [12, 13]).
+//!
+//! In this scheme every QI attribute has one *generalization level* applied
+//! uniformly to the whole table: a free-interval attribute at level `ℓ` is
+//! bucketed into equal-width bins of `2^ℓ` codes; a taxonomy attribute at
+//! level `ℓ` is generalized to its ancestor `ℓ` steps above the leaves.
+//! QI-groups are simply the distinct generalized vectors, so "the
+//! generalized forms of two arbitrary QI-groups on the same attribute are
+//! either disjoint or equivalent" — the paper's definition of
+//! single-dimension encoding.
+//!
+//! The level search is the classic greedy bottom-up: start fully specific;
+//! while some group violates l-diversity, raise the level of the attribute
+//! that currently contributes the most distinct values. Termination is
+//! guaranteed: at maximum levels the table collapses into one group, which
+//! is l-diverse by the eligibility condition.
+//!
+//! This exists as a measurable baseline-of-the-baseline: `repro encoding`
+//! shows multidimensional recoding (Mondrian) beating it on query accuracy,
+//! and anatomy beating both — the ordering the paper's Section 2 narrative
+//! implies.
+
+use crate::error::GenError;
+use crate::generalized_table::{GenGroup, GeneralizedTable};
+use crate::mondrian::GenMethod;
+use anatomy_core::diversity::{check_eligibility, group_is_l_diverse};
+use anatomy_core::Partition;
+use anatomy_tables::stats::Histogram;
+use anatomy_tables::value::CodeRange;
+use anatomy_tables::Microdata;
+use std::collections::HashMap;
+
+/// The per-attribute levels a recoding settled on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecodingLevels {
+    /// Level per QI attribute (0 = exact values).
+    pub levels: Vec<u32>,
+}
+
+/// Maximum level of one attribute under `method` (the level at which every
+/// value maps to the full domain / the taxonomy root).
+fn max_level(method: &GenMethod, domain_size: u32) -> u32 {
+    match method {
+        GenMethod::FreeInterval => {
+            // Smallest ℓ with 2^ℓ >= domain_size.
+            let mut level = 0;
+            while (1u64 << level) < domain_size as u64 {
+                level += 1;
+            }
+            level
+        }
+        GenMethod::Taxonomy(t) => t.height() - 1,
+    }
+}
+
+/// The generalized interval of `value` at `level`.
+fn interval_at(method: &GenMethod, domain_size: u32, level: u32, value: u32) -> CodeRange {
+    match method {
+        GenMethod::FreeInterval => {
+            let width = 1u64 << level;
+            let lo = (value as u64 / width) * width;
+            let hi = (lo + width - 1).min(domain_size as u64 - 1);
+            CodeRange::new(lo as u32, hi as u32)
+        }
+        GenMethod::Taxonomy(t) => {
+            // Descend from the root to the node at depth (height-1-level)
+            // containing `value`.
+            let target_depth = t.height() - 1 - level;
+            let mut node = t.root();
+            while node.depth < target_depth {
+                let next = t
+                    .children(node)
+                    .into_iter()
+                    .find(|c| c.range.contains(value))
+                    .expect("children tile the parent");
+                node = next;
+            }
+            node.range
+        }
+    }
+}
+
+/// Compute an l-diverse single-dimension full-domain generalization.
+///
+/// Returns the partition, the generalized table, and the levels chosen.
+pub fn global_recode(
+    md: &Microdata,
+    methods: &[GenMethod],
+    l: usize,
+) -> Result<(Partition, GeneralizedTable, RecodingLevels), GenError> {
+    let d = md.qi_count();
+    if methods.len() != d {
+        return Err(GenError::MethodMismatch {
+            got: methods.len(),
+            expected: d,
+        });
+    }
+    check_eligibility(md, l)?;
+    for (i, m) in methods.iter().enumerate() {
+        if let GenMethod::Taxonomy(t) = m {
+            if t.domain_size() != md.qi_domain_size(i) {
+                return Err(GenError::InvalidTaxonomy(format!(
+                    "taxonomy for QI attribute {i} covers {} codes but the domain has {}",
+                    t.domain_size(),
+                    md.qi_domain_size(i)
+                )));
+            }
+        }
+    }
+    let n = md.len();
+    if n == 0 {
+        return Ok((
+            Partition::new(vec![], 0)?,
+            GeneralizedTable::new(vec![], l),
+            RecodingLevels { levels: vec![0; d] },
+        ));
+    }
+    if n < l {
+        return Err(GenError::Core(anatomy_core::CoreError::NotEligible {
+            max_count: 1,
+            n,
+            l,
+        }));
+    }
+
+    let domains: Vec<u32> = (0..d).map(|i| md.qi_domain_size(i)).collect();
+    let max_levels: Vec<u32> = methods
+        .iter()
+        .zip(&domains)
+        .map(|(m, &dom)| max_level(m, dom))
+        .collect();
+    let mut levels = vec![0u32; d];
+
+    loop {
+        // Group rows by their generalized vector at the current levels.
+        let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for r in 0..n {
+            let key: Vec<u32> = (0..d)
+                .map(|i| {
+                    interval_at(&methods[i], domains[i], levels[i], md.qi_value(r, i).code()).lo
+                })
+                .collect();
+            groups.entry(key).or_default().push(r as u32);
+        }
+
+        // Check Definition 2 on every group.
+        let all_ok = groups.values().all(|rows| {
+            if rows.len() < l {
+                return false;
+            }
+            let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+            let hist = Histogram::of_rows(md.sensitive_codes(), &idx, md.sensitive_domain_size());
+            group_is_l_diverse(&hist, l)
+        });
+
+        if all_ok {
+            // Deterministic group order: sort by key.
+            let mut entries: Vec<(Vec<u32>, Vec<u32>)> = groups.into_iter().collect();
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            let mut partition_rows = Vec::with_capacity(entries.len());
+            let mut gen_groups = Vec::with_capacity(entries.len());
+            for (_, rows) in entries {
+                let ranges: Vec<CodeRange> = (0..d)
+                    .map(|i| {
+                        interval_at(
+                            &methods[i],
+                            domains[i],
+                            levels[i],
+                            md.qi_value(rows[0] as usize, i).code(),
+                        )
+                    })
+                    .collect();
+                gen_groups.push(GenGroup::from_rows(md, &rows, ranges));
+                partition_rows.push(rows);
+            }
+            let partition = Partition::new(partition_rows, n)?;
+            return Ok((
+                partition,
+                GeneralizedTable::new(gen_groups, l),
+                RecodingLevels { levels },
+            ));
+        }
+
+        // Generalize further: raise the level of the attribute with the
+        // most distinct generalized values (the one still doing the most
+        // splitting). All attributes at max level cannot happen while a
+        // group violates, by eligibility.
+        let mut best: Option<(usize, usize)> = None; // (attr, distinct)
+        for i in 0..d {
+            if levels[i] >= max_levels[i] {
+                continue;
+            }
+            let mut seen: Vec<u32> = md
+                .qi_codes(i)
+                .iter()
+                .map(|&v| interval_at(&methods[i], domains[i], levels[i], v).lo)
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            if best.is_none_or(|(_, s)| seen.len() > s) {
+                best = Some((i, seen.len()));
+            }
+        }
+        match best {
+            Some((i, _)) => levels[i] += 1,
+            None => {
+                // Everything at the root and still violating: impossible
+                // for eligible input, but fail loudly rather than loop.
+                return Err(GenError::Core(anatomy_core::CoreError::InvalidPartition(
+                    "global recoding exhausted all levels without reaching l-diversity".into(),
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::Taxonomy;
+    use anatomy_tables::{Attribute, Schema, TableBuilder};
+
+    fn md_linear(n: usize, s_dom: u32) -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("A", 64),
+            Attribute::categorical("S", s_dom),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..n as u32 {
+            b.push_row(&[i % 64, i % s_dom]).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 1).unwrap()
+    }
+
+    #[test]
+    fn levels_and_intervals_for_free_attributes() {
+        let m = GenMethod::FreeInterval;
+        assert_eq!(max_level(&m, 64), 6);
+        assert_eq!(max_level(&m, 78), 7);
+        assert_eq!(interval_at(&m, 64, 0, 13), CodeRange::point(13));
+        assert_eq!(interval_at(&m, 64, 2, 13), CodeRange::new(12, 15));
+        assert_eq!(interval_at(&m, 64, 6, 13), CodeRange::new(0, 63));
+        // Last bin clips to the domain.
+        assert_eq!(interval_at(&m, 78, 3, 77), CodeRange::new(72, 77));
+    }
+
+    #[test]
+    fn levels_and_intervals_for_taxonomy_attributes() {
+        let t = Taxonomy::new(8, 4).unwrap(); // perfect binary over 8 codes
+        let m = GenMethod::Taxonomy(t);
+        assert_eq!(max_level(&m, 8), 3);
+        assert_eq!(interval_at(&m, 8, 0, 5), CodeRange::point(5));
+        assert_eq!(interval_at(&m, 8, 1, 5), CodeRange::new(4, 5));
+        assert_eq!(interval_at(&m, 8, 2, 5), CodeRange::new(4, 7));
+        assert_eq!(interval_at(&m, 8, 3, 5), CodeRange::new(0, 7));
+    }
+
+    #[test]
+    fn recoding_reaches_l_diversity() {
+        let md = md_linear(128, 4);
+        let (p, t, levels) = global_recode(&md, &[GenMethod::FreeInterval], 2).unwrap();
+        assert!(p.is_l_diverse(&md, 2));
+        assert!(t.is_l_diverse());
+        assert_eq!(t.len(), 128);
+        assert!(
+            levels.levels[0] >= 1,
+            "exact values cannot be 2-diverse here"
+        );
+        // Single-dimension property: all groups share the same interval
+        // structure (equal widths) and are pairwise disjoint.
+        let mut los: Vec<u32> = t.groups().iter().map(|g| g.ranges[0].lo).collect();
+        los.sort_unstable();
+        los.dedup();
+        assert_eq!(los.len(), t.group_count());
+    }
+
+    #[test]
+    fn recoding_collapses_to_root_on_hostile_data() {
+        // Sensitive value equals A's low bit: every proper binning of A
+        // still separates... actually value = (A % 2): bins of width 2
+        // mix both values evenly, so level 1 suffices.
+        let schema = Schema::new(vec![
+            Attribute::numerical("A", 16),
+            Attribute::categorical("S", 2),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..32u32 {
+            b.push_row(&[i % 16, i % 2]).unwrap();
+        }
+        let md = Microdata::with_leading_qi(b.finish(), 1).unwrap();
+        let (_, _, levels) = global_recode(&md, &[GenMethod::FreeInterval], 2).unwrap();
+        assert_eq!(levels.levels[0], 1);
+    }
+
+    #[test]
+    fn multidimensional_recoding_is_at_least_as_fine() {
+        // Global recoding can never produce more groups than Mondrian on
+        // the same data (its admissible grouping set is a subset).
+        let md = md_linear(96, 3);
+        let (gp, ..) = global_recode(&md, &[GenMethod::FreeInterval], 3).unwrap();
+        let (mp, _) =
+            crate::mondrian::mondrian(&md, &crate::mondrian::MondrianConfig::all_free(3, 1))
+                .unwrap();
+        assert!(mp.group_count() >= gp.group_count());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let md = md_linear(10, 2);
+        assert!(global_recode(&md, &[], 2).is_err());
+        let skew = {
+            let schema = Schema::new(vec![
+                Attribute::numerical("A", 8),
+                Attribute::categorical("S", 2),
+            ])
+            .unwrap();
+            let mut b = TableBuilder::new(schema);
+            for i in 0..8u32 {
+                b.push_row(&[i, 0]).unwrap();
+            }
+            Microdata::with_leading_qi(b.finish(), 1).unwrap()
+        };
+        assert!(global_recode(&skew, &[GenMethod::FreeInterval], 2).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let md = md_linear(0, 2);
+        let (p, t, _) = global_recode(&md, &[GenMethod::FreeInterval], 2).unwrap();
+        assert!(p.is_empty());
+        assert!(t.is_empty());
+    }
+}

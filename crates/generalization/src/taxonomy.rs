@@ -1,0 +1,302 @@
+//! Balanced taxonomy trees over discrete domains.
+//!
+//! Table 6 of the paper generalizes most categorical QI attributes along a
+//! taxonomy of fixed height — "the end points must lie on particular
+//! values, conforming to a taxonomy with height x". The actual CENSUS
+//! taxonomies are not published; we use balanced trees over the code range,
+//! which preserves the property that matters to the experiments: the set of
+//! admissible generalized intervals is a small, fixed hierarchy rather than
+//! the free choice of any interval.
+//!
+//! A taxonomy of height `h` over a domain of `m` codes has the root
+//! (covering all codes) at depth 0 and single-code leaves at depth `h − 1`.
+//! Every internal node splits its contiguous code range into at most
+//! `fanout = ⌈m^{1/(h−1)}⌉` near-equal chunks.
+
+use crate::error::GenError;
+use anatomy_tables::value::CodeRange;
+
+/// A node of a taxonomy: a contiguous code range at a given depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaxNode {
+    /// Codes covered by the node.
+    pub range: CodeRange,
+    /// Depth (0 = root, `height − 1` = leaves).
+    pub depth: u32,
+}
+
+/// A balanced taxonomy tree over codes `0..domain_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Taxonomy {
+    domain_size: u32,
+    height: u32,
+    fanout: u32,
+}
+
+impl Taxonomy {
+    /// Build a taxonomy of the given height over `domain_size` codes.
+    ///
+    /// Requires `height >= 2` for domains with more than one code (the root
+    /// alone cannot distinguish values), and enough height that single-code
+    /// leaves are reachable: `fanout^(height-1) >= domain_size` always
+    /// holds by the fanout choice, so any `height >= 2` is accepted.
+    ///
+    /// ```
+    /// use anatomy_generalization::Taxonomy;
+    ///
+    /// // Table 6's Work-class: 10 values, "Taxonomy tree (4)".
+    /// let t = Taxonomy::new(10, 4)?;
+    /// assert_eq!(t.fanout(), 3); // smallest f with f^3 >= 10
+    /// // The lowest admissible interval covering codes 2 and 3:
+    /// let node = t.lca(2, 3);
+    /// assert!(node.range.contains(2) && node.range.contains(3));
+    /// # Ok::<(), anatomy_generalization::GenError>(())
+    /// ```
+    pub fn new(domain_size: u32, height: u32) -> Result<Self, GenError> {
+        if domain_size == 0 {
+            return Err(GenError::InvalidTaxonomy("empty domain".into()));
+        }
+        if height == 0 {
+            return Err(GenError::InvalidTaxonomy(
+                "height must be at least 1".into(),
+            ));
+        }
+        if domain_size > 1 && height < 2 {
+            return Err(GenError::InvalidTaxonomy(format!(
+                "height 1 cannot resolve a domain of {domain_size} codes"
+            )));
+        }
+        let fanout = if domain_size == 1 {
+            1
+        } else {
+            // Smallest f with f^(height-1) >= domain_size.
+            let mut f = (domain_size as f64).powf(1.0 / (height - 1) as f64).ceil() as u32;
+            f = f.max(2);
+            // Guard against floating-point undershoot.
+            while pow_lt(f, height - 1, domain_size) {
+                f += 1;
+            }
+            f
+        };
+        Ok(Taxonomy {
+            domain_size,
+            height,
+            fanout,
+        })
+    }
+
+    /// Number of codes in the domain.
+    pub fn domain_size(&self) -> u32 {
+        self.domain_size
+    }
+
+    /// Tree height (root at depth 0, leaves at `height − 1`).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Maximum children per internal node.
+    pub fn fanout(&self) -> u32 {
+        self.fanout
+    }
+
+    /// The root node, covering the whole domain.
+    pub fn root(&self) -> TaxNode {
+        TaxNode {
+            range: CodeRange::new(0, self.domain_size - 1),
+            depth: 0,
+        }
+    }
+
+    /// The children of `node` (empty for leaves and single-code nodes).
+    pub fn children(&self, node: TaxNode) -> Vec<TaxNode> {
+        if node.depth + 1 >= self.height || node.range.len() == 1 {
+            return Vec::new();
+        }
+        let len = node.range.len();
+        let chunk = len.div_ceil(self.fanout as u64).max(1);
+        let mut out = Vec::new();
+        let mut lo = node.range.lo as u64;
+        let hi = node.range.hi as u64;
+        while lo <= hi {
+            let c_hi = (lo + chunk - 1).min(hi);
+            out.push(TaxNode {
+                range: CodeRange::new(lo as u32, c_hi as u32),
+                depth: node.depth + 1,
+            });
+            lo = c_hi + 1;
+        }
+        out
+    }
+
+    /// The lowest taxonomy node covering all of `[lo, hi]` — the admissible
+    /// generalized interval for a group whose values span that range.
+    pub fn lca(&self, lo: u32, hi: u32) -> TaxNode {
+        assert!(
+            hi < self.domain_size,
+            "code {hi} outside domain {}",
+            self.domain_size
+        );
+        assert!(lo <= hi);
+        let mut node = self.root();
+        'descend: loop {
+            for child in self.children(node) {
+                if child.range.contains(lo) && child.range.contains(hi) {
+                    node = child;
+                    continue 'descend;
+                }
+            }
+            return node;
+        }
+    }
+
+    /// All nodes of the tree in BFS order (for inspection and tests; the
+    /// tree is implicit and never materialized by the algorithms).
+    pub fn all_nodes(&self) -> Vec<TaxNode> {
+        let mut out = vec![self.root()];
+        let mut i = 0;
+        while i < out.len() {
+            let node = out[i];
+            out.extend(self.children(node));
+            i += 1;
+        }
+        out
+    }
+}
+
+/// `f^e < target`, computed without overflow.
+fn pow_lt(f: u32, e: u32, target: u32) -> bool {
+    let mut acc: u64 = 1;
+    for _ in 0..e {
+        acc = acc.saturating_mul(f as u64);
+        if acc >= target as u64 {
+            return false;
+        }
+    }
+    acc < target as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gender_taxonomy_matches_table_6() {
+        // "Taxonomy tree (2)" over 2 values: root + 2 leaves.
+        let t = Taxonomy::new(2, 2).unwrap();
+        assert_eq!(t.fanout(), 2);
+        let root = t.root();
+        let kids = t.children(root);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].range, CodeRange::point(0));
+        assert_eq!(kids[1].range, CodeRange::point(1));
+        assert!(t.children(kids[0]).is_empty());
+    }
+
+    #[test]
+    fn leaves_are_single_codes_at_max_depth() {
+        for (m, h) in [(6u32, 3u32), (9, 2), (10, 4), (83, 3), (50, 3)] {
+            let t = Taxonomy::new(m, h).unwrap();
+            for node in t.all_nodes() {
+                assert!(node.depth < h);
+                if node.depth == h - 1 {
+                    assert_eq!(node.range.len(), 1, "m={m} h={h} node {node:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_tile_the_parent() {
+        let t = Taxonomy::new(83, 3).unwrap();
+        for node in t.all_nodes() {
+            let kids = t.children(node);
+            if kids.is_empty() {
+                continue;
+            }
+            assert!(kids.len() <= t.fanout() as usize);
+            // Contiguous, disjoint, covering.
+            assert_eq!(kids[0].range.lo, node.range.lo);
+            assert_eq!(kids.last().unwrap().range.hi, node.range.hi);
+            for w in kids.windows(2) {
+                assert_eq!(w[0].range.hi + 1, w[1].range.lo);
+            }
+        }
+    }
+
+    #[test]
+    fn lca_finds_lowest_covering_node() {
+        let t = Taxonomy::new(8, 4).unwrap(); // fanout 2, perfect binary
+                                              // Single code: the leaf itself.
+        assert_eq!(t.lca(3, 3).range, CodeRange::point(3));
+        assert_eq!(t.lca(3, 3).depth, 3);
+        // Codes 0 and 1 share the depth-2 node [0,1].
+        assert_eq!(t.lca(0, 1).range, CodeRange::new(0, 1));
+        // Codes 3 and 4 straddle the root split.
+        assert_eq!(t.lca(3, 4).range, CodeRange::new(0, 7));
+        assert_eq!(t.lca(3, 4).depth, 0);
+        // Codes 4..6 inside the right half.
+        assert_eq!(t.lca(4, 6).range, CodeRange::new(4, 7));
+    }
+
+    #[test]
+    fn degenerate_domains() {
+        let t = Taxonomy::new(1, 1).unwrap();
+        assert_eq!(t.root().range, CodeRange::point(0));
+        assert!(t.children(t.root()).is_empty());
+        assert!(Taxonomy::new(0, 2).is_err());
+        assert!(Taxonomy::new(5, 0).is_err());
+        assert!(Taxonomy::new(5, 1).is_err());
+    }
+
+    #[test]
+    fn fanout_is_minimal_sufficient() {
+        // 10 values, height 4: fanout^3 >= 10 -> fanout 3.
+        let t = Taxonomy::new(10, 4).unwrap();
+        assert_eq!(t.fanout(), 3);
+        // 83 values, height 3: fanout^2 >= 83 -> fanout 10.
+        let t = Taxonomy::new(83, 3).unwrap();
+        assert_eq!(t.fanout(), 10);
+    }
+
+    #[test]
+    fn all_codes_reachable_as_leaves() {
+        let t = Taxonomy::new(17, 3).unwrap();
+        let leaves: Vec<u32> = t
+            .all_nodes()
+            .into_iter()
+            .filter(|n| t.children(*n).is_empty())
+            .flat_map(|n| n.range.lo..=n.range.hi)
+            .collect();
+        let mut sorted = leaves.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, (0..17).collect::<Vec<_>>());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn lca_covers_and_is_minimal(
+                m in 2u32..100,
+                h in 2u32..5,
+                a in 0u32..100,
+                b in 0u32..100,
+            ) {
+                let t = Taxonomy::new(m, h).unwrap();
+                let lo = (a % m).min(b % m);
+                let hi = (a % m).max(b % m);
+                let node = t.lca(lo, hi);
+                prop_assert!(node.range.contains(lo) && node.range.contains(hi));
+                // No child of the LCA covers both.
+                for child in t.children(node) {
+                    prop_assert!(!(child.range.contains(lo) && child.range.contains(hi)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Relative-error aggregation.
+//!
+//! "The effectiveness of anatomy/generalization is measured as its average
+//! relative error in answering a query. Specifically, for each query, its
+//! relative error equals |act − est| / act" (Section 6.1).
+
+use crate::query::CountQuery;
+
+/// `|act − est| / act`. Caller guarantees `act > 0` (the workload
+/// generator's non-zero convention).
+pub fn relative_error(act: u64, est: f64) -> f64 {
+    debug_assert!(act > 0, "relative error undefined for act = 0");
+    (act as f64 - est).abs() / act as f64
+}
+
+/// Error statistics over one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Mean relative error — the paper's reported metric.
+    pub mean: f64,
+    /// Median relative error.
+    pub median: f64,
+    /// Maximum relative error.
+    pub max: f64,
+    /// Number of queries evaluated.
+    pub count: usize,
+}
+
+impl AccuracyReport {
+    /// Aggregate a workload with a caller-supplied estimator.
+    pub fn evaluate(
+        workload: &[(CountQuery, u64)],
+        mut estimator: impl FnMut(&CountQuery) -> f64,
+    ) -> AccuracyReport {
+        let mut errors: Vec<f64> = workload
+            .iter()
+            .map(|(q, act)| relative_error(*act, estimator(q)))
+            .collect();
+        AccuracyReport::from_errors(&mut errors)
+    }
+
+    /// Build a report from raw per-query errors.
+    pub fn from_errors(errors: &mut [f64]) -> AccuracyReport {
+        if errors.is_empty() {
+            return AccuracyReport {
+                mean: 0.0,
+                median: 0.0,
+                max: 0.0,
+                count: 0,
+            };
+        }
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        let count = errors.len();
+        let mean = errors.iter().sum::<f64>() / count as f64;
+        let median = if count % 2 == 1 {
+            errors[count / 2]
+        } else {
+            (errors[count / 2 - 1] + errors[count / 2]) / 2.0
+        };
+        AccuracyReport {
+            mean,
+            median,
+            max: errors[count - 1],
+            count,
+        }
+    }
+
+    /// Mean error as a percentage (the unit of the paper's Figures 4–7).
+    pub fn mean_percent(&self) -> f64 {
+        self.mean * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basic() {
+        assert_eq!(relative_error(10, 10.0), 0.0);
+        assert_eq!(relative_error(10, 5.0), 0.5);
+        assert_eq!(relative_error(10, 20.0), 1.0);
+        assert_eq!(relative_error(1, 0.1), 0.9);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let mut errors = vec![0.1, 0.3, 0.2, 1.0];
+        let r = AccuracyReport::from_errors(&mut errors);
+        assert_eq!(r.count, 4);
+        assert!((r.mean - 0.4).abs() < 1e-12);
+        assert!((r.median - 0.25).abs() < 1e-12);
+        assert_eq!(r.max, 1.0);
+        assert!((r.mean_percent() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_count_median() {
+        let mut errors = vec![0.5, 0.1, 0.9];
+        let r = AccuracyReport::from_errors(&mut errors);
+        assert_eq!(r.median, 0.5);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = AccuracyReport::from_errors(&mut []);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.mean, 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The generalization estimator (Section 1.1).
+//!
+//! Given only the generalized table, a researcher treats each QI-group as
+//! a uniform rectangle — "similar to selectivity estimation on a
+//! multidimensional histogram" — because "given only the generalized table,
+//! we cannot justify any other distribution assumption". For a group with
+//! rectangle ranges `R_i` and `c` tuples matching the sensitive predicate,
+//! the contribution is `c · Π_i |pred(A_i) ∩ R_i| / |R_i|`.
+//!
+//! The uniformity assumption is the source of generalization's error
+//! explosion in the paper's Figures 4–6: real data is clustered, so the
+//! fraction of a wide rectangle covered by a query rarely matches the
+//! fraction of its *tuples*.
+
+use crate::query::CountQuery;
+use anatomy_generalization::GeneralizedTable;
+use anatomy_tables::Value;
+
+/// Estimate `query` from a generalized table.
+pub fn estimate_generalization(table: &GeneralizedTable, query: &CountQuery) -> f64 {
+    let mut estimate = 0.0f64;
+    for g in table.groups() {
+        let mass = g.sensitive_mass(|v: Value| query.sens_pred.contains(v.code()));
+        if mass == 0 {
+            continue;
+        }
+        let mut p = 1.0f64;
+        for (i, pred) in &query.qi_preds {
+            let range = &g.ranges[*i];
+            let overlap = pred.count_in_range(range);
+            if overlap == 0 {
+                p = 0.0;
+                break;
+            }
+            p *= overlap as f64 / range.len() as f64;
+        }
+        if p > 0.0 {
+            estimate += mass as f64 * p;
+        }
+    }
+    estimate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::evaluate_exact;
+    use crate::predicate::InPredicate;
+    use anatomy_generalization::{GenGroup, GeneralizedTable};
+    use anatomy_tables::value::CodeRange;
+    use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder};
+
+    /// The paper's generalized Table 2 over QI = (Age, Zip): group 1 ages
+    /// [21,60] zips [11,59] (zip in thousands, the paper's
+    /// [10001, 60000]); group 2 ages [61,70], same zips.
+    fn paper_gen_table() -> GeneralizedTable {
+        GeneralizedTable::new(
+            vec![
+                GenGroup {
+                    ranges: vec![CodeRange::new(21, 60), CodeRange::new(11, 59)],
+                    size: 4,
+                    sens_counts: vec![(Value(1), 2), (Value(4), 2)],
+                },
+                GenGroup {
+                    ranges: vec![CodeRange::new(61, 70), CodeRange::new(11, 59)],
+                    size: 4,
+                    sens_counts: vec![(Value(0), 1), (Value(2), 2), (Value(3), 1)],
+                },
+            ],
+            2,
+        )
+    }
+
+    fn paper_md() -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::numerical("Zip", 60),
+            Attribute::categorical("Disease", 5),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for row in [
+            [23, 11, 4],
+            [27, 13, 1],
+            [35, 59, 1],
+            [59, 12, 4],
+            [61, 54, 2],
+            [65, 25, 3],
+            [65, 25, 2],
+            [70, 30, 0],
+        ] {
+            b.push_row(&row).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 2).unwrap()
+    }
+
+    /// Section 1.1's worked computation: the uniform assumption
+    /// under-estimates query A by an order of magnitude.
+    #[test]
+    fn query_a_is_grossly_underestimated() {
+        let table = paper_gen_table();
+        let md = paper_md();
+        let q = CountQuery {
+            qi_preds: vec![
+                (0, InPredicate::new((0..=30).collect(), 100).unwrap()),
+                (1, InPredicate::new((11..=20).collect(), 60).unwrap()),
+            ],
+            sens_pred: InPredicate::new(vec![4], 5).unwrap(),
+        };
+        let est = estimate_generalization(&table, &q);
+        let act = evaluate_exact(&md, &q) as f64;
+        assert_eq!(act, 1.0);
+        // p = (10/40) * (10/49); estimate = 2p ≈ 0.102 — about ten times
+        // smaller than the true answer, as in the paper's Section 1.1.
+        let expected = 2.0 * (10.0 / 40.0) * (10.0 / 49.0);
+        assert!((est - expected).abs() < 1e-9, "estimate {est}");
+        assert!(est < act / 5.0);
+    }
+
+    #[test]
+    fn disjoint_rectangle_contributes_nothing() {
+        let table = paper_gen_table();
+        // Ages <= 30 exclude group 2 entirely; flu (2) lives only in
+        // group 2.
+        let q = CountQuery {
+            qi_preds: vec![(0, InPredicate::new((0..=30).collect(), 100).unwrap())],
+            sens_pred: InPredicate::new(vec![2], 5).unwrap(),
+        };
+        assert_eq!(estimate_generalization(&table, &q), 0.0);
+    }
+
+    #[test]
+    fn full_domain_query_is_exact() {
+        let table = paper_gen_table();
+        let q = CountQuery {
+            qi_preds: vec![(0, InPredicate::full(100)), (1, InPredicate::full(60))],
+            sens_pred: InPredicate::full(5),
+        };
+        assert!((estimate_generalization(&table, &q) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensitive_only_queries_are_exact() {
+        // Definition 4 keeps sensitive values exact, so queries without QI
+        // predicates are answered exactly even from a generalized table.
+        let table = paper_gen_table();
+        let md = paper_md();
+        for v in 0..5u32 {
+            let q = CountQuery {
+                qi_preds: vec![],
+                sens_pred: InPredicate::new(vec![v], 5).unwrap(),
+            };
+            let est = estimate_generalization(&table, &q);
+            let act = evaluate_exact(&md, &q) as f64;
+            assert!((est - act).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn point_rectangles_answer_exactly() {
+        // Groups with exact (degenerate) rectangles behave like microdata.
+        let table = GeneralizedTable::new(
+            vec![GenGroup {
+                ranges: vec![CodeRange::point(7)],
+                size: 3,
+                sens_counts: vec![(Value(0), 1), (Value(1), 2)],
+            }],
+            2,
+        );
+        let q = CountQuery {
+            qi_preds: vec![(0, InPredicate::new(vec![7], 10).unwrap())],
+            sens_pred: InPredicate::new(vec![1], 5).unwrap(),
+        };
+        assert!((estimate_generalization(&table, &q) - 2.0).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder};
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            /// Both estimators stay within [0, n] and agree exactly with
+            /// the microdata on single-point groups.
+            #[test]
+            fn estimates_are_bounded_and_point_groups_exact(
+                rows in proptest::collection::vec((0u32..6, 0u32..4), 4..80),
+                pred_vals in proptest::collection::vec(0u32..6, 1..6),
+                sens_vals in proptest::collection::vec(0u32..4, 1..4),
+            ) {
+                let schema = Schema::new(vec![
+                    Attribute::numerical("A", 6),
+                    Attribute::categorical("S", 4),
+                ]).unwrap();
+                let mut b = TableBuilder::new(schema);
+                for &(a, s) in &rows {
+                    b.push_row(&[a, s]).unwrap();
+                }
+                let md = Microdata::with_leading_qi(b.finish(), 1).unwrap();
+                // One group per distinct QI value: rectangles are points,
+                // so the uniformity assumption is vacuous and the
+                // generalization estimate is exact.
+                let mut by_value: std::collections::BTreeMap<u32, Vec<u32>> =
+                    std::collections::BTreeMap::new();
+                for (r, &(a, _)) in rows.iter().enumerate() {
+                    by_value.entry(a).or_default().push(r as u32);
+                }
+                let groups: Vec<GenGroup> = by_value
+                    .iter()
+                    .map(|(&a, rws)| {
+                        GenGroup::from_rows(&md, rws, vec![CodeRange::point(a)])
+                    })
+                    .collect();
+                let table = GeneralizedTable::new(groups, 1);
+
+                let q = CountQuery {
+                    qi_preds: vec![(0, InPredicate::new(pred_vals, 6).unwrap())],
+                    sens_pred: InPredicate::new(sens_vals, 4).unwrap(),
+                };
+                let est = estimate_generalization(&table, &q);
+                let act = evaluate_exact(&md, &q) as f64;
+                prop_assert!((est - act).abs() < 1e-9, "est {} act {}", est, act);
+                prop_assert!(est >= -1e-9 && est <= rows.len() as f64 + 1e-9);
+            }
+        }
+    }
+}

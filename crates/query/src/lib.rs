@@ -1,0 +1,48 @@
+//! # anatomy-query
+//!
+//! The aggregate-query model of the Anatomy paper's evaluation
+//! (Section 6.1):
+//!
+//! ```sql
+//! SELECT COUNT(*) FROM Unknown-Microdata
+//! WHERE pred(A1) AND ... AND pred(A_qd) AND pred(As)
+//! ```
+//!
+//! where each `pred(A)` is a disjunction of `b` random values of the
+//! attribute's domain and `b = ⌈|A| · s^{1/(qd+1)}⌉` is driven by the
+//! expected selectivity `s` (Equation 14).
+//!
+//! Modules:
+//!
+//! * [`predicate`] / [`query`] — IN-list predicates and COUNT queries;
+//! * [`workload`] — the random workload generator of Table 7's parameter
+//!   grid;
+//! * [`exact`] — ground truth by scanning the microdata;
+//! * [`estimate_anatomy`] — the estimator of Section 1.2: exact per-group
+//!   QI fractions from the QIT × per-group sensitive mass from the ST;
+//! * [`estimate_generalization`] — the estimator of Section 1.1: uniform
+//!   spread of each group over its rectangle (multidimensional-histogram
+//!   style);
+//! * [`accuracy`] — relative-error aggregation (the paper's "average
+//!   relative error").
+
+pub mod accuracy;
+pub mod error;
+pub mod estimate_anatomy;
+pub mod estimate_generalization;
+pub mod exact;
+pub mod predicate;
+pub mod query;
+pub mod workload;
+
+pub use accuracy::{relative_error, AccuracyReport};
+pub use error::QueryError;
+pub use estimate_anatomy::estimate_anatomy;
+pub use estimate_generalization::estimate_generalization;
+pub use exact::evaluate_exact;
+pub use predicate::InPredicate;
+pub use query::CountQuery;
+pub use workload::{predicate_width, workload_from_text, workload_to_text, WorkloadSpec};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,170 @@
+//! IN-list predicates: `A = x1 OR A = x2 OR ... OR A = xb`.
+
+use crate::error::QueryError;
+use anatomy_tables::value::CodeRange;
+
+/// A disjunctive equality predicate over one discrete attribute.
+///
+/// Stores the accepted codes both as a sorted list (for interval-overlap
+/// counting in the generalization estimator) and as a dense boolean mask
+/// (for O(1) membership tests in the scan-based evaluators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InPredicate {
+    values: Vec<u32>,
+    mask: Vec<bool>,
+}
+
+impl InPredicate {
+    /// Build a predicate accepting `values` within a domain of
+    /// `domain_size` codes. Values are deduplicated; at least one distinct
+    /// value is required.
+    pub fn new(mut values: Vec<u32>, domain_size: u32) -> Result<Self, QueryError> {
+        if let Some(&bad) = values.iter().find(|&&v| v >= domain_size) {
+            return Err(QueryError::ValueOutOfDomain {
+                code: bad,
+                domain_size,
+            });
+        }
+        values.sort_unstable();
+        values.dedup();
+        if values.is_empty() {
+            return Err(QueryError::BadSpec("predicate accepts no values".into()));
+        }
+        let mut mask = vec![false; domain_size as usize];
+        for &v in &values {
+            mask[v as usize] = true;
+        }
+        Ok(InPredicate { values, mask })
+    }
+
+    /// A predicate accepting the inclusive code range `[lo, hi]` — the
+    /// discrete form of the paper's range conditions (query A's
+    /// `Age <= 30` is `range(0, 30, |Age|)`).
+    pub fn range(lo: u32, hi: u32, domain_size: u32) -> Result<Self, QueryError> {
+        if lo > hi {
+            return Err(QueryError::BadSpec(format!("range [{lo}, {hi}] inverted")));
+        }
+        InPredicate::new((lo..=hi).collect(), domain_size)
+    }
+
+    /// A predicate accepting the whole domain.
+    pub fn full(domain_size: u32) -> Self {
+        InPredicate::new((0..domain_size).collect(), domain_size).expect("non-empty domain")
+    }
+
+    /// Whether `code` satisfies the predicate.
+    #[inline]
+    pub fn contains(&self, code: u32) -> bool {
+        self.mask[code as usize]
+    }
+
+    /// The accepted codes, sorted ascending.
+    #[inline]
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Number of accepted codes (`b`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false (construction requires at least one value).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The dense membership mask.
+    #[inline]
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Number of accepted codes inside `range` — the numerator of the
+    /// generalization estimator's per-attribute overlap fraction.
+    pub fn count_in_range(&self, range: &CodeRange) -> u64 {
+        let lo = self.values.partition_point(|&v| v < range.lo);
+        let hi = self.values.partition_point(|&v| v <= range.hi);
+        (hi - lo) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let p = InPredicate::new(vec![5, 1, 5, 3], 10).unwrap();
+        assert_eq!(p.values(), &[1, 3, 5]);
+        assert_eq!(p.len(), 3);
+        assert!(p.contains(3));
+        assert!(!p.contains(2));
+    }
+
+    #[test]
+    fn rejects_out_of_domain_and_empty() {
+        assert!(matches!(
+            InPredicate::new(vec![10], 10),
+            Err(QueryError::ValueOutOfDomain {
+                code: 10,
+                domain_size: 10
+            })
+        ));
+        assert!(matches!(
+            InPredicate::new(vec![], 10),
+            Err(QueryError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn full_accepts_everything() {
+        let p = InPredicate::full(4);
+        assert_eq!(p.len(), 4);
+        for c in 0..4 {
+            assert!(p.contains(c));
+        }
+    }
+
+    #[test]
+    fn range_constructor() {
+        let p = InPredicate::range(3, 7, 10).unwrap();
+        assert_eq!(p.values(), &[3, 4, 5, 6, 7]);
+        assert!(InPredicate::range(7, 3, 10).is_err());
+        assert!(InPredicate::range(3, 12, 10).is_err());
+        let point = InPredicate::range(4, 4, 10).unwrap();
+        assert_eq!(point.len(), 1);
+    }
+
+    #[test]
+    fn count_in_range_counts_overlap() {
+        let p = InPredicate::new(vec![1, 3, 5, 7, 9], 10).unwrap();
+        assert_eq!(p.count_in_range(&CodeRange::new(3, 7)), 3); // 3, 5, 7
+        assert_eq!(p.count_in_range(&CodeRange::new(0, 9)), 5);
+        assert_eq!(p.count_in_range(&CodeRange::point(4)), 0);
+        assert_eq!(p.count_in_range(&CodeRange::point(5)), 1);
+        assert_eq!(p.count_in_range(&CodeRange::new(8, 9)), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn count_in_range_matches_naive(
+                values in proptest::collection::vec(0u32..50, 1..20),
+                lo in 0u32..50,
+                span in 0u32..50,
+            ) {
+                let p = InPredicate::new(values, 50).unwrap();
+                let hi = (lo + span).min(49);
+                let range = CodeRange::new(lo, hi);
+                let naive = (lo..=hi).filter(|&c| p.contains(c)).count() as u64;
+                prop_assert_eq!(p.count_in_range(&range), naive);
+            }
+        }
+    }
+}

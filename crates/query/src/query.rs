@@ -1,0 +1,57 @@
+//! COUNT queries over the (unknown) microdata.
+
+use crate::predicate::InPredicate;
+use std::fmt;
+
+/// A COUNT query with IN-list predicates on `qd` QI attributes and the
+/// sensitive attribute (Section 6.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountQuery {
+    /// `(QI attribute index, predicate)` pairs; indices refer to the
+    /// microdata's QI order and are strictly increasing.
+    pub qi_preds: Vec<(usize, InPredicate)>,
+    /// Predicate on the sensitive attribute.
+    pub sens_pred: InPredicate,
+}
+
+impl CountQuery {
+    /// Query dimensionality `qd` (number of QI predicates).
+    pub fn qd(&self) -> usize {
+        self.qi_preds.len()
+    }
+}
+
+impl fmt::Display for CountQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "COUNT(*) WHERE ")?;
+        for (i, (attr, pred)) in self.qi_preds.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "qi{attr} IN {:?}", pred.values())?;
+        }
+        if !self.qi_preds.is_empty() {
+            write!(f, " AND ")?;
+        }
+        write!(f, "sensitive IN {:?}", self.sens_pred.values())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qd_and_display() {
+        let q = CountQuery {
+            qi_preds: vec![
+                (0, InPredicate::new(vec![1, 2], 10).unwrap()),
+                (2, InPredicate::new(vec![5], 10).unwrap()),
+            ],
+            sens_pred: InPredicate::new(vec![0], 4).unwrap(),
+        };
+        assert_eq!(q.qd(), 2);
+        let s = q.to_string();
+        assert!(s.contains("qi0") && s.contains("qi2") && s.contains("sensitive"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Random workload generation (Section 6.1, Table 7).
+//!
+//! A query draws `qd` random distinct QI attributes; each predicate (QI and
+//! sensitive) accepts `b = ⌈|A| · s^{1/(qd+1)}⌉` random distinct values of
+//! its domain (Equation 14), so the expected selectivity under independent
+//! uniform attributes is `s`.
+//!
+//! The paper's accuracy metric `|act − est| / act` is undefined for queries
+//! whose true answer is zero; [`WorkloadSpec::generate_nonzero`] re-draws
+//! such queries (recording the convention is EXPERIMENTS.md's job). The
+//! plain [`WorkloadSpec::generate`] keeps every draw.
+
+use crate::error::QueryError;
+use crate::exact::evaluate_exact;
+use crate::predicate::InPredicate;
+use crate::query::CountQuery;
+use anatomy_tables::Microdata;
+use rand::rngs::StdRng;
+use rand::seq::index;
+use rand::SeedableRng;
+
+/// Equation 14: the number of values per predicate,
+/// `b = ⌈|A| · s^{1/(qd+1)}⌉`, clamped into `[1, |A|]`.
+pub fn predicate_width(domain_size: u32, s: f64, qd: usize) -> usize {
+    debug_assert!(s > 0.0 && s <= 1.0);
+    let b = (domain_size as f64 * s.powf(1.0 / (qd as f64 + 1.0))).ceil() as usize;
+    b.clamp(1, domain_size as usize)
+}
+
+/// Parameters of one workload (one cell of the paper's Table 7 grid).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Query dimensionality `qd` (1 ..= d).
+    pub qd: usize,
+    /// Expected selectivity `s` (0 < s <= 1), default 5% in the paper.
+    pub selectivity: f64,
+    /// Number of queries (the paper uses 10 000).
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Validate against a microdata relation.
+    fn check(&self, md: &Microdata) -> Result<(), QueryError> {
+        if self.qd == 0 || self.qd > md.qi_count() {
+            return Err(QueryError::BadSpec(format!(
+                "qd = {} must be in 1..={}",
+                self.qd,
+                md.qi_count()
+            )));
+        }
+        if !(self.selectivity > 0.0 && self.selectivity <= 1.0) {
+            return Err(QueryError::BadSpec(format!(
+                "selectivity {} outside (0, 1]",
+                self.selectivity
+            )));
+        }
+        Ok(())
+    }
+
+    /// Draw one query.
+    fn draw(&self, md: &Microdata, rng: &mut StdRng) -> CountQuery {
+        let d = md.qi_count();
+        let mut attrs: Vec<usize> = index::sample(rng, d, self.qd).into_iter().collect();
+        attrs.sort_unstable();
+
+        let qi_preds = attrs
+            .into_iter()
+            .map(|i| {
+                let dom = md.qi_domain_size(i);
+                let b = predicate_width(dom, self.selectivity, self.qd);
+                let values: Vec<u32> = index::sample(rng, dom as usize, b)
+                    .into_iter()
+                    .map(|v| v as u32)
+                    .collect();
+                (i, InPredicate::new(values, dom).expect("sampled in domain"))
+            })
+            .collect();
+
+        let s_dom = md.sensitive_domain_size();
+        let b = predicate_width(s_dom, self.selectivity, self.qd);
+        let values: Vec<u32> = index::sample(rng, s_dom as usize, b)
+            .into_iter()
+            .map(|v| v as u32)
+            .collect();
+        let sens_pred = InPredicate::new(values, s_dom).expect("sampled in domain");
+
+        CountQuery {
+            qi_preds,
+            sens_pred,
+        }
+    }
+
+    /// Generate `count` queries (true answers may be zero).
+    pub fn generate(&self, md: &Microdata) -> Result<Vec<CountQuery>, QueryError> {
+        self.check(md)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        Ok((0..self.count).map(|_| self.draw(md, &mut rng)).collect())
+    }
+
+    /// Generate `count` queries whose true answer on `md` is non-zero,
+    /// returning each with its exact answer. Gives up (with
+    /// [`QueryError::WorkloadExhausted`]) after `20 × count` draws.
+    pub fn generate_nonzero(&self, md: &Microdata) -> Result<Vec<(CountQuery, u64)>, QueryError> {
+        self.check(md)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(self.count);
+        let budget = self.count.saturating_mul(20).max(100);
+        for _ in 0..budget {
+            if out.len() == self.count {
+                break;
+            }
+            let q = self.draw(md, &mut rng);
+            let act = evaluate_exact(md, &q);
+            if act > 0 {
+                out.push((q, act));
+            }
+        }
+        if out.len() < self.count {
+            return Err(QueryError::WorkloadExhausted {
+                produced: out.len(),
+                requested: self.count,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Serialize a workload to a plain-text format, one query per line:
+/// `qi<attr>=v1|v2|...;...;s=v1|v2|...`. Lets a workload generated once be
+/// re-evaluated across processes or implementations.
+pub fn workload_to_text(queries: &[CountQuery]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for q in queries {
+        for (attr, pred) in &q.qi_preds {
+            let _ = write!(out, "qi{attr}=");
+            for (i, v) in pred.values().iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(';');
+        }
+        let _ = write!(out, "s=");
+        for (i, v) in q.sens_pred.values().iter().enumerate() {
+            if i > 0 {
+                out.push('|');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a workload produced by [`workload_to_text`], validating every
+/// predicate against `md`'s domains.
+pub fn workload_from_text(md: &Microdata, text: &str) -> Result<Vec<CountQuery>, QueryError> {
+    let mut queries = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut qi_preds = Vec::new();
+        let mut sens_pred = None;
+        for part in line.split(';') {
+            let (lhs, rhs) = part.split_once('=').ok_or_else(|| {
+                QueryError::BadSpec(format!("line {line_no}: `{part}` has no `=`"))
+            })?;
+            let values: Result<Vec<u32>, _> =
+                rhs.split('|').map(|v| v.trim().parse::<u32>()).collect();
+            let values = values.map_err(|_| {
+                QueryError::BadSpec(format!("line {line_no}: bad value list `{rhs}`"))
+            })?;
+            if lhs == "s" {
+                if sens_pred.is_some() {
+                    return Err(QueryError::BadSpec(format!(
+                        "line {line_no}: duplicate sensitive predicate"
+                    )));
+                }
+                sens_pred = Some(InPredicate::new(values, md.sensitive_domain_size())?);
+            } else if let Some(attr) = lhs.strip_prefix("qi") {
+                let attr: usize = attr.parse().map_err(|_| {
+                    QueryError::BadSpec(format!("line {line_no}: bad attribute `{lhs}`"))
+                })?;
+                if attr >= md.qi_count() {
+                    return Err(QueryError::BadSpec(format!(
+                        "line {line_no}: QI attribute {attr} out of range"
+                    )));
+                }
+                if qi_preds.iter().any(|(a, _)| *a >= attr) {
+                    return Err(QueryError::BadSpec(format!(
+                        "line {line_no}: QI attributes must be strictly increasing"
+                    )));
+                }
+                qi_preds.push((attr, InPredicate::new(values, md.qi_domain_size(attr))?));
+            } else {
+                return Err(QueryError::BadSpec(format!(
+                    "line {line_no}: unknown predicate `{lhs}`"
+                )));
+            }
+        }
+        let sens_pred = sens_pred.ok_or_else(|| {
+            QueryError::BadSpec(format!("line {line_no}: missing sensitive predicate"))
+        })?;
+        queries.push(CountQuery {
+            qi_preds,
+            sens_pred,
+        });
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anatomy_tables::{Attribute, Schema, TableBuilder};
+
+    fn md(n: usize) -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("A", 78),
+            Attribute::categorical("B", 2),
+            Attribute::numerical("C", 17),
+            Attribute::categorical("S", 50),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..n as u32 {
+            b.push_row(&[i % 78, i % 2, (i / 3) % 17, (i * 7) % 50])
+                .unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 3).unwrap()
+    }
+
+    #[test]
+    fn predicate_width_follows_eq_14() {
+        // |A| = 78, s = 5%, qd = 2: b = ceil(78 * 0.05^(1/3)) = ceil(28.7).
+        assert_eq!(predicate_width(78, 0.05, 2), 29);
+        // Full selectivity accepts the whole domain.
+        assert_eq!(predicate_width(10, 1.0, 1), 10);
+        // Tiny domains never drop below one value.
+        assert_eq!(predicate_width(2, 0.0001, 1), 1);
+    }
+
+    #[test]
+    fn generate_produces_count_queries_with_qd_predicates() {
+        let md = md(500);
+        let spec = WorkloadSpec {
+            qd: 2,
+            selectivity: 0.05,
+            count: 25,
+            seed: 1,
+        };
+        let qs = spec.generate(&md).unwrap();
+        assert_eq!(qs.len(), 25);
+        for q in &qs {
+            assert_eq!(q.qd(), 2);
+            // attribute indices strictly increasing and within d
+            for w in q.qi_preds.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+            assert!(q.qi_preds.iter().all(|(i, _)| *i < 3));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let md = md(200);
+        let spec = WorkloadSpec {
+            qd: 1,
+            selectivity: 0.05,
+            count: 10,
+            seed: 7,
+        };
+        let a = spec.generate(&md).unwrap();
+        let b = spec.generate(&md).unwrap();
+        assert_eq!(a, b);
+        let c = WorkloadSpec { seed: 8, ..spec }.generate(&md).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn nonzero_generation_filters_empty_answers() {
+        let md = md(500);
+        let spec = WorkloadSpec {
+            qd: 2,
+            selectivity: 0.05,
+            count: 20,
+            seed: 3,
+        };
+        let qs = spec.generate_nonzero(&md).unwrap();
+        assert_eq!(qs.len(), 20);
+        for (q, act) in &qs {
+            assert!(*act > 0);
+            assert_eq!(evaluate_exact(&md, q), *act);
+        }
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        let md = md(100);
+        assert!(WorkloadSpec {
+            qd: 0,
+            selectivity: 0.05,
+            count: 1,
+            seed: 0
+        }
+        .generate(&md)
+        .is_err());
+        assert!(WorkloadSpec {
+            qd: 4,
+            selectivity: 0.05,
+            count: 1,
+            seed: 0
+        }
+        .generate(&md)
+        .is_err());
+        assert!(WorkloadSpec {
+            qd: 1,
+            selectivity: 0.0,
+            count: 1,
+            seed: 0
+        }
+        .generate(&md)
+        .is_err());
+        assert!(WorkloadSpec {
+            qd: 1,
+            selectivity: 1.5,
+            count: 1,
+            seed: 0
+        }
+        .generate(&md)
+        .is_err());
+    }
+
+    #[test]
+    fn exhaustion_reported_on_empty_microdata() {
+        let md = md(0);
+        let spec = WorkloadSpec {
+            qd: 1,
+            selectivity: 0.05,
+            count: 5,
+            seed: 0,
+        };
+        assert!(matches!(
+            spec.generate_nonzero(&md),
+            Err(QueryError::WorkloadExhausted {
+                produced: 0,
+                requested: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn workload_text_round_trips() {
+        let md = md(300);
+        let spec = WorkloadSpec {
+            qd: 2,
+            selectivity: 0.05,
+            count: 15,
+            seed: 9,
+        };
+        let queries = spec.generate(&md).unwrap();
+        let text = workload_to_text(&queries);
+        let back = workload_from_text(&md, &text).unwrap();
+        assert_eq!(back, queries);
+    }
+
+    #[test]
+    fn workload_text_rejects_malformed_lines() {
+        let md = md(50);
+        assert!(workload_from_text(&md, "nonsense\n").is_err());
+        assert!(workload_from_text(&md, "qi0=1;qi0=2;s=0\n").is_err()); // dup attr
+        assert!(workload_from_text(&md, "qi9=1;s=0\n").is_err()); // attr OOR
+        assert!(workload_from_text(&md, "qi0=1\n").is_err()); // no sensitive
+        assert!(workload_from_text(&md, "qi0=999;s=0\n").is_err()); // value OOR
+        assert!(workload_from_text(&md, "qi0=x;s=0\n").is_err()); // bad number
+        assert!(workload_from_text(&md, "").unwrap().is_empty());
+    }
+
+    #[test]
+    fn observed_selectivity_is_in_the_right_ballpark() {
+        // On roughly uniform independent data the mean observed selectivity
+        // should be within a factor ~3 of the nominal s.
+        let md = md(5000);
+        let spec = WorkloadSpec {
+            qd: 2,
+            selectivity: 0.05,
+            count: 60,
+            seed: 11,
+        };
+        let qs = spec.generate(&md).unwrap();
+        let mean: f64 = qs
+            .iter()
+            .map(|q| evaluate_exact(&md, q) as f64 / md.len() as f64)
+            .sum::<f64>()
+            / qs.len() as f64;
+        assert!(
+            (0.015..=0.15).contains(&mean),
+            "mean observed selectivity {mean} far from nominal 0.05"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Shared logical-I/O counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point-in-time snapshot of I/O counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Pages read.
+    pub page_reads: u64,
+    /// Pages written.
+    pub page_writes: u64,
+}
+
+impl IoStats {
+    /// Total I/Os — the quantity plotted on the y-axis of the paper's
+    /// Figures 8 and 9.
+    pub fn total(&self) -> u64 {
+        self.page_reads + self.page_writes
+    }
+
+    /// Counts accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            page_reads: self.page_reads - earlier.page_reads,
+            page_writes: self.page_writes - earlier.page_writes,
+        }
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} I/Os ({} reads, {} writes)",
+            self.total(),
+            self.page_reads,
+            self.page_writes
+        )
+    }
+}
+
+/// A cheaply clonable, thread-safe pair of page counters.
+///
+/// Every file and buffer pool participating in one experiment is created
+/// with a clone of the same counter, so the experiment harness can read a
+/// single total at the end.
+#[derive(Debug, Clone, Default)]
+pub struct IoCounter {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        IoCounter::default()
+    }
+
+    /// Charge `pages` page reads.
+    #[inline]
+    pub fn add_reads(&self, pages: u64) {
+        self.inner.reads.fetch_add(pages, Ordering::Relaxed);
+    }
+
+    /// Charge `pages` page writes.
+    #[inline]
+    pub fn add_writes(&self, pages: u64) {
+        self.inner.writes.fetch_add(pages, Ordering::Relaxed);
+    }
+
+    /// Snapshot the current counts.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            page_reads: self.inner.reads.load(Ordering::Relaxed),
+            page_writes: self.inner.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset both counters to zero (between experiment runs).
+    pub fn reset(&self) {
+        self.inner.reads.store(0, Ordering::Relaxed);
+        self.inner.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let c = IoCounter::new();
+        c.add_reads(3);
+        c.add_writes(2);
+        c.add_reads(1);
+        let s = c.stats();
+        assert_eq!(s.page_reads, 4);
+        assert_eq!(s.page_writes, 2);
+        assert_eq!(s.total(), 6);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = IoCounter::new();
+        let c2 = c.clone();
+        c2.add_writes(5);
+        assert_eq!(c.stats().page_writes, 5);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let c = IoCounter::new();
+        c.add_reads(10);
+        let before = c.stats();
+        c.add_reads(7);
+        c.add_writes(1);
+        let delta = c.stats().since(&before);
+        assert_eq!(
+            delta,
+            IoStats {
+                page_reads: 7,
+                page_writes: 1
+            }
+        );
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = IoCounter::new();
+        c.add_reads(10);
+        c.reset();
+        assert_eq!(c.stats().total(), 0);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = IoCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_reads(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().page_reads, 8000);
+    }
+
+    #[test]
+    fn display_shows_total_and_split() {
+        let c = IoCounter::new();
+        c.add_reads(2);
+        c.add_writes(3);
+        let s = c.stats().to_string();
+        assert!(s.contains('5') && s.contains('2') && s.contains('3'));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the simulated storage layer.
+
+use std::fmt;
+
+/// Errors produced by the simulated storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A record is larger than a page and can never be stored.
+    RecordLargerThanPage {
+        /// Encoded record length in bytes.
+        record_len: usize,
+        /// Configured page size in bytes.
+        page_size: usize,
+    },
+    /// The buffer pool has no free frames for a requested lease.
+    PoolExhausted {
+        /// Pages requested.
+        requested: usize,
+        /// Pages currently free.
+        available: usize,
+        /// Total pool capacity.
+        capacity: usize,
+    },
+    /// A page's bytes could not be decoded as records (corruption or a
+    /// codec/file mismatch).
+    Decode(String),
+    /// An operation was asked to partition into zero buckets, or a similar
+    /// degenerate request.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::RecordLargerThanPage {
+                record_len,
+                page_size,
+            } => write!(
+                f,
+                "record of {record_len} bytes cannot fit in a {page_size}-byte page"
+            ),
+            StorageError::PoolExhausted {
+                requested,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "buffer pool exhausted: requested {requested} pages, {available} free of {capacity}"
+            ),
+            StorageError::Decode(msg) => write!(f, "record decode failed: {msg}"),
+            StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_numbers() {
+        let e = StorageError::RecordLargerThanPage {
+            record_len: 8192,
+            page_size: 4096,
+        };
+        assert!(e.to_string().contains("8192"));
+        let e = StorageError::PoolExhausted {
+            requested: 3,
+            available: 1,
+            capacity: 50,
+        };
+        assert!(e.to_string().contains("50"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Sequential record files over simulated pages.
+//!
+//! A [`SimFile`] is a sequence of byte pages, each at most `page_size`
+//! bytes, holding fixed-size records back to back. [`SeqWriter`] charges one
+//! page write each time an output buffer fills (plus one for the final
+//! partial page); [`SeqReader`] charges one page read each time it crosses
+//! into a new page. These are exactly the sequential-scan semantics assumed
+//! by Theorem 3's `O(n/b)` analysis.
+
+use crate::buffer::{BufferPool, PageLease};
+use crate::counter::IoCounter;
+use crate::error::StorageError;
+use crate::page::PageConfig;
+use crate::record::FixedCodec;
+
+/// An in-memory simulated file: a vector of byte pages.
+///
+/// ```
+/// use anatomy_storage::{
+///     BufferPool, IoCounter, PageConfig, SeqReader, SeqWriter, SimFile, U32RowCodec,
+/// };
+///
+/// let cfg = PageConfig::paper(); // 4096-byte pages
+/// let pool = BufferPool::paper(); // 50-page memory budget
+/// let counter = IoCounter::new();
+/// let codec = U32RowCodec::new(3);
+///
+/// let mut file = SimFile::new();
+/// let mut w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone())?;
+/// for i in 0..1000u32 {
+///     w.push(&vec![i, i * 2, i * 3]);
+/// }
+/// w.finish();
+/// // 341 twelve-byte records per 4096-byte page -> 3 pages written.
+/// assert_eq!(counter.stats().page_writes, 3);
+///
+/// let r = SeqReader::open(&file, codec, &pool, counter.clone())?;
+/// assert_eq!(r.count(), 1000);
+/// assert_eq!(counter.stats().page_reads, 3);
+/// # Ok::<(), anatomy_storage::StorageError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimFile {
+    pages: Vec<Box<[u8]>>,
+    record_count: usize,
+}
+
+impl SimFile {
+    /// A new empty file.
+    pub fn new() -> Self {
+        SimFile::default()
+    }
+
+    /// Number of pages on "disk".
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of records stored.
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    /// Whether the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.record_count == 0
+    }
+
+    /// Total bytes stored (sum of used page bytes).
+    pub fn byte_len(&self) -> usize {
+        self.pages.iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Sequential writer that packs fixed-size records into pages.
+///
+/// Holds one buffer page leased from the pool for the duration of the
+/// write. Call [`SeqWriter::finish`] to flush the final partial page; it is
+/// also flushed on drop, but `finish` lets the caller observe the file.
+pub struct SeqWriter<'a, C: FixedCodec> {
+    codec: C,
+    cfg: PageConfig,
+    counter: IoCounter,
+    file: &'a mut SimFile,
+    buf: Vec<u8>,
+    _lease: PageLease,
+}
+
+impl<'a, C: FixedCodec> SeqWriter<'a, C> {
+    /// Open a writer appending to `file`, leasing one buffer page from
+    /// `pool`.
+    pub fn open(
+        file: &'a mut SimFile,
+        codec: C,
+        cfg: PageConfig,
+        pool: &BufferPool,
+        counter: IoCounter,
+    ) -> Result<Self, StorageError> {
+        if codec.record_len() > cfg.page_size {
+            return Err(StorageError::RecordLargerThanPage {
+                record_len: codec.record_len(),
+                page_size: cfg.page_size,
+            });
+        }
+        let lease = pool.try_lease(1)?;
+        Ok(SeqWriter {
+            codec,
+            cfg,
+            counter,
+            file,
+            buf: Vec::with_capacity(cfg.page_size),
+            _lease: lease,
+        })
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, record: &C::Record) {
+        if self.buf.len() + self.codec.record_len() > self.cfg.page_size {
+            self.flush_page();
+        }
+        self.codec.encode(record, &mut self.buf);
+        self.file.record_count += 1;
+    }
+
+    fn flush_page(&mut self) {
+        if !self.buf.is_empty() {
+            let page = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cfg.page_size));
+            self.file.pages.push(page.into_boxed_slice());
+            self.counter.add_writes(1);
+        }
+    }
+
+    /// Flush the final partial page and release the buffer.
+    pub fn finish(mut self) {
+        self.flush_page();
+    }
+}
+
+impl<C: FixedCodec> Drop for SeqWriter<'_, C> {
+    fn drop(&mut self) {
+        self.flush_page();
+    }
+}
+
+/// Sequential reader over a [`SimFile`].
+///
+/// Holds one buffer page leased from the pool. Implements `Iterator`,
+/// yielding decoded records; a page read is charged lazily when the cursor
+/// first touches each page.
+pub struct SeqReader<'a, C: FixedCodec> {
+    codec: C,
+    counter: IoCounter,
+    file: &'a SimFile,
+    page_idx: usize,
+    offset: usize,
+    _lease: PageLease,
+}
+
+impl<'a, C: FixedCodec> SeqReader<'a, C> {
+    /// Open a reader over `file`, leasing one buffer page from `pool`.
+    pub fn open(
+        file: &'a SimFile,
+        codec: C,
+        pool: &BufferPool,
+        counter: IoCounter,
+    ) -> Result<Self, StorageError> {
+        let lease = pool.try_lease(1)?;
+        Ok(SeqReader {
+            codec,
+            counter,
+            file,
+            page_idx: 0,
+            offset: 0,
+            _lease: lease,
+        })
+    }
+}
+
+impl<C: FixedCodec> Iterator for SeqReader<'_, C> {
+    type Item = Result<C::Record, StorageError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let page = self.file.pages.get(self.page_idx)?;
+            if self.offset == 0 {
+                // first touch of this page
+                self.counter.add_reads(1);
+            }
+            if self.offset + self.codec.record_len() <= page.len() {
+                let mut slice = &page[self.offset..];
+                let rec = self.codec.decode(&mut slice);
+                self.offset += self.codec.record_len();
+                return Some(rec);
+            }
+            // move to next page
+            self.page_idx += 1;
+            self.offset = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::U32RowCodec;
+
+    fn setup() -> (PageConfig, BufferPool, IoCounter) {
+        // Tiny pages: 3 records of arity 2 (8 bytes each) per 25-byte page.
+        (
+            PageConfig::with_page_size(25),
+            BufferPool::new(8),
+            IoCounter::new(),
+        )
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let (cfg, pool, counter) = setup();
+        let mut file = SimFile::new();
+        let codec = U32RowCodec::new(2);
+        let mut w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
+        for i in 0..10u32 {
+            w.push(&vec![i, i * 10]);
+        }
+        w.finish();
+
+        assert_eq!(file.record_count(), 10);
+        // 3 records per page -> ceil(10/3) = 4 pages
+        assert_eq!(file.page_count(), 4);
+        assert_eq!(counter.stats().page_writes, 4);
+
+        let r = SeqReader::open(&file, codec, &pool, counter.clone()).unwrap();
+        let rows: Vec<Vec<u32>> = r.map(|x| x.unwrap()).collect();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[7], vec![7, 70]);
+        assert_eq!(counter.stats().page_reads, 4);
+    }
+
+    #[test]
+    fn io_matches_page_math() {
+        let cfg = PageConfig::with_page_size(4096);
+        let pool = BufferPool::unbounded();
+        let counter = IoCounter::new();
+        let codec = U32RowCodec::new(8); // 32 bytes -> 128 per page
+        let mut file = SimFile::new();
+        let mut w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
+        let n = 1000usize;
+        for i in 0..n {
+            w.push(&vec![i as u32; 8]);
+        }
+        w.finish();
+        let expected_pages = cfg.pages_for(n, codec.record_len());
+        assert_eq!(expected_pages, 8); // ceil(1000/128)
+        assert_eq!(file.page_count(), expected_pages);
+        assert_eq!(counter.stats().page_writes, expected_pages as u64);
+    }
+
+    #[test]
+    fn empty_file_costs_nothing() {
+        let (cfg, pool, counter) = setup();
+        let mut file = SimFile::new();
+        let codec = U32RowCodec::new(2);
+        let w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
+        w.finish();
+        assert!(file.is_empty());
+        assert_eq!(file.page_count(), 0);
+
+        let mut r = SeqReader::open(&file, codec, &pool, counter.clone()).unwrap();
+        assert!(r.next().is_none());
+        assert_eq!(counter.stats().total(), 0);
+    }
+
+    #[test]
+    fn writer_and_reader_hold_leases() {
+        let (cfg, pool, counter) = setup();
+        let mut file = SimFile::new();
+        let codec = U32RowCodec::new(2);
+        {
+            let _w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
+            assert_eq!(pool.in_use(), 1);
+        }
+        assert_eq!(pool.in_use(), 0);
+        {
+            let _r = SeqReader::open(&file, codec, &pool, counter.clone()).unwrap();
+            assert_eq!(pool.in_use(), 1);
+        }
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_blocks_open() {
+        let (cfg, _, counter) = setup();
+        let pool = BufferPool::new(1);
+        let mut file = SimFile::new();
+        let codec = U32RowCodec::new(2);
+        let _w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
+        let file2 = SimFile::new();
+        assert!(matches!(
+            SeqReader::open(&file2, codec, &pool, counter),
+            Err(StorageError::PoolExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let cfg = PageConfig::with_page_size(4);
+        let pool = BufferPool::unbounded();
+        let counter = IoCounter::new();
+        let mut file = SimFile::new();
+        assert!(matches!(
+            SeqWriter::open(&mut file, U32RowCodec::new(2), cfg, &pool, counter),
+            Err(StorageError::RecordLargerThanPage {
+                record_len: 8,
+                page_size: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn drop_flushes_partial_page() {
+        let (cfg, pool, counter) = setup();
+        let mut file = SimFile::new();
+        let codec = U32RowCodec::new(2);
+        {
+            let mut w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
+            w.push(&vec![1, 2]);
+            // dropped without finish()
+        }
+        assert_eq!(file.record_count(), 1);
+        assert_eq!(file.page_count(), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            /// Any record batch round-trips through a SimFile, and the
+            /// I/O bill matches the page arithmetic exactly.
+            #[test]
+            fn write_read_round_trip(
+                records in proptest::collection::vec(
+                    proptest::collection::vec(0u32..1_000_000, 3..=3), 0..200),
+                page_size in 16usize..512,
+            ) {
+                let cfg = PageConfig::with_page_size(page_size);
+                let codec = U32RowCodec::new(3);
+                prop_assume!(codec.record_len() <= page_size);
+                let pool = BufferPool::unbounded();
+                let counter = IoCounter::new();
+                let mut file = SimFile::new();
+                let mut w =
+                    SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
+                for r in &records {
+                    w.push(r);
+                }
+                w.finish();
+                let expected_pages = cfg.pages_for(records.len(), codec.record_len());
+                prop_assert_eq!(file.page_count(), expected_pages);
+                prop_assert_eq!(counter.stats().page_writes, expected_pages as u64);
+
+                let r = SeqReader::open(&file, codec, &pool, counter.clone()).unwrap();
+                let back: Vec<Vec<u32>> = r.map(|x| x.unwrap()).collect();
+                prop_assert_eq!(back, records);
+                prop_assert_eq!(counter.stats().page_reads, expected_pages as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # anatomy-storage
+//!
+//! Simulated paged storage with *logical I/O accounting*.
+//!
+//! The Anatomy paper's efficiency claims are stated in logical I/Os:
+//! `Anatomize` runs in `O(n/b)` I/Os with `O(λ)` memory (Theorem 3), and the
+//! experiments of Section 6.2 count page I/Os with a 4096-byte page size and
+//! a memory capacity of 50 pages (Figures 8–9). Reproducing those figures
+//! requires a storage layer that *counts pages*, not a physical disk — the
+//! paper itself reports counts, not seconds.
+//!
+//! This crate provides:
+//!
+//! * [`IoCounter`] — thread-safe read/write page counters shared by every
+//!   component of one experiment;
+//! * [`FixedCodec`] / [`U32RowCodec`] — fixed-size record serialization, so
+//!   a page holds `⌊page_size / record_len⌋` records exactly as in the
+//!   paper's `b` records-per-page arithmetic;
+//! * [`SimFile`] with [`SeqWriter`] / [`SeqReader`] — sequential record
+//!   files materialized as real byte pages, charging one write per emitted
+//!   page and one read per consumed page;
+//! * [`BufferPool`] — a fixed budget of in-memory pages with RAII
+//!   [`PageLease`]s, used by the external algorithms to *prove* they respect
+//!   the 50-page memory limit rather than merely claim it;
+//! * [`hash_partition`] — external hash partitioning (the first phase of
+//!   `Anatomize`), with recursive multi-pass splitting when the fan-out
+//!   exceeds the buffer budget.
+
+pub mod buffer;
+pub mod counter;
+pub mod error;
+pub mod file;
+pub mod hash_partition;
+pub mod page;
+pub mod record;
+
+pub use buffer::{BufferPool, PageLease};
+pub use counter::{IoCounter, IoStats};
+pub use error::StorageError;
+pub use file::{SeqReader, SeqWriter, SimFile};
+pub use hash_partition::hash_partition;
+pub use page::{PageConfig, DEFAULT_PAGE_SIZE, PAPER_MEMORY_PAGES};
+pub use record::{FixedCodec, U32RowCodec};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

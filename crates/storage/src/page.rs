@@ -1,0 +1,93 @@
+//! Page-size configuration.
+
+/// The paper's page size: "with the page size set to 4096 bytes"
+/// (Section 6.2).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// The paper's memory budget: "a memory capacity of 50 pages"
+/// (Section 6.2).
+pub const PAPER_MEMORY_PAGES: usize = 50;
+
+/// Page-size configuration shared by files and pools of one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageConfig {
+    /// Page size in bytes. Must be positive.
+    pub page_size: usize,
+}
+
+impl PageConfig {
+    /// The paper's configuration (4096-byte pages).
+    pub const fn paper() -> Self {
+        PageConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+        }
+    }
+
+    /// A custom page size (primarily for tests, which use tiny pages to
+    /// exercise page-boundary logic with few records).
+    pub fn with_page_size(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        PageConfig { page_size }
+    }
+
+    /// Records of `record_len` bytes that fit in one page (`b` in the
+    /// paper's `O(n/b)` bounds). Zero when the record is larger than the
+    /// page.
+    pub fn records_per_page(&self, record_len: usize) -> usize {
+        // Zero-length records are degenerate; treat a page as holding one
+        // so loops still terminate.
+        self.page_size.checked_div(record_len).unwrap_or(1)
+    }
+
+    /// Pages needed to store `records` records of `record_len` bytes.
+    pub fn pages_for(&self, records: usize, record_len: usize) -> usize {
+        let per = self.records_per_page(record_len);
+        if per == 0 {
+            usize::MAX // unstorable; callers validate via RecordLargerThanPage
+        } else {
+            records.div_ceil(per)
+        }
+    }
+}
+
+impl Default for PageConfig {
+    fn default() -> Self {
+        PageConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(DEFAULT_PAGE_SIZE, 4096);
+        assert_eq!(PAPER_MEMORY_PAGES, 50);
+        assert_eq!(PageConfig::paper().page_size, 4096);
+        assert_eq!(PageConfig::default(), PageConfig::paper());
+    }
+
+    #[test]
+    fn records_per_page_floor() {
+        let cfg = PageConfig::with_page_size(100);
+        assert_eq!(cfg.records_per_page(30), 3);
+        assert_eq!(cfg.records_per_page(100), 1);
+        assert_eq!(cfg.records_per_page(101), 0);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let cfg = PageConfig::with_page_size(100);
+        assert_eq!(cfg.pages_for(0, 30), 0);
+        assert_eq!(cfg.pages_for(3, 30), 1);
+        assert_eq!(cfg.pages_for(4, 30), 2);
+        assert_eq!(cfg.pages_for(301, 10), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_page_size_rejected() {
+        let _ = PageConfig::with_page_size(0);
+    }
+}

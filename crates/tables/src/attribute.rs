@@ -1,0 +1,218 @@
+//! Attribute metadata: name, kind, domain, labels.
+
+use crate::error::TablesError;
+use crate::value::{CodeRange, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// Whether an attribute is numerical or categorical.
+///
+/// Both kinds are *discrete* — every CENSUS attribute in the paper's Table 6
+/// is discrete — but the distinction matters to the generalization baseline:
+/// numerical attributes are generalized with *free intervals* whose end
+/// points may fall anywhere in the domain, while categorical attributes are
+/// constrained to the nodes of a taxonomy tree (Table 6, last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeKind {
+    /// Totally ordered numeric domain (e.g. Age, Education); generalized
+    /// with free intervals.
+    Numerical,
+    /// Categorical domain with an assumed total order (paper footnote 2);
+    /// generalized along a taxonomy tree.
+    Categorical,
+}
+
+impl fmt::Display for AttributeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttributeKind::Numerical => write!(f, "numerical"),
+            AttributeKind::Categorical => write!(f, "categorical"),
+        }
+    }
+}
+
+/// A named discrete attribute with a finite ordered domain.
+///
+/// Cloning an `Attribute` is cheap: the (potentially large) label vector is
+/// behind an `Arc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: Arc<str>,
+    kind: AttributeKind,
+    domain_size: u32,
+    /// Optional human-readable labels, one per code, in code order.
+    labels: Option<Arc<[String]>>,
+}
+
+impl Attribute {
+    /// A numerical attribute with `domain_size` distinct values.
+    pub fn numerical(name: impl Into<String>, domain_size: u32) -> Self {
+        Self::new(name, AttributeKind::Numerical, domain_size)
+    }
+
+    /// A categorical attribute with `domain_size` distinct values.
+    pub fn categorical(name: impl Into<String>, domain_size: u32) -> Self {
+        Self::new(name, AttributeKind::Categorical, domain_size)
+    }
+
+    /// Generic constructor. Panics on an empty domain: a relation attribute
+    /// must be able to hold at least one value.
+    pub fn new(name: impl Into<String>, kind: AttributeKind, domain_size: u32) -> Self {
+        assert!(domain_size > 0, "attribute domain must be non-empty");
+        Attribute {
+            name: Arc::from(name.into()),
+            kind,
+            domain_size,
+            labels: None,
+        }
+    }
+
+    /// A categorical attribute whose domain is defined by a label list; the
+    /// domain size is the number of labels and the code order is the label
+    /// order.
+    pub fn with_labels(name: impl Into<String>, kind: AttributeKind, labels: Vec<String>) -> Self {
+        assert!(!labels.is_empty(), "attribute domain must be non-empty");
+        let domain_size = labels.len() as u32;
+        Attribute {
+            name: Arc::from(name.into()),
+            kind,
+            domain_size,
+            labels: Some(Arc::from(labels)),
+        }
+    }
+
+    /// Attribute name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Numerical or categorical.
+    #[inline]
+    pub fn kind(&self) -> AttributeKind {
+        self.kind
+    }
+
+    /// Number of distinct values in the domain (`|A|` in the paper's
+    /// Eq. 14).
+    #[inline]
+    pub fn domain_size(&self) -> u32 {
+        self.domain_size
+    }
+
+    /// The full domain as a code range `[0, domain_size-1]`.
+    #[inline]
+    pub fn full_range(&self) -> CodeRange {
+        CodeRange::new(0, self.domain_size - 1)
+    }
+
+    /// Whether `code` is a valid value of this attribute.
+    #[inline]
+    pub fn contains(&self, code: u32) -> bool {
+        code < self.domain_size
+    }
+
+    /// Validate a code, returning a descriptive error when out of domain.
+    pub fn check(&self, code: u32) -> Result<(), TablesError> {
+        if self.contains(code) {
+            Ok(())
+        } else {
+            Err(TablesError::ValueOutOfDomain {
+                attribute: self.name.to_string(),
+                code,
+                domain_size: self.domain_size,
+            })
+        }
+    }
+
+    /// Human-readable label for a code: the configured label if present,
+    /// otherwise the decimal code.
+    pub fn label(&self, value: Value) -> String {
+        match &self.labels {
+            Some(ls) if value.index() < ls.len() => ls[value.index()].clone(),
+            _ => value.code().to_string(),
+        }
+    }
+
+    /// Reverse lookup: code of a label (None for unlabeled attributes or an
+    /// unknown label).
+    pub fn code_of(&self, label: &str) -> Option<Value> {
+        let ls = self.labels.as_deref()?;
+        ls.iter().position(|l| l == label).map(|i| Value(i as u32))
+    }
+
+    /// Whether this attribute carries explicit labels.
+    pub fn has_labels(&self) -> bool {
+        self.labels.is_some()
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, |A|={})", self.name, self.kind, self.domain_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind_and_domain() {
+        let age = Attribute::numerical("Age", 78);
+        assert_eq!(age.name(), "Age");
+        assert_eq!(age.kind(), AttributeKind::Numerical);
+        assert_eq!(age.domain_size(), 78);
+        assert_eq!(age.full_range().len(), 78);
+
+        let sex = Attribute::categorical("Gender", 2);
+        assert_eq!(sex.kind(), AttributeKind::Categorical);
+    }
+
+    #[test]
+    fn check_accepts_domain_and_rejects_outside() {
+        let a = Attribute::numerical("Age", 10);
+        assert!(a.check(0).is_ok());
+        assert!(a.check(9).is_ok());
+        let err = a.check(10).unwrap_err();
+        assert!(matches!(
+            err,
+            TablesError::ValueOutOfDomain { code: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let g = Attribute::with_labels(
+            "Gender",
+            AttributeKind::Categorical,
+            vec!["M".into(), "F".into()],
+        );
+        assert_eq!(g.domain_size(), 2);
+        assert_eq!(g.label(Value(0)), "M");
+        assert_eq!(g.label(Value(1)), "F");
+        assert_eq!(g.code_of("F"), Some(Value(1)));
+        assert_eq!(g.code_of("X"), None);
+    }
+
+    #[test]
+    fn unlabeled_attribute_prints_codes() {
+        let a = Attribute::numerical("Age", 78);
+        assert_eq!(a.label(Value(23)), "23");
+        assert_eq!(a.code_of("23"), None);
+        assert!(!a.has_labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_is_rejected() {
+        let _ = Attribute::numerical("bad", 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = Attribute::categorical("Country", 83);
+        let s = a.to_string();
+        assert!(s.contains("Country") && s.contains("83") && s.contains("categorical"));
+    }
+}

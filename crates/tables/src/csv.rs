@@ -1,0 +1,201 @@
+//! Plain-text (CSV) serialization of tables.
+//!
+//! The format is deliberately simple — comma-separated decimal codes with a
+//! header row of attribute names — because the data is always discrete
+//! codes. The schema itself travels out of band (callers reconstruct it from
+//! their dataset definition); [`read_table`] validates every code against
+//! the supplied schema, so a mismatched schema is detected rather than
+//! silently accepted.
+
+use crate::error::TablesError;
+use crate::schema::Schema;
+use crate::table::{Table, TableBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Write `table` as CSV: a header of attribute names followed by one line of
+/// decimal codes per row.
+pub fn write_table<W: Write>(table: &Table, out: W) -> Result<(), TablesError> {
+    let mut w = std::io::BufWriter::new(out);
+    writeln!(w, "{}", table.schema().names().join(","))?;
+    let width = table.width();
+    let mut line = String::new();
+    for row in 0..table.len() {
+        line.clear();
+        for col in 0..width {
+            if col > 0 {
+                line.push(',');
+            }
+            // u32 formatting into a reused String keeps this allocation-free
+            // per row.
+            use std::fmt::Write as _;
+            write!(line, "{}", table.value(row, col).code()).expect("write to String");
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a CSV produced by [`write_table`] back into a table with the given
+/// schema. The header must match the schema's attribute names exactly.
+pub fn read_table<R: Read>(schema: Schema, input: R) -> Result<Table, TablesError> {
+    let mut reader = BufReader::new(input);
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(TablesError::Csv {
+            line: 1,
+            message: "missing header".into(),
+        });
+    }
+    let names: Vec<&str> = header.trim_end().split(',').collect();
+    let expected = schema.names();
+    if names != expected {
+        return Err(TablesError::Csv {
+            line: 1,
+            message: format!("header {names:?} does not match schema {expected:?}"),
+        });
+    }
+
+    let mut builder = TableBuilder::new(schema);
+    let mut codes: Vec<u32> = Vec::with_capacity(names.len());
+    let mut buf = String::new();
+    let mut line_no = 1usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = buf.trim_end();
+        if trimmed.is_empty() {
+            continue; // tolerate a trailing newline
+        }
+        codes.clear();
+        for field in trimmed.split(',') {
+            let code: u32 = field.trim().parse().map_err(|_| TablesError::Csv {
+                line: line_no,
+                message: format!("`{field}` is not a u32 code"),
+            })?;
+            codes.push(code);
+        }
+        builder.push_row(&codes).map_err(|e| TablesError::Csv {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(builder.finish())
+}
+
+/// Serialize to an in-memory string (useful in tests and examples).
+pub fn to_string(table: &Table) -> String {
+    let mut buf = Vec::new();
+    write_table(table, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is ASCII")
+}
+
+/// Parse from an in-memory string.
+pub fn from_str(schema: Schema, s: &str) -> Result<Table, TablesError> {
+    read_table(schema, s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::categorical("Gender", 2),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> Table {
+        let mut b = TableBuilder::new(schema());
+        b.push_row(&[23, 0]).unwrap();
+        b.push_row(&[61, 1]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let s = to_string(&t);
+        let back = from_str(schema(), &s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn header_mismatch_detected() {
+        let s = "Age,Sex\n23,0\n";
+        let err = from_str(schema(), s).unwrap_err();
+        assert!(matches!(err, TablesError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_code_reported_with_line() {
+        let s = "Age,Gender\n23,0\nx,1\n";
+        let err = from_str(schema(), s).unwrap_err();
+        assert!(matches!(err, TablesError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn out_of_domain_reported_with_line() {
+        let s = "Age,Gender\n23,5\n";
+        let err = from_str(schema(), s).unwrap_err();
+        match err {
+            TablesError::Csv { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("Gender"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_body_gives_empty_table() {
+        let t = from_str(schema(), "Age,Gender\n").unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(from_str(schema(), "").is_err());
+    }
+
+    #[test]
+    fn tolerates_blank_trailing_lines() {
+        let t = from_str(schema(), "Age,Gender\n23,0\n\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::attribute::Attribute;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            /// CSV round-trips arbitrary tables bit-for-bit.
+            #[test]
+            fn round_trip_arbitrary_tables(
+                rows in proptest::collection::vec((0u32..100, 0u32..7, 0u32..50), 0..60),
+            ) {
+                let schema = Schema::new(vec![
+                    Attribute::numerical("A", 100),
+                    Attribute::categorical("B", 7),
+                    Attribute::numerical("C", 50),
+                ]).unwrap();
+                let mut b = TableBuilder::new(schema.clone());
+                for &(x, y, z) in &rows {
+                    b.push_row(&[x, y, z]).unwrap();
+                }
+                let t = b.finish();
+                let text = to_string(&t);
+                let back = from_str(schema, &text).unwrap();
+                prop_assert_eq!(t, back);
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Microdata: a table with designated QI and sensitive columns.
+
+use crate::error::TablesError;
+use crate::table::Table;
+use crate::value::Value;
+
+/// A microdata relation `T` in the sense of the paper's Section 3: `d`
+/// quasi-identifier attributes `A1..Ad` plus one categorical sensitive
+/// attribute `As`.
+///
+/// The struct does not require QI columns to precede the sensitive column
+/// in the underlying table; it carries explicit column indices instead, so
+/// OCC-d / SAL-d projections (Section 6) are zero-copy designations over the
+/// same 9-column CENSUS table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Microdata {
+    table: Table,
+    qi: Vec<usize>,
+    sensitive: usize,
+}
+
+impl Microdata {
+    /// Designate `qi` columns and the `sensitive` column of `table`.
+    ///
+    /// Fails when an index is out of range, a QI column repeats, or the
+    /// sensitive column is also listed as QI (the paper's model keeps them
+    /// disjoint; see Definition 3's QIT/ST schemas).
+    pub fn new(table: Table, qi: Vec<usize>, sensitive: usize) -> Result<Self, TablesError> {
+        let width = table.width();
+        if sensitive >= width {
+            return Err(TablesError::InvalidMicrodata(format!(
+                "sensitive column {sensitive} out of range for width {width}"
+            )));
+        }
+        if qi.is_empty() {
+            return Err(TablesError::InvalidMicrodata(
+                "microdata needs at least one QI attribute".into(),
+            ));
+        }
+        for (i, &c) in qi.iter().enumerate() {
+            if c >= width {
+                return Err(TablesError::InvalidMicrodata(format!(
+                    "QI column {c} out of range for width {width}"
+                )));
+            }
+            if c == sensitive {
+                return Err(TablesError::InvalidMicrodata(format!(
+                    "column {c} designated both QI and sensitive"
+                )));
+            }
+            if qi[..i].contains(&c) {
+                return Err(TablesError::InvalidMicrodata(format!(
+                    "QI column {c} repeated"
+                )));
+            }
+        }
+        Ok(Microdata {
+            table,
+            qi,
+            sensitive,
+        })
+    }
+
+    /// Convenience constructor for the common layout where columns
+    /// `0..d` are QI and column `d` is sensitive.
+    pub fn with_leading_qi(table: Table, d: usize) -> Result<Self, TablesError> {
+        if d + 1 > table.width() {
+            return Err(TablesError::InvalidMicrodata(format!(
+                "leading-QI layout needs width >= {} but table has {}",
+                d + 1,
+                table.width()
+            )));
+        }
+        Microdata::new(table, (0..d).collect(), d)
+    }
+
+    /// The underlying table.
+    #[inline]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Number of tuples `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the microdata has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Number of QI attributes `d`.
+    #[inline]
+    pub fn qi_count(&self) -> usize {
+        self.qi.len()
+    }
+
+    /// Table column indices of the QI attributes, in QI order.
+    #[inline]
+    pub fn qi_columns(&self) -> &[usize] {
+        &self.qi
+    }
+
+    /// Table column index of the sensitive attribute.
+    #[inline]
+    pub fn sensitive_column(&self) -> usize {
+        self.sensitive
+    }
+
+    /// `t[i]` — the i-th QI value (0-based) of tuple `row`.
+    #[inline]
+    pub fn qi_value(&self, row: usize, i: usize) -> Value {
+        self.table.value(row, self.qi[i])
+    }
+
+    /// `t[d+1]` — the sensitive value of tuple `row`.
+    #[inline]
+    pub fn sensitive_value(&self, row: usize) -> Value {
+        self.table.value(row, self.sensitive)
+    }
+
+    /// The raw code array of the sensitive column.
+    #[inline]
+    pub fn sensitive_codes(&self) -> &[u32] {
+        self.table.column(self.sensitive)
+    }
+
+    /// The raw code array of the i-th QI attribute.
+    #[inline]
+    pub fn qi_codes(&self, i: usize) -> &[u32] {
+        self.table.column(self.qi[i])
+    }
+
+    /// Domain cardinality of the sensitive attribute (`λ` upper bound).
+    pub fn sensitive_domain_size(&self) -> u32 {
+        self.table
+            .schema()
+            .attribute(self.sensitive)
+            .expect("validated at construction")
+            .domain_size()
+    }
+
+    /// Domain cardinality of the i-th QI attribute.
+    pub fn qi_domain_size(&self, i: usize) -> u32 {
+        self.table
+            .schema()
+            .attribute(self.qi[i])
+            .expect("validated at construction")
+            .domain_size()
+    }
+
+    /// Restrict to the rows at `rows` (for sampling sweeps), preserving the
+    /// QI/sensitive designation.
+    pub fn gather(&self, rows: &[usize]) -> Result<Microdata, TablesError> {
+        Ok(Microdata {
+            table: self.table.gather(rows)?,
+            qi: self.qi.clone(),
+            sensitive: self.sensitive,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::categorical("Gender", 2),
+            Attribute::numerical("Zip", 60),
+            Attribute::categorical("Disease", 5),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(&[23, 0, 11, 0]).unwrap();
+        b.push_row(&[27, 0, 13, 1]).unwrap();
+        b.push_row(&[61, 1, 54, 2]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn designation_and_accessors() {
+        let m = Microdata::with_leading_qi(table(), 3).unwrap();
+        assert_eq!(m.qi_count(), 3);
+        assert_eq!(m.sensitive_column(), 3);
+        assert_eq!(m.qi_value(0, 0).code(), 23);
+        assert_eq!(m.sensitive_value(1).code(), 1);
+        assert_eq!(m.sensitive_codes(), &[0, 1, 2]);
+        assert_eq!(m.qi_codes(2), &[11, 13, 54]);
+        assert_eq!(m.sensitive_domain_size(), 5);
+        assert_eq!(m.qi_domain_size(1), 2);
+    }
+
+    #[test]
+    fn non_leading_designation() {
+        // Sensitive in the middle: QI = {Age, Zip}, sensitive = Gender.
+        let m = Microdata::new(table(), vec![0, 2], 1).unwrap();
+        assert_eq!(m.qi_value(2, 1).code(), 54);
+        assert_eq!(m.sensitive_value(2).code(), 1);
+    }
+
+    #[test]
+    fn invalid_designations_rejected() {
+        assert!(Microdata::new(table(), vec![0, 0], 3).is_err()); // repeated QI
+        assert!(Microdata::new(table(), vec![0, 3], 3).is_err()); // QI == sensitive
+        assert!(Microdata::new(table(), vec![0], 9).is_err()); // sensitive OOR
+        assert!(Microdata::new(table(), vec![9], 3).is_err()); // QI OOR
+        assert!(Microdata::new(table(), vec![], 3).is_err()); // no QI
+        assert!(Microdata::with_leading_qi(table(), 4).is_err()); // needs width 5
+    }
+
+    #[test]
+    fn gather_preserves_designation() {
+        let m = Microdata::with_leading_qi(table(), 3).unwrap();
+        let g = m.gather(&[2, 0]).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.sensitive_value(0).code(), 2);
+        assert_eq!(g.qi_value(1, 0).code(), 23);
+    }
+}

@@ -1,0 +1,132 @@
+//! Seeded random sampling of tables and microdata.
+//!
+//! The paper's Figures 7 and 9 sweep the dataset cardinality `n` by
+//! "randomly sampling n tuples from the full OCC-d or SAL-d" (Section 6).
+//! This module provides the corresponding deterministic, seeded sampler.
+
+use crate::error::TablesError;
+use crate::microdata::Microdata;
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draw a uniform sample of `n` distinct row indices from `0..len` using a
+/// partial Fisher–Yates shuffle (O(n) extra space, O(len) time worst case,
+/// but only the first `n` swaps are materialized via a sparse map).
+pub fn sample_indices(len: usize, n: usize, seed: u64) -> Result<Vec<usize>, TablesError> {
+    if n > len {
+        return Err(TablesError::SampleTooLarge {
+            requested: n,
+            available: len,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sparse Fisher–Yates: `moved[i]` records the value currently sitting at
+    // position i if it differs from i. Memory is O(n), not O(len).
+    let mut moved: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let j = rng.random_range(i..len);
+        let vj = *moved.get(&j).unwrap_or(&j);
+        let vi = *moved.get(&i).unwrap_or(&i);
+        out.push(vj);
+        moved.insert(j, vi);
+    }
+    Ok(out)
+}
+
+/// A uniform random sample of `n` rows of `table`, deterministic in `seed`.
+pub fn sample_table(table: &Table, n: usize, seed: u64) -> Result<Table, TablesError> {
+    let idx = sample_indices(table.len(), n, seed)?;
+    table.gather(&idx)
+}
+
+/// A uniform random sample of `n` tuples of `microdata`, deterministic in
+/// `seed`, preserving the QI/sensitive designation.
+pub fn sample_microdata(md: &Microdata, n: usize, seed: u64) -> Result<Microdata, TablesError> {
+    let idx = sample_indices(md.len(), n, seed)?;
+    md.gather(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![Attribute::numerical("Id", n as u32)]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..n {
+            b.push_row(&[i as u32]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn sample_is_distinct_and_in_range() {
+        let idx = sample_indices(1000, 100, 7).unwrap();
+        assert_eq!(idx.len(), 100);
+        let mut seen = std::collections::HashSet::new();
+        for &i in &idx {
+            assert!(i < 1000);
+            assert!(seen.insert(i), "duplicate index {i}");
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic_in_seed() {
+        let a = sample_indices(500, 50, 42).unwrap();
+        let b = sample_indices(500, 50, 42).unwrap();
+        let c = sample_indices(500, 50, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_sample_is_a_permutation() {
+        let idx = sample_indices(20, 20, 1).unwrap();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oversample_rejected() {
+        assert!(matches!(
+            sample_indices(5, 6, 0),
+            Err(TablesError::SampleTooLarge {
+                requested: 6,
+                available: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn sample_table_gathers_rows() {
+        let t = table(100);
+        let s = sample_table(&t, 10, 3).unwrap();
+        assert_eq!(s.len(), 10);
+        // every sampled value must exist in the population
+        for row in 0..s.len() {
+            assert!(s.value(row, 0).code() < 100);
+        }
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Chi-square-ish sanity check: sampling half of 10 values many times
+        // should hit every value a similar number of times.
+        let mut counts = [0usize; 10];
+        for seed in 0..200 {
+            for i in sample_indices(10, 5, seed).unwrap() {
+                counts[i] += 1;
+            }
+        }
+        // each index expected 100 times; allow generous slack
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((60..=140).contains(&c), "index {i} drawn {c} times");
+        }
+    }
+}

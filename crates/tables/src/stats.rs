@@ -1,0 +1,245 @@
+//! Frequency statistics over columns.
+//!
+//! The l-diversity machinery is built on one primitive: the histogram of a
+//! (sub)set of rows over one column — in particular the *sensitive* column,
+//! whose most-frequent count decides both the eligibility condition (proof
+//! of Property 1) and the l-diversity of a QI-group (Definition 2).
+
+use crate::value::Value;
+
+/// A dense histogram over a discrete domain of known size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// An all-zero histogram over a domain of `domain_size` codes.
+    pub fn new(domain_size: u32) -> Self {
+        Histogram {
+            counts: vec![0; domain_size as usize],
+            total: 0,
+        }
+    }
+
+    /// Histogram of all codes in `column`.
+    pub fn of_column(column: &[u32], domain_size: u32) -> Self {
+        let mut h = Histogram::new(domain_size);
+        for &c in column {
+            h.add(Value(c));
+        }
+        h
+    }
+
+    /// Histogram of `column` restricted to the rows in `rows`.
+    pub fn of_rows(column: &[u32], rows: &[usize], domain_size: u32) -> Self {
+        let mut h = Histogram::new(domain_size);
+        for &r in rows {
+            h.add(Value(column[r]));
+        }
+        h
+    }
+
+    /// Record one occurrence of `v`.
+    #[inline]
+    pub fn add(&mut self, v: Value) {
+        self.counts[v.index()] += 1;
+        self.total += 1;
+    }
+
+    /// Remove one occurrence of `v`. Panics if the count is already zero —
+    /// that is always a logic error in the caller.
+    #[inline]
+    pub fn remove(&mut self, v: Value) {
+        assert!(self.counts[v.index()] > 0, "removing absent value {v}");
+        self.counts[v.index()] -= 1;
+        self.total -= 1;
+    }
+
+    /// Occurrences of `v`.
+    #[inline]
+    pub fn count(&self, v: Value) -> usize {
+        self.counts[v.index()]
+    }
+
+    /// Total number of recorded occurrences.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Domain size the histogram was created with.
+    #[inline]
+    pub fn domain_size(&self) -> u32 {
+        self.counts.len() as u32
+    }
+
+    /// Number of codes with a non-zero count (`λ` in the paper's Section 4).
+    pub fn distinct(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The largest count and one code attaining it, or `None` when empty.
+    ///
+    /// This is `c_j(v)` for the most frequent sensitive value `v` — the
+    /// quantity bounded by Definition 2's `c_j(v)/|QI_j| <= 1/l`.
+    pub fn max(&self) -> Option<(Value, usize)> {
+        let (i, &c) = self.counts.iter().enumerate().max_by_key(|&(_, &c)| c)?;
+        if c == 0 {
+            None
+        } else {
+            Some((Value(i as u32), c))
+        }
+    }
+
+    /// Iterate over `(value, count)` pairs with non-zero counts, in code
+    /// order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Value, usize)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Value(i as u32), c))
+    }
+
+    /// Shannon entropy (nats) of the empirical distribution; 0 for an empty
+    /// histogram. Used by the entropy-l-diversity instantiation.
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        self.counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    }
+
+    /// Counts sorted descending — the form needed by recursive
+    /// (c,l)-diversity.
+    pub fn sorted_counts_desc(&self) -> Vec<usize> {
+        let mut cs: Vec<usize> = self.counts.iter().copied().filter(|&c| c > 0).collect();
+        cs.sort_unstable_by(|a, b| b.cmp(a));
+        cs
+    }
+}
+
+/// Pearson correlation of two code columns (as numeric sequences).
+/// Returns 0 for degenerate inputs (constant columns or length < 2).
+///
+/// Used to characterize synthetic datasets: the anatomy-vs-generalization
+/// comparison is only meaningful on correlated data (see
+/// `anatomy-data::census` and the `repro uniform` ablation).
+pub fn pearson(x: &[u32], y: &[u32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "columns must have equal length");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = x.iter().map(|&v| v as f64).sum::<f64>() / nf;
+    let my = y.iter().map(|&v| v as f64).sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let da = a as f64 - mx;
+        let db = b as f64 - my;
+        cov += da * db;
+        vx += da * da;
+        vy += db * db;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_column_counts_everything() {
+        let h = Histogram::of_column(&[0, 1, 1, 2, 1], 4);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.count(Value(1)), 3);
+        assert_eq!(h.count(Value(3)), 0);
+        assert_eq!(h.distinct(), 3);
+    }
+
+    #[test]
+    fn of_rows_respects_subset() {
+        let col = [0u32, 1, 1, 2, 1];
+        let h = Histogram::of_rows(&col, &[0, 3], 4);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count(Value(1)), 0);
+        assert_eq!(h.count(Value(2)), 1);
+    }
+
+    #[test]
+    fn max_returns_mode() {
+        let h = Histogram::of_column(&[2, 2, 0], 3);
+        assert_eq!(h.max(), Some((Value(2), 2)));
+        assert_eq!(Histogram::new(3).max(), None);
+    }
+
+    #[test]
+    fn add_remove_are_inverse() {
+        let mut h = Histogram::new(3);
+        h.add(Value(1));
+        h.add(Value(1));
+        h.remove(Value(1));
+        assert_eq!(h.count(Value(1)), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "removing absent value")]
+    fn remove_from_zero_panics() {
+        let mut h = Histogram::new(2);
+        h.remove(Value(0));
+    }
+
+    #[test]
+    fn nonzero_iterates_in_code_order() {
+        let h = Histogram::of_column(&[3, 0, 3], 5);
+        let pairs: Vec<(u32, usize)> = h.nonzero().map(|(v, c)| (v.code(), c)).collect();
+        assert_eq!(pairs, vec![(0, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_k() {
+        let h = Histogram::of_column(&[0, 1, 2, 3], 4);
+        let expected = (4.0f64).ln();
+        assert!((h.entropy() - expected).abs() < 1e-12);
+        assert_eq!(Histogram::new(4).entropy(), 0.0);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[0, 1, 2, 3], &[0, 2, 4, 6]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[0, 1, 2, 3], &[6, 4, 2, 0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[5, 5, 5], &[1, 2, 3]), 0.0); // constant column
+        assert_eq!(pearson(&[1], &[2]), 0.0); // too short
+        let r = pearson(&[1, 2, 3, 4, 5, 6, 7, 8], &[2, 1, 4, 3, 6, 5, 8, 7]);
+        assert!(r > 0.8 && r < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn pearson_rejects_ragged_input() {
+        let _ = pearson(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn sorted_counts_descend() {
+        let h = Histogram::of_column(&[0, 1, 1, 1, 2, 2], 3);
+        assert_eq!(h.sorted_counts_desc(), vec![3, 2, 1]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Borrowed tuple views over a column-major table.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use std::fmt;
+
+/// A borrowed view of one row of a [`Table`].
+///
+/// The underlying storage is column-major, so a `TupleRef` is just a table
+/// reference plus a row index; reading `t[i]` is a single indexed load from
+/// column `i`.
+#[derive(Clone, Copy)]
+pub struct TupleRef<'a> {
+    table: &'a Table,
+    row: usize,
+}
+
+impl<'a> TupleRef<'a> {
+    pub(crate) fn new(table: &'a Table, row: usize) -> Self {
+        debug_assert!(row < table.len());
+        TupleRef { table, row }
+    }
+
+    /// The row index in the parent table.
+    #[inline]
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// Value in column `col` (panics if out of range, like slice indexing).
+    #[inline]
+    pub fn get(&self, col: usize) -> Value {
+        self.table.value(self.row, col)
+    }
+
+    /// All values of the row, materialized in schema order.
+    pub fn to_vec(&self) -> Vec<Value> {
+        (0..self.table.width()).map(|c| self.get(c)).collect()
+    }
+
+    /// The schema of the parent table.
+    #[inline]
+    pub fn schema(&self) -> &'a Schema {
+        self.table.schema()
+    }
+
+    /// Render the row with attribute labels, for examples and reports.
+    pub fn labeled(&self) -> Vec<String> {
+        self.schema()
+            .attributes()
+            .iter()
+            .enumerate()
+            .map(|(c, a)| a.label(self.get(c)))
+            .collect()
+    }
+}
+
+impl fmt::Debug for TupleRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.to_vec().iter().map(|v| v.code()))
+            .finish()
+    }
+}
+
+impl PartialEq for TupleRef<'_> {
+    /// Two tuple views are equal when their value sequences are equal,
+    /// regardless of which table or row they come from.
+    fn eq(&self, other: &Self) -> bool {
+        self.table.width() == other.table.width()
+            && (0..self.table.width()).all(|c| self.get(c) == other.get(c))
+    }
+}
+
+impl Eq for TupleRef<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::attribute::Attribute;
+    use crate::schema::Schema;
+    use crate::table::TableBuilder;
+
+    fn tiny() -> crate::table::Table {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::categorical("Gender", 2),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(&[23, 0]).unwrap();
+        b.push_row(&[61, 1]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn get_reads_column_values() {
+        let t = tiny();
+        let r0 = t.tuple(0);
+        assert_eq!(r0.get(0).code(), 23);
+        assert_eq!(r0.get(1).code(), 0);
+        assert_eq!(r0.row(), 0);
+    }
+
+    #[test]
+    fn to_vec_matches_schema_order() {
+        let t = tiny();
+        let codes: Vec<u32> = t.tuple(1).to_vec().iter().map(|v| v.code()).collect();
+        assert_eq!(codes, vec![61, 1]);
+    }
+
+    #[test]
+    fn equality_is_by_value() {
+        let t = tiny();
+        assert_eq!(t.tuple(0), t.tuple(0));
+        assert_ne!(t.tuple(0), t.tuple(1));
+    }
+
+    #[test]
+    fn labeled_uses_attribute_labels() {
+        let schema = Schema::new(vec![Attribute::with_labels(
+            "Gender",
+            crate::attribute::AttributeKind::Categorical,
+            vec!["M".into(), "F".into()],
+        )])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(&[1]).unwrap();
+        let t = b.finish();
+        assert_eq!(t.tuple(0).labeled(), vec!["F".to_string()]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Value codes and display helpers.
+//!
+//! All attribute values in the workspace are discrete and are stored as
+//! `u32` codes in `0..domain_size` (see the crate docs). [`Value`] is a thin
+//! newtype over the code that exists so signatures distinguish "a value
+//! code" from "a row index" or "a count", all of which would otherwise be
+//! bare integers.
+
+use std::fmt;
+
+/// A discrete attribute value, encoded as its position in the attribute's
+/// ordered domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// The raw domain code.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The code as a `usize`, for indexing histograms and lookup tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Value {
+    #[inline]
+    fn from(code: u32) -> Self {
+        Value(code)
+    }
+}
+
+impl From<Value> for u32 {
+    #[inline]
+    fn from(v: Value) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An inclusive range of value codes `[lo, hi]`.
+///
+/// This is the discrete analogue of the paper's generalized intervals
+/// (Definition 4). The *length* of the interval is the number of distinct
+/// domain values it covers, matching the paper's convention for discrete
+/// attributes ("`L(QI[i])` should be interpreted as the number of different
+/// values in `QI[i]`", Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CodeRange {
+    /// Smallest code covered (inclusive).
+    pub lo: u32,
+    /// Largest code covered (inclusive).
+    pub hi: u32,
+}
+
+impl CodeRange {
+    /// A range covering the single code `c`.
+    #[inline]
+    pub fn point(c: u32) -> Self {
+        CodeRange { lo: c, hi: c }
+    }
+
+    /// A range covering `[lo, hi]`. Panics if `lo > hi`.
+    #[inline]
+    pub fn new(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "CodeRange requires lo <= hi (got [{lo}, {hi}])");
+        CodeRange { lo, hi }
+    }
+
+    /// Number of distinct codes covered.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        (self.hi - self.lo) as u64 + 1
+    }
+
+    /// Always false: a `CodeRange` covers at least one code.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `c` lies inside the range.
+    #[inline]
+    pub fn contains(&self, c: u32) -> bool {
+        self.lo <= c && c <= self.hi
+    }
+
+    /// Smallest range covering both `self` and `other`.
+    #[inline]
+    pub fn merge(&self, other: &CodeRange) -> CodeRange {
+        CodeRange {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Extend the range to cover `c`.
+    #[inline]
+    pub fn extend(&mut self, c: u32) {
+        if c < self.lo {
+            self.lo = c;
+        }
+        if c > self.hi {
+            self.hi = c;
+        }
+    }
+
+    /// Number of codes shared with `other` (0 if disjoint).
+    #[inline]
+    pub fn overlap(&self, other: &CodeRange) -> u64 {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo > hi {
+            0
+        } else {
+            (hi - lo) as u64 + 1
+        }
+    }
+}
+
+impl fmt::Display for CodeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::from(7u32);
+        assert_eq!(v.code(), 7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(u32::from(v), 7);
+        assert_eq!(v.to_string(), "7");
+    }
+
+    #[test]
+    fn range_len_counts_discrete_values() {
+        assert_eq!(CodeRange::point(5).len(), 1);
+        assert_eq!(CodeRange::new(2, 9).len(), 8);
+    }
+
+    #[test]
+    fn range_contains_boundaries() {
+        let r = CodeRange::new(3, 6);
+        assert!(r.contains(3));
+        assert!(r.contains(6));
+        assert!(!r.contains(2));
+        assert!(!r.contains(7));
+    }
+
+    #[test]
+    fn range_merge_and_extend() {
+        let a = CodeRange::new(1, 4);
+        let b = CodeRange::new(3, 9);
+        assert_eq!(a.merge(&b), CodeRange::new(1, 9));
+        let mut c = CodeRange::point(5);
+        c.extend(2);
+        c.extend(8);
+        assert_eq!(c, CodeRange::new(2, 8));
+    }
+
+    #[test]
+    fn range_overlap_counts_shared_codes() {
+        let a = CodeRange::new(0, 10);
+        let b = CodeRange::new(8, 20);
+        assert_eq!(a.overlap(&b), 3); // 8, 9, 10
+        assert_eq!(b.overlap(&a), 3);
+        let c = CodeRange::new(11, 12);
+        assert_eq!(a.overlap(&c), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn range_rejects_inverted_bounds() {
+        let _ = CodeRange::new(5, 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! Multiple sensitive attributes — the paper's Section 7 future-work
+//! direction, implemented.
+//!
+//! ```text
+//! cargo run --release --example multi_sensitive
+//! ```
+//!
+//! Publishes a census extract where *both* Occupation and Salary-class are
+//! sensitive: one shared QIT, one ST per sensitive attribute, and a
+//! per-attribute `1/l` guarantee (every QI-group holds pairwise-distinct
+//! values in every sensitive attribute).
+
+use anatomy::core::multi_sensitive::{anatomize_multi, MultiSensitiveMicrodata};
+use anatomy::data::census::{generate_census, CensusConfig, OCCUPATION, SALARY};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let census = generate_census(&CensusConfig::new(10_000));
+    // QI: Age, Gender, Education; sensitive: Occupation AND Salary-class.
+    let md = MultiSensitiveMicrodata::new(census, vec![0, 1, 2], vec![OCCUPATION, SALARY])?;
+    println!(
+        "microdata: {} tuples, {} QI attributes, {} sensitive attributes",
+        md.len(),
+        md.qi_columns().len(),
+        md.sensitive_count()
+    );
+
+    let l = 4;
+    let out = anatomize_multi(&md, l, 7)?;
+    let p = &out.partition;
+    println!("partition: {} QI-groups (l = {l})", p.group_count());
+
+    // Verify the per-attribute guarantee by inspection: in every group,
+    // each sensitive attribute's values are pairwise distinct, so an
+    // adversary's posterior on either attribute is uniform over >= l
+    // candidates.
+    for (k, &col) in md.sensitive_columns().iter().enumerate() {
+        let mut worst = 0.0f64;
+        for j in 0..p.group_count() as u32 {
+            let rows = p.group(j);
+            let mut values: Vec<u32> = rows
+                .iter()
+                .map(|&r| md.table().value(r as usize, col).code())
+                .collect();
+            values.sort_unstable();
+            values.dedup();
+            assert_eq!(
+                values.len(),
+                rows.len(),
+                "group {j} attr {k} has duplicates"
+            );
+            worst = worst.max(1.0 / rows.len() as f64);
+        }
+        let name = md.table().schema().attribute(col)?.name().to_string();
+        println!(
+            "attribute {name}: worst per-individual breach {:.1}% (bound 1/l = {:.1}%)",
+            worst * 100.0,
+            100.0 / l as f64
+        );
+        assert!(worst <= 1.0 / l as f64 + 1e-12);
+    }
+
+    // Each ST is publishable separately; counts are all 1 by construction.
+    for (k, st) in out.st.iter().enumerate() {
+        println!("ST for sensitive attribute {k}: {} records", st.len());
+        assert_eq!(st.len(), md.len());
+    }
+    println!("\nboth sensitive attributes enjoy the 1/{l} guarantee simultaneously.");
+    Ok(())
+}

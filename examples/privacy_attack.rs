@@ -1,0 +1,87 @@
+//! A privacy attack walk-through (Sections 3.2–3.3).
+//!
+//! ```text
+//! cargo run --release --example privacy_attack
+//! ```
+//!
+//! Plays the adversary: armed with Bob's and Alice's quasi-identifiers and
+//! the public voter registration list (the paper's Table 5), tries to infer
+//! their diseases from the published QIT/ST — and verifies that every
+//! inference is capped at `1/l`.
+
+use anatomy::core::adversary::{individual_breach_probability, natural_join};
+use anatomy::core::AnatomizedTables;
+use anatomy::data::tiny;
+use anatomy::tables::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let md = tiny::paper_microdata();
+    let l = 2;
+    let tables = AnatomizedTables::publish(&md, &tiny::paper_partition(), l)?;
+    let schema = md.table().schema();
+    let disease = schema.attribute(3)?.clone();
+
+    // --- The adversary's tool: QIT ⋈ ST (Lemma 1, Table 4). ---
+    println!("adversary view (QIT \u{22c8} ST), records about Bob:");
+    for rec in natural_join(&tables).iter().filter(|r| r.row == 0) {
+        println!(
+            "  (age {}, zip {}000) could have {} with probability {:.0}%",
+            rec.qi[0],
+            rec.qi[2],
+            disease.label(rec.value),
+            rec.probability * 100.0
+        );
+    }
+
+    // --- Attack 1: Bob (unique QI values). ---
+    let bob_real = md.sensitive_value(0);
+    let p = individual_breach_probability(&tables, &tiny::bob_qi(), bob_real)
+        .expect("Bob is in the microdata");
+    println!(
+        "\nBob: true disease {}, breach probability {:.0}%",
+        disease.label(bob_real),
+        p * 100.0
+    );
+    assert!(p <= 1.0 / l as f64 + 1e-12);
+
+    // --- Attack 2: Alice (QI values shared with another patient). ---
+    // The adversary cannot tell which of tuples 6/7 is Alice; Theorem 1
+    // averages over the scenarios.
+    let alice_real = md.sensitive_value(6);
+    let p = individual_breach_probability(&tables, &tiny::alice_qi(), alice_real)
+        .expect("Alice is in the microdata");
+    println!(
+        "Alice: true disease {}, breach probability {:.0}%",
+        disease.label(alice_real),
+        p * 100.0
+    );
+    assert!(p <= 1.0 / l as f64 + 1e-12);
+
+    // --- Attack 3: the voter list (Section 3.3). ---
+    // Anatomy reveals exactly who is present: Emily's QI values match no
+    // QIT row, so the adversary learns she is absent — the one edge
+    // generalization holds over anatomy. The breach bound is unaffected.
+    println!("\nvoter registration list (Table 5):");
+    for (name, age, sex, zip) in tiny::voter_list() {
+        let present = individual_breach_probability(
+            &tables,
+            &[Value(age), Value(sex), Value(zip)],
+            Value(0), // any value; we only care about presence here
+        )
+        .is_some();
+        println!(
+            "  {name:<10} -> {}",
+            if present {
+                "candidate (QI match in QIT)"
+            } else {
+                "provably absent"
+            }
+        );
+    }
+
+    println!(
+        "\nevery inference stayed at or below 1/l = {:.0}% (Theorem 1).",
+        100.0 / l as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! An append-only disease registry published incrementally.
+//!
+//! ```text
+//! cargo run --release --example streaming_registry
+//! ```
+//!
+//! Patients arrive one at a time; the registry releases a new QI-group the
+//! moment `l` distinct diagnoses are buffered, and never touches groups it
+//! has already released — the safe online variant of `Anatomize`
+//! implemented in `anatomy_core::incremental`.
+
+use anatomy::core::incremental::IncrementalPublisher;
+use anatomy::data::census::{generate_census, CensusConfig, OCCUPATION};
+use anatomy::tables::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Reuse the census generator as an arrival stream: QI = (Age, Gender,
+    // Education), sensitive = Occupation.
+    let census = generate_census(&CensusConfig::new(5_000));
+    let qi_schema = census.schema().project(&[0, 1, 2])?;
+    let sens_domain = census.schema().attribute(OCCUPATION)?.domain_size();
+
+    let l = 5;
+    let mut publisher = IncrementalPublisher::new(qi_schema, sens_domain, l)?;
+
+    let mut emitted_at: Vec<usize> = Vec::new();
+    for r in 0..census.len() {
+        let qi = [
+            census.value(r, 0).code(),
+            census.value(r, 1).code(),
+            census.value(r, 2).code(),
+        ];
+        let sensitive = Value(census.value(r, OCCUPATION).code());
+        if publisher.insert(&qi, sensitive)?.is_some() {
+            emitted_at.push(r);
+        }
+        // Periodic snapshot: consumers always see a valid l-diverse
+        // publication.
+        if r + 1 == 1_000 || r + 1 == 5_000 {
+            let snapshot = publisher.published()?;
+            println!(
+                "after {:>5} arrivals: {:>4} groups published, {:>4} tuples released, {:>2} buffered",
+                r + 1,
+                snapshot.group_count(),
+                snapshot.len(),
+                publisher.pending()
+            );
+        }
+    }
+
+    let t = publisher.published()?;
+    println!(
+        "\nfinal publication: {} of {} tuples in {} groups (all groups exactly l = {l})",
+        t.len(),
+        census.len(),
+        t.group_count()
+    );
+    let first = emitted_at.first().expect("at least one group forms");
+    println!("first group formed after {} arrivals", first + 1);
+    // Every group has l singleton values: the per-group optimum of
+    // Theorem 2 and the 1/l guarantee of Corollary 1, maintained online.
+    for j in 0..t.group_count() as u32 {
+        assert_eq!(t.group_size(j) as usize, l);
+        assert!(t.st_of(j).iter().all(|rec| rec.count == 1));
+    }
+    println!("every release along the way was a valid {l}-diverse anatomy publication.");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! # anatomy
+//!
+//! Facade crate for the Anatomy workspace — a Rust implementation of
+//! *Anatomy: Simple and Effective Privacy Preservation* (Xiao & Tao,
+//! VLDB 2006).
+//!
+//! Re-exports the public API of every member crate under stable module
+//! names:
+//!
+//! * [`tables`] — the columnar relation substrate (schemas, tables,
+//!   microdata, CSV, sampling, histograms);
+//! * [`storage`] — simulated paged storage with logical I/O accounting;
+//! * [`core`] — the Anatomy technique itself: `anatomize`, the published
+//!   QIT/ST pair, adversary analysis, RCE, plus the k-anonymity
+//!   comparison, the release/audit surface, and the incremental and
+//!   multi-sensitive extensions;
+//! * [`generalization`] — the baselines: l-diverse and k-anonymous
+//!   Mondrian, single-dimension global recoding, taxonomy trees,
+//!   information-loss metrics;
+//! * [`query`] — COUNT queries, workload generation, exact evaluation,
+//!   and the two estimators of the paper's Section 6;
+//! * [`data`] — the paper's worked example and the synthetic CENSUS.
+//!
+//! Start with the `quickstart` example; `DESIGN.md` maps the paper to the
+//! modules, and the `repro` binary (crate `anatomy-bench`) regenerates
+//! every table and figure. The `anatomy` binary (crate `anatomy-cli`)
+//! publishes, audits, and queries releases from the command line.
+
+pub use anatomy_core as core;
+pub use anatomy_data as data;
+pub use anatomy_generalization as generalization;
+pub use anatomy_query as query;
+pub use anatomy_storage as storage;
+pub use anatomy_tables as tables;

@@ -1,0 +1,213 @@
+//! End-to-end integration tests across the whole workspace: census
+//! generation → anonymization (both styles, in-memory and external) →
+//! publication → adversary analysis → query answering.
+
+use anatomy::core::adversary::{individual_breach_probability, tuple_breach_probabilities};
+use anatomy::core::anatomize_io::{anatomize_external, recommended_pool};
+use anatomy::core::{
+    anatomize, rce_lower_bound, rce_of_partition, AnatomizeConfig, AnatomizedTables,
+};
+use anatomy::data::census::{generate_census, CensusConfig};
+use anatomy::data::occ_sal::{occ_microdata, sal_microdata};
+use anatomy::data::taxonomies::census_methods;
+use anatomy::generalization::{mondrian, mondrian_external, MondrianConfig};
+use anatomy::query::{
+    estimate_anatomy, estimate_generalization, evaluate_exact, AccuracyReport, WorkloadSpec,
+};
+use anatomy::storage::{BufferPool, IoCounter, PageConfig, SeqReader, U32RowCodec};
+use anatomy::tables::{csv, sample::sample_microdata, Value};
+
+const L: usize = 10;
+
+#[test]
+fn census_anatomy_pipeline_preserves_privacy_and_utility() {
+    let census = generate_census(&CensusConfig::new(12_000));
+    let md = occ_microdata(census, 5).unwrap();
+
+    let partition = anatomize(&md, &AnatomizeConfig::new(L)).unwrap();
+    assert!(partition.is_l_diverse(&md, L));
+    let tables = AnatomizedTables::publish(&md, &partition, L).unwrap();
+
+    // Privacy: Corollary 1 for every tuple.
+    let bound = 1.0 / L as f64 + 1e-12;
+    for p in tuple_breach_probabilities(&tables, &md) {
+        assert!(p <= bound);
+    }
+
+    // Utility: Theorem 4.
+    let rce = rce_of_partition(&md, &partition);
+    let lower = rce_lower_bound(md.len(), L);
+    assert!(rce + 1e-6 >= lower);
+    assert!(rce <= lower * (1.0 + 1.0 / md.len() as f64) + 1e-6);
+
+    // Query accuracy: mean error below 10% — the paper's abstract claim.
+    let spec = WorkloadSpec {
+        qd: 5,
+        selectivity: 0.05,
+        count: 150,
+        seed: 99,
+    };
+    let workload = spec.generate_nonzero(&md).unwrap();
+    let report = AccuracyReport::evaluate(&workload, |q| estimate_anatomy(&tables, q));
+    assert!(
+        report.mean < 0.10,
+        "anatomy mean error {:.3} should be below 10%",
+        report.mean
+    );
+}
+
+#[test]
+fn census_generalization_pipeline_is_valid_but_less_accurate() {
+    let census = generate_census(&CensusConfig::new(12_000));
+    let md = sal_microdata(census, 5).unwrap();
+
+    let cfg = MondrianConfig {
+        l: L,
+        methods: census_methods(5),
+    };
+    let (partition, table) = mondrian(&md, &cfg).unwrap();
+    assert!(partition.is_l_diverse(&md, L));
+    assert!(table.is_l_diverse());
+    assert_eq!(table.len(), md.len());
+
+    let anat = anatomize(&md, &AnatomizeConfig::new(L)).unwrap();
+    let anatomy_tables = AnatomizedTables::publish(&md, &anat, L).unwrap();
+
+    let spec = WorkloadSpec {
+        qd: 5,
+        selectivity: 0.05,
+        count: 120,
+        seed: 5,
+    };
+    let workload = spec.generate_nonzero(&md).unwrap();
+    let gen_report = AccuracyReport::evaluate(&workload, |q| estimate_generalization(&table, q));
+    let ana_report = AccuracyReport::evaluate(&workload, |q| estimate_anatomy(&anatomy_tables, q));
+    assert!(
+        ana_report.mean < gen_report.mean,
+        "anatomy {:.3} should beat generalization {:.3}",
+        ana_report.mean,
+        gen_report.mean
+    );
+}
+
+#[test]
+fn external_anatomize_agrees_with_in_memory_semantics() {
+    let census = generate_census(&CensusConfig::new(5_000));
+    let md = occ_microdata(census, 4).unwrap();
+    let page = PageConfig::paper();
+    let pool = recommended_pool(md.sensitive_domain_size() as usize);
+    let counter = IoCounter::new();
+    let out = anatomize_external(&md, L, page, &pool, &counter).unwrap();
+
+    // Same group count as the in-memory algorithm (both are floor(n/l)).
+    let p = anatomize(&md, &AnatomizeConfig::new(L)).unwrap();
+    assert_eq!(out.groups, p.group_count());
+
+    // The external QIT is l-diverse: reconstruct groups and check.
+    let d = md.qi_count();
+    let reader_pool = BufferPool::unbounded();
+    let rows: Vec<Vec<u32>> = SeqReader::open(
+        &out.qit,
+        U32RowCodec::new(d + 1),
+        &reader_pool,
+        IoCounter::new(),
+    )
+    .unwrap()
+    .map(|r| r.unwrap())
+    .collect();
+    assert_eq!(rows.len(), md.len());
+    let st: Vec<Vec<u32>> =
+        SeqReader::open(&out.st, U32RowCodec::new(3), &reader_pool, IoCounter::new())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+    let mut group_sizes = vec![0usize; out.groups];
+    for rec in &st {
+        assert_eq!(rec[2], 1, "Anatomize groups carry distinct values only");
+        group_sizes[rec[0] as usize] += 1;
+    }
+    for (g, &s) in group_sizes.iter().enumerate() {
+        assert!(s >= L, "group {g} has {s} < l distinct values");
+    }
+}
+
+#[test]
+fn external_mondrian_matches_in_memory_group_count() {
+    let census = generate_census(&CensusConfig::new(4_000));
+    let md = sal_microdata(census, 3).unwrap();
+    let cfg = MondrianConfig {
+        l: L,
+        methods: census_methods(3),
+    };
+
+    let (p, _) = mondrian(&md, &cfg).unwrap();
+    let page = PageConfig::paper();
+    let pool = BufferPool::new(50);
+    let out = mondrian_external(&md, &cfg, page, &pool, &IoCounter::new()).unwrap();
+    assert_eq!(out.groups, p.group_count());
+}
+
+#[test]
+fn csv_round_trips_the_census() {
+    let census = generate_census(&CensusConfig::new(2_000));
+    let text = csv::to_string(&census);
+    let schema = census.schema().clone();
+    let back = csv::from_str(schema, &text).unwrap();
+    assert_eq!(census, back);
+}
+
+#[test]
+fn sampling_preserves_eligibility_at_scale() {
+    // The cardinality sweeps (Figures 7 and 9) sample the census; the
+    // samples must remain eligible for l = 10 or the sweeps would fail.
+    let census = generate_census(&CensusConfig::new(20_000));
+    let md = occ_microdata(census, 5).unwrap();
+    for n in [2_000usize, 5_000, 10_000] {
+        let s = sample_microdata(&md, n, n as u64).unwrap();
+        assert!(anatomize(&s, &AnatomizeConfig::new(L)).is_ok(), "n = {n}");
+    }
+}
+
+#[test]
+fn individual_breach_bound_holds_on_census_sample() {
+    let census = generate_census(&CensusConfig::new(3_000));
+    let md = occ_microdata(census, 3).unwrap();
+    let p = anatomize(&md, &AnatomizeConfig::new(L)).unwrap();
+    let tables = AnatomizedTables::publish(&md, &p, L).unwrap();
+
+    // Attack the first 200 tuples as "individuals" (their QI values may
+    // collide with other tuples — exactly the Theorem 1 scenario).
+    let bound = 1.0 / L as f64 + 1e-9;
+    for r in 0..200 {
+        let qi: Vec<Value> = (0..md.qi_count()).map(|i| md.qi_value(r, i)).collect();
+        let breach = individual_breach_probability(&tables, &qi, md.sensitive_value(r))
+            .expect("tuple exists");
+        assert!(breach <= bound, "row {r}: breach {breach}");
+    }
+}
+
+#[test]
+fn estimators_are_exact_on_degenerate_queries() {
+    // Cross-method sanity: when the query covers the entire space, both
+    // estimators return n exactly; the microdata agrees.
+    let census = generate_census(&CensusConfig::new(3_000));
+    let md = occ_microdata(census, 4).unwrap();
+    let anat = anatomize(&md, &AnatomizeConfig::new(L)).unwrap();
+    let tables = AnatomizedTables::publish(&md, &anat, L).unwrap();
+    let cfg = MondrianConfig {
+        l: L,
+        methods: census_methods(4),
+    };
+    let (_, gen) = mondrian(&md, &cfg).unwrap();
+
+    let full = anatomy::query::CountQuery {
+        qi_preds: (0..4)
+            .map(|i| (i, anatomy::query::InPredicate::full(md.qi_domain_size(i))))
+            .collect(),
+        sens_pred: anatomy::query::InPredicate::full(md.sensitive_domain_size()),
+    };
+    let n = md.len() as f64;
+    assert_eq!(evaluate_exact(&md, &full), md.len() as u64);
+    assert!((estimate_anatomy(&tables, &full) - n).abs() < 1e-6);
+    assert!((estimate_generalization(&gen, &full) - n).abs() < 1e-6);
+}

@@ -1,0 +1,170 @@
+//! Integration tests for the release/audit surfaces and the secondary
+//! baselines (k-anonymous Mondrian, single-dimension global recoding).
+
+use anatomy::core::kanonymity::{homogeneity_breach, partition_is_k_anonymous};
+use anatomy::core::release::{parse_release, qit_to_csv, st_to_csv};
+use anatomy::core::{anatomize, AnatomizeConfig, AnatomizedTables};
+use anatomy::data::census::{generate_census, CensusConfig};
+use anatomy::data::occ_sal::occ_microdata;
+use anatomy::data::taxonomies::census_methods;
+use anatomy::generalization::{
+    generalized_to_csv, global_recode, mondrian, mondrian_k_anonymous, parse_generalized,
+    MondrianConfig,
+};
+use anatomy::query::{estimate_anatomy, estimate_generalization, evaluate_exact, WorkloadSpec};
+
+const L: usize = 10;
+
+#[test]
+fn anatomy_release_round_trips_and_audits_on_census() {
+    let census = generate_census(&CensusConfig::new(4_000));
+    let md = occ_microdata(census, 4).unwrap();
+    let p = anatomize(&md, &AnatomizeConfig::new(L)).unwrap();
+    let tables = AnatomizedTables::publish(&md, &p, L).unwrap();
+
+    let qi_schema = md.table().schema().project(md.qi_columns()).unwrap();
+    let qit_csv = qit_to_csv(&tables);
+    let st_csv = st_to_csv(&tables);
+    let back = parse_release(qi_schema.clone(), &qit_csv, &st_csv, L).unwrap();
+    assert_eq!(back, tables);
+
+    // A consumer evaluating queries on the parsed release gets the same
+    // estimates as on the original publication.
+    let spec = WorkloadSpec {
+        qd: 3,
+        selectivity: 0.05,
+        count: 30,
+        seed: 17,
+    };
+    for (q, _) in spec.generate_nonzero(&md).unwrap() {
+        let a = estimate_anatomy(&tables, &q);
+        let b = estimate_anatomy(&back, &q);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    // Claiming more diversity than the release carries must fail the audit.
+    assert!(parse_release(qi_schema, &qit_csv, &st_csv, 50).is_err());
+}
+
+#[test]
+fn generalized_release_round_trips_on_census() {
+    let census = generate_census(&CensusConfig::new(4_000));
+    let md = occ_microdata(census, 3).unwrap();
+    let cfg = MondrianConfig {
+        l: L,
+        methods: census_methods(3),
+    };
+    let (_, table) = mondrian(&md, &cfg).unwrap();
+
+    let qi_schema = md.table().schema().project(md.qi_columns()).unwrap();
+    let names: Vec<&str> = qi_schema.names();
+    let csv = generalized_to_csv(&table, &names);
+    let back = parse_generalized(&qi_schema, md.sensitive_domain_size(), &csv, L).unwrap();
+    assert_eq!(back.len(), table.len());
+    assert!(back.is_l_diverse());
+
+    // Estimates agree between the original and the parsed release.
+    let spec = WorkloadSpec {
+        qd: 2,
+        selectivity: 0.05,
+        count: 30,
+        seed: 23,
+    };
+    for (q, _) in spec.generate_nonzero(&md).unwrap() {
+        let a = estimate_generalization(&table, &q);
+        let b = estimate_generalization(&back, &q);
+        assert!(
+            (a - b).abs() < 1e-9,
+            "estimates diverge: {a} vs {b} for {q}"
+        );
+    }
+}
+
+#[test]
+fn k_anonymous_census_is_weaker_than_l_diverse() {
+    let census = generate_census(&CensusConfig::new(5_000));
+    let md = occ_microdata(census, 4).unwrap();
+
+    let methods = census_methods(4);
+    let (kp, _) = mondrian_k_anonymous(&md, &methods, L).unwrap();
+    assert!(partition_is_k_anonymous(&kp, L));
+    let k_breach = homogeneity_breach(&md, &kp);
+
+    let lp = anatomize(&md, &AnatomizeConfig::new(L)).unwrap();
+    let l_breach = homogeneity_breach(&md, &lp);
+
+    assert!(l_breach <= 1.0 / L as f64 + 1e-12);
+    // On correlated data, pure k-anonymity leaves much larger exposure.
+    assert!(
+        k_breach > l_breach,
+        "k-anonymous breach {k_breach} should exceed l-diverse breach {l_breach}"
+    );
+}
+
+#[test]
+fn global_recoding_on_census_is_valid_and_coarser() {
+    let census = generate_census(&CensusConfig::new(5_000));
+    let md = occ_microdata(census, 3).unwrap();
+    let methods = census_methods(3);
+
+    let (gp, gt, levels) = global_recode(&md, &methods, L).unwrap();
+    assert!(gp.is_l_diverse(&md, L));
+    assert!(gt.is_l_diverse());
+    assert_eq!(gt.len(), md.len());
+    assert!(
+        levels.levels.iter().any(|&l| l > 0),
+        "census data needs generalization"
+    );
+
+    // Single-dimension recoding cannot be finer than Mondrian.
+    let (mp, _) = mondrian(&md, &MondrianConfig { l: L, methods }).unwrap();
+    assert!(mp.group_count() >= gp.group_count());
+
+    // Single-dimension invariant: groups with overlapping intervals on any
+    // attribute are identical on that attribute.
+    for a in 0..3 {
+        for i in 0..gt.group_count() {
+            for j in (i + 1)..gt.group_count() {
+                let ri = gt.groups()[i].ranges[a];
+                let rj = gt.groups()[j].ranges[a];
+                assert!(
+                    ri == rj || ri.overlap(&rj) == 0,
+                    "attr {a}: ranges {ri} and {rj} partially overlap"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn estimators_remain_bounded_on_adversarial_queries() {
+    // Queries with tiny true answers: estimators must stay non-negative
+    // and below n.
+    let census = generate_census(&CensusConfig::new(3_000));
+    let md = occ_microdata(census, 4).unwrap();
+    let p = anatomize(&md, &AnatomizeConfig::new(L)).unwrap();
+    let tables = AnatomizedTables::publish(&md, &p, L).unwrap();
+    let cfg = MondrianConfig {
+        l: L,
+        methods: census_methods(4),
+    };
+    let (_, gen) = mondrian(&md, &cfg).unwrap();
+
+    let spec = WorkloadSpec {
+        qd: 4,
+        selectivity: 0.01,
+        count: 60,
+        seed: 31,
+    };
+    for q in spec.generate(&md).unwrap() {
+        let n = md.len() as f64;
+        let a = estimate_anatomy(&tables, &q);
+        let g = estimate_generalization(&gen, &q);
+        assert!((0.0..=n).contains(&a), "anatomy estimate {a} out of [0, n]");
+        assert!(
+            (0.0..=n).contains(&g),
+            "generalization estimate {g} out of [0, n]"
+        );
+        let _ = evaluate_exact(&md, &q);
+    }
+}
