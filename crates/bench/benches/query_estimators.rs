@@ -1,12 +1,16 @@
 //! Criterion micro-benchmarks for query evaluation: ground truth vs the
-//! anatomy estimator vs the generalization estimator, per query.
+//! anatomy estimator vs the generalization estimator, per query — each
+//! scalar path head-to-head against its bitmap-indexed replacement.
 
 use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
 use anatomy_data::census::{generate_census, CensusConfig};
 use anatomy_data::occ_sal::occ_microdata;
 use anatomy_data::taxonomies::census_methods;
 use anatomy_generalization::{mondrian, MondrianConfig};
-use anatomy_query::{estimate_anatomy, estimate_generalization, evaluate_exact, WorkloadSpec};
+use anatomy_query::{
+    estimate_anatomy, estimate_anatomy_indexed, estimate_generalization, evaluate_exact,
+    evaluate_exact_indexed, QueryIndex, WorkloadSpec,
+};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -21,6 +25,7 @@ fn bench_estimators(c: &mut Criterion) {
         methods: census_methods(5),
     };
     let (_, gen) = mondrian(&md, &cfg).expect("eligible");
+    let index = QueryIndex::build(&md, &tables).expect("index");
     let queries = WorkloadSpec {
         qd: 5,
         selectivity: 0.05,
@@ -40,10 +45,24 @@ fn bench_estimators(c: &mut Criterion) {
             }
         });
     });
+    group.bench_function("exact_indexed", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(evaluate_exact_indexed(&index, q));
+            }
+        });
+    });
     group.bench_function("anatomy_estimate", |b| {
         b.iter(|| {
             for q in &queries {
                 black_box(estimate_anatomy(&tables, q));
+            }
+        });
+    });
+    group.bench_function("anatomy_estimate_indexed", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(estimate_anatomy_indexed(&index, &tables, q));
             }
         });
     });
@@ -53,6 +72,9 @@ fn bench_estimators(c: &mut Criterion) {
                 black_box(estimate_generalization(&gen, q));
             }
         });
+    });
+    group.bench_function("index_build", |b| {
+        b.iter(|| black_box(QueryIndex::build(&md, &tables).expect("index")));
     });
     group.finish();
 }

@@ -1,0 +1,183 @@
+//! `bench_query_index` — measure the bitmap index against the scalar
+//! query paths at paper scale and write the results to
+//! `BENCH_query_index.json`.
+//!
+//! ```text
+//! bench_query_index [--n N] [--queries Q] [--seed S] [--out FILE]
+//! ```
+//!
+//! Defaults: OCC-5 microdata with n = 100 000, l = 10, a 10 000-query
+//! workload at qd = 5, s = 5% (the Table 7 defaults). Every answer is
+//! cross-checked between the scalar and indexed paths before timings are
+//! reported, so a speedup number can never hide a wrong result.
+
+use anatomy_bench::runner::BenchResult;
+use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
+use anatomy_data::census::{generate_census, CensusConfig};
+use anatomy_data::occ_sal::occ_microdata;
+use anatomy_query::{
+    estimate_anatomy, estimate_anatomy_indexed, evaluate_exact, evaluate_exact_indexed, CountQuery,
+    QueryIndex, WorkloadSpec,
+};
+use anatomy_tables::Microdata;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Config {
+    n: usize,
+    queries: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        n: 100_000,
+        queries: 10_000,
+        seed: 1,
+        out: "BENCH_query_index.json".into(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--n" => cfg.n = next("--n").parse().expect("--n"),
+            "--queries" => cfg.queries = next("--queries").parse().expect("--queries"),
+            "--seed" => cfg.seed = next("--seed").parse().expect("--seed"),
+            "--out" => cfg.out = next("--out"),
+            other => {
+                eprintln!(
+                    "unknown argument {other}\nusage: bench_query_index [--n N] [--queries Q] [--seed S] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+/// Wall-clock milliseconds of one full pass over the workload.
+fn time_ms<R>(mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn run(cfg: &Config) -> BenchResult<String> {
+    const D: usize = 5;
+    const L: usize = 10;
+    const QD: usize = 5;
+    const S: f64 = 0.05;
+
+    eprintln!("# generating OCC-{D} microdata, n = {}", cfg.n);
+    let census = generate_census(&CensusConfig::new(cfg.n).with_seed(cfg.seed));
+    let md: Microdata = occ_microdata(census, D)?;
+    let partition = anatomize(&md, &AnatomizeConfig::new(L).with_seed(cfg.seed))?;
+    let tables = AnatomizedTables::publish(&md, &partition, L)?;
+
+    let build_start = Instant::now();
+    let index = QueryIndex::build(&md, &tables)?;
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    let memory_words = index.memory_words();
+
+    eprintln!(
+        "# generating {}-query workload (qd = {QD}, s = {S})",
+        cfg.queries
+    );
+    let queries: Vec<CountQuery> = WorkloadSpec {
+        qd: QD,
+        selectivity: S,
+        count: cfg.queries,
+        seed: cfg.seed ^ 0xF00D,
+    }
+    .generate(&md)?;
+
+    // Correctness gate: both paths must agree bit-for-bit on every query
+    // before any timing is trusted.
+    eprintln!("# cross-checking scalar vs indexed answers");
+    for q in &queries {
+        let exact_s = evaluate_exact(&md, q);
+        let exact_i = evaluate_exact_indexed(&index, q);
+        assert_eq!(exact_s, exact_i, "exact mismatch on {q}");
+        let est_s = estimate_anatomy(&tables, q);
+        let est_i = estimate_anatomy_indexed(&index, &tables, q);
+        assert!(
+            est_s == est_i,
+            "estimate mismatch on {q}: scalar {est_s} vs indexed {est_i}"
+        );
+    }
+
+    eprintln!("# timing (one full workload pass per configuration)");
+    let exact_scalar_ms = time_ms(|| queries.iter().map(|q| evaluate_exact(&md, q)).sum::<u64>());
+    let exact_indexed_ms = time_ms(|| {
+        queries
+            .iter()
+            .map(|q| evaluate_exact_indexed(&index, q))
+            .sum::<u64>()
+    });
+    let est_scalar_ms = time_ms(|| {
+        queries
+            .iter()
+            .map(|q| estimate_anatomy(&tables, q))
+            .sum::<f64>()
+    });
+    let est_indexed_ms = time_ms(|| {
+        queries
+            .iter()
+            .map(|q| estimate_anatomy_indexed(&index, &tables, q))
+            .sum::<f64>()
+    });
+
+    let exact_speedup = exact_scalar_ms / exact_indexed_ms;
+    let est_speedup = est_scalar_ms / est_indexed_ms;
+    eprintln!(
+        "# exact: scalar {exact_scalar_ms:.0} ms, indexed {exact_indexed_ms:.0} ms ({exact_speedup:.1}x)"
+    );
+    eprintln!(
+        "# estimate: scalar {est_scalar_ms:.0} ms, indexed {est_indexed_ms:.0} ms ({est_speedup:.1}x)"
+    );
+
+    Ok(format!(
+        r#"{{
+  "config": {{ "dataset": "OCC-{D}", "n": {n}, "l": {L}, "qd": {QD}, "selectivity": {S}, "queries": {q}, "seed": {seed} }},
+  "index": {{ "build_ms": {build_ms:.2}, "memory_words": {memory_words}, "memory_mib": {mem_mib:.2}, "groups": {groups} }},
+  "exact": {{ "scalar_ms": {exact_scalar_ms:.2}, "indexed_ms": {exact_indexed_ms:.2}, "speedup": {exact_speedup:.2} }},
+  "anatomy_estimate": {{ "scalar_ms": {est_scalar_ms:.2}, "indexed_ms": {est_indexed_ms:.2}, "speedup": {est_speedup:.2} }},
+  "answers_identical": true
+}}
+"#,
+        n = cfg.n,
+        q = cfg.queries,
+        seed = cfg.seed,
+        mem_mib = memory_words as f64 * 8.0 / (1024.0 * 1024.0),
+        groups = index.group_count(),
+    ))
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    match run(&cfg) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&cfg.out, &json) {
+                eprintln!("error writing {}: {e}", cfg.out);
+                return ExitCode::FAILURE;
+            }
+            print!("{json}");
+            eprintln!("# wrote {}", cfg.out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

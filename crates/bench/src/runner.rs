@@ -8,8 +8,8 @@ use anatomy_data::occ_sal::{census_microdata, SensitiveChoice};
 use anatomy_data::taxonomies::census_methods;
 use anatomy_generalization::{mondrian, mondrian_external, GeneralizedTable, MondrianConfig};
 use anatomy_query::{
-    estimate_anatomy, estimate_generalization, evaluate_exact, AccuracyReport, CountQuery,
-    WorkloadSpec,
+    estimate_anatomy_indexed, estimate_generalization, evaluate_exact_indexed, AccuracyReport,
+    CountQuery, QueryIndex, WorkloadSpec,
 };
 use anatomy_storage::{BufferPool, IoCounter, PageConfig, PAPER_MEMORY_PAGES};
 use anatomy_tables::sample::sample_microdata;
@@ -57,54 +57,48 @@ pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec
     let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     let out_chunks: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot_chunk, item_chunk) in out_chunks.into_iter().zip(items.chunks(chunk)) {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     out.into_iter()
         .map(|r| r.expect("all slots filled"))
         .collect()
 }
 
-/// Generate `spec.count` queries with non-zero true answers, evaluating the
-/// ground truth in parallel. Mirrors `WorkloadSpec::generate_nonzero` but
-/// scales to the paper's 10 000-query workloads.
+/// Generate `spec.count` queries with non-zero true answers, answering the
+/// ground truth through `index` (batches run through [`par_map`]).
+///
+/// This is [`WorkloadSpec::generate_nonzero_with`] under the hood, so the
+/// workload is *identical* to what `WorkloadSpec::generate_nonzero`
+/// produces for the same spec — the harness merely supplies a faster
+/// evaluator. `index` must cover `md` (e.g. [`QueryIndex::from_microdata`]
+/// or [`QueryIndex::build`] against a publication of `md`).
+pub fn nonzero_workload_with(
+    md: &Microdata,
+    index: &QueryIndex,
+    spec: &WorkloadSpec,
+) -> BenchResult<Vec<(CountQuery, u64)>> {
+    Ok(spec.generate_nonzero_with(md, |batch| {
+        par_map(batch, |q| evaluate_exact_indexed(index, q))
+    })?)
+}
+
+/// [`nonzero_workload_with`] over a throwaway microdata-only index. Scales
+/// to the paper's 10 000-query workloads: the one-scan index build is
+/// repaid thousands of times over.
 pub fn nonzero_workload(
     md: &Microdata,
     spec: &WorkloadSpec,
 ) -> BenchResult<Vec<(CountQuery, u64)>> {
-    let mut out: Vec<(CountQuery, u64)> = Vec::with_capacity(spec.count);
-    let mut round = 0u64;
-    while out.len() < spec.count && round < 20 {
-        let need = spec.count - out.len();
-        let batch = WorkloadSpec {
-            count: (need * 3 / 2).max(64),
-            seed: spec.seed.wrapping_add(round.wrapping_mul(0x51ED_270B)),
-            ..*spec
-        };
-        let queries = batch.generate(md)?;
-        let acts = par_map(&queries, |q| evaluate_exact(md, q));
-        for (q, act) in queries.into_iter().zip(acts) {
-            if act > 0 && out.len() < spec.count {
-                out.push((q, act));
-            }
-        }
-        round += 1;
-    }
-    if out.len() < spec.count {
-        return Err(Box::new(anatomy_query::QueryError::WorkloadExhausted {
-            produced: out.len(),
-            requested: spec.count,
-        }));
-    }
-    Ok(out)
+    let index = QueryIndex::from_microdata(md);
+    nonzero_workload_with(md, &index, spec)
 }
 
 /// Published tables for one accuracy experiment.
@@ -151,16 +145,19 @@ pub fn accuracy_experiment(
     seed: u64,
 ) -> BenchResult<AccuracyOutcome> {
     let pair = publish_both(md, l, seed)?;
+    // One group-clustered index serves both the ground-truth loop and the
+    // anatomy estimator across the whole workload.
+    let index = QueryIndex::build(md, &pair.anatomy)?;
     let spec = WorkloadSpec {
         qd,
         selectivity: s,
         count: queries,
         seed: seed ^ 0xF00D,
     };
-    let workload = nonzero_workload(md, &spec)?;
+    let workload = nonzero_workload_with(md, &index, &spec)?;
 
     let ana_errors: Vec<f64> = par_map(&workload, |(q, act)| {
-        anatomy_query::relative_error(*act, estimate_anatomy(&pair.anatomy, q))
+        anatomy_query::relative_error(*act, estimate_anatomy_indexed(&index, &pair.anatomy, q))
     });
     let gen_errors: Vec<f64> = par_map(&workload, |(q, act)| {
         anatomy_query::relative_error(*act, estimate_generalization(&pair.generalization, q))
@@ -283,5 +280,29 @@ mod tests {
         let w = nonzero_workload(&md, &spec).unwrap();
         assert_eq!(w.len(), 100);
         assert!(w.iter().all(|&(_, act)| act > 0));
+    }
+
+    /// The harness workload and the query crate's generator must agree
+    /// query-for-query on the same spec: the harness only swaps in a faster
+    /// evaluator, it does not get its own random stream.
+    #[test]
+    fn nonzero_workload_matches_query_crate_generator() {
+        let env = Env::new(tiny_scale());
+        let md = env
+            .microdata(SensitiveChoice::Occupation, 3, 2_000)
+            .unwrap();
+        for seed in [5u64, 6, 1234] {
+            let spec = WorkloadSpec {
+                qd: 2,
+                selectivity: 0.05,
+                count: 80,
+                seed,
+            };
+            assert_eq!(
+                nonzero_workload(&md, &spec).unwrap(),
+                spec.generate_nonzero(&md).unwrap(),
+                "seed {seed}"
+            );
+        }
     }
 }

@@ -47,7 +47,7 @@ pub enum Command {
         l: usize,
     },
     /// `anatomy query --qit F --st F --schema F --sensitive NAME --l N
-    ///  --query SPEC`
+    ///  --query SPEC [--indexed]`
     Query {
         /// QIT CSV path.
         qit: String,
@@ -61,6 +61,9 @@ pub enum Command {
         l: usize,
         /// Query in the `anatomy_query::workload_to_text` line format.
         query: String,
+        /// Estimate through the bitmap query index instead of the scalar
+        /// estimator (identical answers; faster on many-query batches).
+        indexed: bool,
     },
 }
 
@@ -70,7 +73,10 @@ usage:
   anatomy stats   --data F --schema F --sensitive NAME
   anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N]
   anatomy audit   --qit F --st F --schema F --sensitive NAME --l N
-  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0'";
+  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed]";
+
+/// Flags that take no value; their presence alone means "true".
+const BOOLEAN_FLAGS: &[&str] = &["indexed"];
 
 fn flags(args: &[String]) -> CliResult<HashMap<String, String>> {
     let mut map = HashMap::new();
@@ -79,8 +85,14 @@ fn flags(args: &[String]) -> CliResult<HashMap<String, String>> {
         let key = a
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{a}`"))?;
-        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        if map.insert(key.to_string(), value.clone()).is_some() {
+        let value = if BOOLEAN_FLAGS.contains(&key) {
+            "true".to_string()
+        } else {
+            it.next()
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone()
+        };
+        if map.insert(key.to_string(), value).is_some() {
             return Err(format!("--{key} given twice"));
         }
     }
@@ -141,6 +153,7 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
                 .parse()
                 .map_err(|_| "--l must be an integer")?,
             query: take(&mut map, "query")?,
+            indexed: map.remove("indexed").is_some(),
         },
         other => return Err(format!("unknown command `{other}`\n{USAGE}")),
     };
@@ -210,8 +223,32 @@ mod tests {
         ))
         .unwrap();
         match c {
-            Command::Query { query, .. } => assert_eq!(query, "qi0=1;s=0"),
+            Command::Query { query, indexed, .. } => {
+                assert_eq!(query, "qi0=1;s=0");
+                assert!(!indexed);
+            }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn indexed_is_a_boolean_flag() {
+        // `--indexed` consumes no value: `--query` right after it still
+        // parses as a flag, not as `--indexed`'s value.
+        let c = parse_args(&argv(
+            "query --qit q --st t --schema s --sensitive X --l 3 --indexed --query qi0=1;s=0",
+        ))
+        .unwrap();
+        match c {
+            Command::Query { query, indexed, .. } => {
+                assert_eq!(query, "qi0=1;s=0");
+                assert!(indexed);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&argv(
+            "query --qit q --st t --schema s --sensitive X --l 3 --query qi0=1;s=0 --indexed --indexed"
+        ))
+        .is_err());
     }
 }

@@ -7,7 +7,7 @@ use anatomy_core::adversary::tuple_value_probability;
 use anatomy_core::diversity::max_feasible_l;
 use anatomy_core::release::{parse_release, qit_to_csv, st_to_csv};
 use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
-use anatomy_query::{estimate_anatomy, workload_from_text};
+use anatomy_query::{estimate_anatomy, workload_from_text, QueryIndex};
 use anatomy_tables::{csv, Microdata, Schema, Table, TableBuilder, Value};
 use std::fmt::Write as _;
 use std::fs;
@@ -43,7 +43,8 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             sensitive,
             l,
             query,
-        } => query_cmd(qit, st, schema, sensitive, *l, query),
+            indexed,
+        } => query_cmd(qit, st, schema, sensitive, *l, query, *indexed),
     }
 }
 
@@ -190,6 +191,7 @@ fn audit(
     ))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn query_cmd(
     qit_path: &str,
     st_path: &str,
@@ -197,6 +199,7 @@ fn query_cmd(
     sensitive: &str,
     l: usize,
     query: &str,
+    indexed: bool,
 ) -> CliResult<String> {
     let (schema, tables) = load_release(qit_path, st_path, schema_path, sensitive, l)?;
     let (qi, s_col) = designate(&schema, sensitive)?;
@@ -207,9 +210,14 @@ fn query_cmd(
     if queries.is_empty() {
         return Err("no query given".into());
     }
+    // The index gives identical estimates; build it once for the batch.
+    let index = indexed.then(|| QueryIndex::from_published(&tables));
     let mut out = String::new();
     for q in &queries {
-        let est = estimate_anatomy(&tables, q);
+        let est = match &index {
+            Some(index) => index.estimate_anatomy(&tables, q),
+            None => estimate_anatomy(&tables, q),
+        };
         let _ = writeln!(out, "{q}\n  estimate: {est:.3}");
     }
     // Keep the adversary module linked in for the audit path; also a handy
@@ -311,15 +319,41 @@ mod tests {
         // A sensitive-only query is answered exactly: 8 tuples carry
         // disease 0.
         let report = run(&Command::Query {
-            qit,
-            st,
-            schema,
+            qit: qit.clone(),
+            st: st.clone(),
+            schema: schema.clone(),
             sensitive: "Disease".into(),
             l: 4,
             query: "s=0".into(),
+            indexed: false,
         })
         .unwrap();
         assert!(report.contains("estimate: 8.000"), "{report}");
+
+        // `--indexed` must produce the identical report.
+        for query in ["s=0", "qi0=20|21|22|23|24;s=1\nqi0=30|31|32;qi1=0;s=2"] {
+            let scalar = run(&Command::Query {
+                qit: qit.clone(),
+                st: st.clone(),
+                schema: schema.clone(),
+                sensitive: "Disease".into(),
+                l: 4,
+                query: query.into(),
+                indexed: false,
+            })
+            .unwrap();
+            let indexed = run(&Command::Query {
+                qit: qit.clone(),
+                st: st.clone(),
+                schema: schema.clone(),
+                sensitive: "Disease".into(),
+                l: 4,
+                query: query.into(),
+                indexed: true,
+            })
+            .unwrap();
+            assert_eq!(scalar, indexed, "query {query}");
+        }
     }
 
     #[test]

@@ -289,6 +289,16 @@ impl AnatomizedTables {
         self.qit.column(i)
     }
 
+    /// Domain cardinality of the i-th QI attribute (the QIT keeps the
+    /// microdata's QI schema, so this matches `Microdata::qi_domain_size`).
+    pub fn qi_domain_size(&self, i: usize) -> u32 {
+        self.qit
+            .schema()
+            .attribute(i)
+            .expect("QI index validated by caller")
+            .domain_size()
+    }
+
     /// The Group-ID column of the QIT (0-based ids, parallel to rows).
     #[inline]
     pub fn group_ids(&self) -> &[GroupId] {

@@ -1,0 +1,328 @@
+//! A dependency-free `u64`-word bitset sized for row sets.
+//!
+//! [`Bitmap`] is the storage primitive of the [`crate::index::QueryIndex`]:
+//! one bit per row, 64 rows per word. Predicate evaluation reduces to
+//! word-wide OR (disjunction over a predicate's accepted values), AND
+//! (conjunction across attributes), and popcount (the COUNT aggregate) —
+//! replacing the scalar path's per-row branching with straight-line word
+//! operations the CPU retires 64 rows at a time.
+//!
+//! Invariant: bits at positions `>= len` are always zero, so popcounts
+//! never need a final mask.
+
+/// A fixed-length bitset over positions `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap over `len` positions.
+    pub fn new(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-one bitmap over `len` positions (trailing bits stay zero).
+    pub fn ones(len: usize) -> Bitmap {
+        let mut b = Bitmap {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Zero any bits at positions `>= len` in the last word.
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of addressable positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap addresses no positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set the bit at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pos >= len`.
+    #[inline]
+    pub fn set(&mut self, pos: usize) {
+        assert!(
+            pos < self.len,
+            "bit {pos} out of range for len {}",
+            self.len
+        );
+        self.words[pos / 64] |= 1u64 << (pos % 64);
+    }
+
+    /// Whether the bit at `pos` is set (false when out of range).
+    #[inline]
+    pub fn get(&self, pos: usize) -> bool {
+        pos < self.len && self.words[pos / 64] >> (pos % 64) & 1 == 1
+    }
+
+    /// Reset every bit to zero.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Number of set bits at positions in `[lo, hi)`.
+    ///
+    /// `O((hi − lo)/64)`: whole words are popcounted, the two boundary
+    /// words are masked first. This is the per-group counting kernel of
+    /// the anatomy estimator — group ranges are contiguous after the
+    /// index's group-clustered permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi` or `hi > len`.
+    pub fn count_range(&self, lo: usize, hi: usize) -> u64 {
+        assert!(
+            lo <= hi && hi <= self.len,
+            "range [{lo}, {hi}) out of bounds for len {}",
+            self.len
+        );
+        if lo == hi {
+            return 0;
+        }
+        let (wl, bl) = (lo / 64, lo % 64);
+        let (wh, bh) = (hi / 64, hi % 64);
+        let head_mask = !0u64 << bl;
+        if wl == wh {
+            // Single word: bits [bl, bh).
+            let mask = head_mask & ((1u64 << bh) - 1);
+            return (self.words[wl] & mask).count_ones() as u64;
+        }
+        let mut count = (self.words[wl] & head_mask).count_ones() as u64;
+        for &w in &self.words[wl + 1..wh] {
+            count += w.count_ones() as u64;
+        }
+        if bh != 0 {
+            count += (self.words[wh] & ((1u64 << bh) - 1)).count_ones() as u64;
+        }
+        count
+    }
+
+    /// `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// `self &= other`, returning whether any bit remains set (lets
+    /// conjunctive evaluation short-circuit on an empty intersection).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn intersect_with(&mut self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let mut any = 0u64;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+            any |= *w;
+        }
+        any != 0
+    }
+
+    /// Overwrite `self` with `other`'s bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn copy_from(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Positions of the set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Heap words held (the `n/64` factor of the index's memory formula).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_count() {
+        let mut b = Bitmap::new(130);
+        assert_eq!(b.count_ones(), 0);
+        for pos in [0, 1, 63, 64, 65, 127, 128, 129] {
+            b.set(pos);
+            assert!(b.get(pos));
+        }
+        assert!(!b.get(2));
+        assert!(!b.get(1000)); // out of range reads as unset
+        assert_eq!(b.count_ones(), 8);
+    }
+
+    #[test]
+    fn ones_masks_the_tail() {
+        for len in [0, 1, 63, 64, 65, 127, 128, 190] {
+            let b = Bitmap::ones(len);
+            assert_eq!(b.count_ones(), len as u64, "len {len}");
+            assert_eq!(b.count_range(0, len), len as u64);
+        }
+    }
+
+    #[test]
+    fn count_range_matches_naive_scan() {
+        let len = 200;
+        let mut b = Bitmap::new(len);
+        // A deliberately irregular pattern.
+        for pos in (0..len).filter(|p| p % 3 == 0 || p % 7 == 1) {
+            b.set(pos);
+        }
+        for lo in [0, 1, 63, 64, 65, 100, 199, 200] {
+            for hi in [lo, lo + 1, 64, 128, 130, 200] {
+                if hi < lo || hi > len {
+                    continue;
+                }
+                let naive = (lo..hi).filter(|&p| b.get(p)).count() as u64;
+                assert_eq!(b.count_range(lo, hi), naive, "[{lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn union_intersect_copy() {
+        let mut a = Bitmap::new(100);
+        let mut b = Bitmap::new(100);
+        a.set(5);
+        a.set(70);
+        b.set(70);
+        b.set(99);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count_ones(), 3);
+
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.count_ones(), 1);
+        assert!(i.get(70));
+
+        let mut disjoint = Bitmap::new(100);
+        disjoint.set(0);
+        assert!(!disjoint.intersect_with(&b));
+        assert_eq!(disjoint.count_ones(), 0);
+
+        let mut c = Bitmap::new(100);
+        c.copy_from(&a);
+        assert_eq!(c, a);
+        c.clear();
+        assert!(!c.any());
+        assert!(a.any());
+    }
+
+    #[test]
+    fn iter_ones_yields_ascending_positions() {
+        let mut b = Bitmap::new(150);
+        let set = [3usize, 64, 65, 149];
+        for &p in &set {
+            b.set(p);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), set);
+    }
+
+    #[test]
+    fn zero_length_bitmap_is_inert() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.count_range(0, 0), 0);
+        assert_eq!(b.word_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitmap::new(10).set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        Bitmap::new(10).union_with(&Bitmap::new(11));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn count_range_is_consistent(
+                positions in proptest::collection::vec(0usize..300, 0..60),
+                lo in 0usize..300,
+                span in 0usize..300,
+            ) {
+                let mut b = Bitmap::new(300);
+                for &p in &positions {
+                    b.set(p);
+                }
+                let hi = (lo + span).min(300);
+                let naive = (lo..hi).filter(|&p| b.get(p)).count() as u64;
+                prop_assert_eq!(b.count_range(lo, hi), naive);
+                // Split anywhere: counts add up.
+                let mid = lo + (hi - lo) / 2;
+                prop_assert_eq!(
+                    b.count_range(lo, mid) + b.count_range(mid, hi),
+                    b.count_range(lo, hi)
+                );
+            }
+        }
+    }
+}

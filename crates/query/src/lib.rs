@@ -24,22 +24,31 @@
 //!   spread of each group over its rectangle (multidimensional-histogram
 //!   style);
 //! * [`accuracy`] — relative-error aggregation (the paper's "average
-//!   relative error").
+//!   relative error");
+//! * [`bitmap`] / [`index`] — the bitmap query index: build-once
+//!   per-(column, value) bitmaps plus a group-clustered row permutation,
+//!   giving scan-free [`evaluate_exact_indexed`] / [`estimate_anatomy_indexed`]
+//!   that reproduce the scalar paths bit-for-bit. The scalar evaluators stay
+//!   as the differential-testing oracle.
 
 pub mod accuracy;
+pub mod bitmap;
 pub mod error;
 pub mod estimate_anatomy;
 pub mod estimate_generalization;
 pub mod exact;
+pub mod index;
 pub mod predicate;
 pub mod query;
 pub mod workload;
 
 pub use accuracy::{relative_error, AccuracyReport};
+pub use bitmap::Bitmap;
 pub use error::QueryError;
 pub use estimate_anatomy::estimate_anatomy;
 pub use estimate_generalization::estimate_generalization;
 pub use exact::evaluate_exact;
+pub use index::{estimate_anatomy_indexed, evaluate_exact_indexed, QueryIndex};
 pub use predicate::InPredicate;
 pub use query::CountQuery;
 pub use workload::{predicate_width, workload_from_text, workload_to_text, WorkloadSpec};

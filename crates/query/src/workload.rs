@@ -21,8 +21,16 @@ use rand::SeedableRng;
 
 /// Equation 14: the number of values per predicate,
 /// `b = ⌈|A| · s^{1/(qd+1)}⌉`, clamped into `[1, |A|]`.
+///
+/// # Panics
+///
+/// Panics when `s` is outside `(0, 1]` (including NaN). The function is
+/// public API, so the check must hold in release builds too — a
+/// `debug_assert!` would let a bad selectivity silently produce a
+/// nonsensical width (e.g. `s = 0` collapsing every predicate to one
+/// value) in exactly the optimized builds the experiments run under.
 pub fn predicate_width(domain_size: u32, s: f64, qd: usize) -> usize {
-    debug_assert!(s > 0.0 && s <= 1.0);
+    assert!(s > 0.0 && s <= 1.0, "selectivity {s} outside (0, 1]");
     let b = (domain_size as f64 * s.powf(1.0 / (qd as f64 + 1.0))).ceil() as usize;
     b.clamp(1, domain_size as usize)
 }
@@ -103,18 +111,56 @@ impl WorkloadSpec {
     /// returning each with its exact answer. Gives up (with
     /// [`QueryError::WorkloadExhausted`]) after `20 × count` draws.
     pub fn generate_nonzero(&self, md: &Microdata) -> Result<Vec<(CountQuery, u64)>, QueryError> {
+        self.generate_nonzero_with(md, |batch| {
+            batch.iter().map(|q| evaluate_exact(md, q)).collect()
+        })
+    }
+
+    /// Like [`WorkloadSpec::generate_nonzero`], but ground truth comes from
+    /// `eval`, which answers a whole batch of queries at once (so callers
+    /// can evaluate in parallel or through a
+    /// [`crate::index::QueryIndex`]).
+    ///
+    /// This is the single nonzero-workload implementation: queries are
+    /// drawn from one continuous RNG stream seeded with `self.seed`, and
+    /// the result is the first `count` queries in that stream with a
+    /// non-zero answer. Batching only changes *when* `eval` runs, never
+    /// *which* queries are drawn — so every caller of the same spec gets
+    /// the same workload, whatever evaluator it plugs in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `eval` returns a different number of answers than
+    /// queries it was given.
+    pub fn generate_nonzero_with(
+        &self,
+        md: &Microdata,
+        mut eval: impl FnMut(&[CountQuery]) -> Vec<u64>,
+    ) -> Result<Vec<(CountQuery, u64)>, QueryError> {
         self.check(md)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut out = Vec::with_capacity(self.count);
         let budget = self.count.saturating_mul(20).max(100);
-        for _ in 0..budget {
-            if out.len() == self.count {
-                break;
-            }
-            let q = self.draw(md, &mut rng);
-            let act = evaluate_exact(md, &q);
-            if act > 0 {
-                out.push((q, act));
+        let mut drawn = 0usize;
+        while out.len() < self.count && drawn < budget {
+            // Oversample a little so one round usually suffices, without
+            // blowing past the serial draw budget.
+            let need = self.count - out.len();
+            let batch_len = (need + need / 2).max(64).min(budget - drawn);
+            let batch: Vec<CountQuery> = (0..batch_len).map(|_| self.draw(md, &mut rng)).collect();
+            drawn += batch_len;
+            let acts = eval(&batch);
+            assert_eq!(
+                acts.len(),
+                batch.len(),
+                "batch evaluator answered {} of {} queries",
+                acts.len(),
+                batch.len()
+            );
+            for (q, act) in batch.into_iter().zip(acts) {
+                if act > 0 && out.len() < self.count {
+                    out.push((q, act));
+                }
             }
         }
         if out.len() < self.count {
@@ -281,6 +327,65 @@ mod tests {
         assert_eq!(a, b);
         let c = WorkloadSpec { seed: 8, ..spec }.generate(&md).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn predicate_width_rejects_zero_selectivity_in_release_too() {
+        predicate_width(78, 0.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn predicate_width_rejects_nan_selectivity() {
+        predicate_width(78, f64::NAN, 2);
+    }
+
+    /// The batched generator is THE nonzero-workload implementation: for a
+    /// given spec it must select exactly the queries a one-at-a-time
+    /// reference selects — the first `count` draws of the seed's stream
+    /// with non-zero answers — no matter how evaluation is batched.
+    #[test]
+    fn batched_nonzero_generation_matches_serial_reference() {
+        let md = md(500);
+        for (qd, seed) in [(1, 3u64), (2, 3), (3, 9), (2, 77)] {
+            let spec = WorkloadSpec {
+                qd,
+                selectivity: 0.05,
+                count: 30,
+                seed,
+            };
+            // Serial reference: draw singly from one stream, keep nonzero.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut reference = Vec::new();
+            while reference.len() < spec.count {
+                let q = spec.draw(&md, &mut rng);
+                let act = evaluate_exact(&md, &q);
+                if act > 0 {
+                    reference.push((q, act));
+                }
+            }
+            assert_eq!(
+                spec.generate_nonzero(&md).unwrap(),
+                reference,
+                "qd {qd} seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_evaluator_size_mismatch_panics() {
+        let md = md(200);
+        let spec = WorkloadSpec {
+            qd: 1,
+            selectivity: 0.05,
+            count: 5,
+            seed: 0,
+        };
+        let res = std::panic::catch_unwind(|| {
+            let _ = spec.generate_nonzero_with(&md, |_| vec![1]);
+        });
+        assert!(res.is_err());
     }
 
     #[test]

@@ -9,8 +9,7 @@
 //! construction fails loudly when an algorithm would exceed its budget.
 
 use crate::error::StorageError;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 #[derive(Debug)]
 struct PoolInner {
@@ -53,7 +52,7 @@ impl BufferPool {
 
     /// Pages currently free.
     pub fn free(&self) -> usize {
-        *self.inner.free.lock()
+        *self.inner.free.lock().expect("pool lock poisoned")
     }
 
     /// Pages currently leased.
@@ -65,7 +64,7 @@ impl BufferPool {
     ///
     /// The lease is released when the returned [`PageLease`] is dropped.
     pub fn try_lease(&self, pages: usize) -> Result<PageLease, StorageError> {
-        let mut free = self.inner.free.lock();
+        let mut free = self.inner.free.lock().expect("pool lock poisoned");
         if pages > *free {
             return Err(StorageError::PoolExhausted {
                 requested: pages,
@@ -98,8 +97,11 @@ impl PageLease {
 
 impl Drop for PageLease {
     fn drop(&mut self) {
-        let mut free = self.pool.free.lock();
-        *free += self.pages;
+        // Don't double-panic on a poisoned lock during unwinding; the
+        // count only matters to a process that is still healthy.
+        if let Ok(mut free) = self.pool.free.lock() {
+            *free += self.pages;
+        }
     }
 }
 

@@ -6,7 +6,6 @@
 //! records, which is the `b` of the `O(n/b)` bounds in Theorem 3.
 
 use crate::error::StorageError;
-use bytes::{Buf, BufMut};
 
 /// A codec for records of one fixed encoded size.
 ///
@@ -69,7 +68,7 @@ impl FixedCodec for U32RowCodec {
             record.len()
         );
         for &v in record {
-            out.put_u32_le(v);
+            out.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -84,7 +83,9 @@ impl FixedCodec for U32RowCodec {
         }
         let mut row = Vec::with_capacity(self.arity);
         for _ in 0..self.arity {
-            row.push(buf.get_u32_le());
+            let (word, rest) = buf.split_at(4);
+            row.push(u32::from_le_bytes(word.try_into().expect("4-byte split")));
+            *buf = rest;
         }
         Ok(row)
     }

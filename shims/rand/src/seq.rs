@@ -1,0 +1,72 @@
+//! Sequence-related draws: in-place shuffles and index sampling.
+
+use crate::{RngCore, RngExt};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Shuffle the slice in place (Fisher–Yates).
+    fn shuffle(&mut self, rng: &mut impl RngCore);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut impl RngCore) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Sampling distinct indices from `0..length`.
+pub mod index {
+    use crate::{RngCore, RngExt};
+
+    /// `amount` distinct indices drawn uniformly from `0..length`, in
+    /// random order.
+    ///
+    /// Partial Fisher–Yates over a dense index vector: `O(length)` setup,
+    /// exact uniformity. The workspace only samples from attribute domains
+    /// and QI dimensions (both small), so the dense vector is cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `amount > length`.
+    pub fn sample(rng: &mut impl RngCore, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} distinct indices from 0..{length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.random_range(i..length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+
+    /// The result of [`sample`]: an owned list of distinct indices.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+}
