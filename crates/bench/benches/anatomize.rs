@@ -1,9 +1,10 @@
 //! Criterion micro-benchmarks for the `Anatomize` algorithm (Figure 3):
 //! in-memory throughput across cardinalities and `l`.
 
-use anatomy_core::{anatomize, AnatomizeConfig};
+use anatomy_core::{anatomize, anatomize_reference, AnatomizeConfig};
 use anatomy_data::census::{generate_census, CensusConfig};
 use anatomy_data::occ_sal::occ_microdata;
+use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_anatomize(c: &mut Criterion) {
@@ -28,5 +29,49 @@ fn bench_anatomize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_anatomize);
+/// Synthetic microdata with a λ-value uniform sensitive domain, for
+/// stressing group creation past the census families' small domains.
+fn wide_domain_md(n: usize, lambda: usize) -> Microdata {
+    let schema = Schema::new(vec![
+        Attribute::numerical("Age", 1_000),
+        Attribute::categorical("Sensitive", lambda as u32),
+    ])
+    .expect("schema");
+    let mut b = TableBuilder::new(schema);
+    for i in 0..n {
+        // A full permutation per λ block keeps every bucket within one row
+        // of uniform, so eligibility holds for any l ≤ λ.
+        b.push_row(&[(i % 1_000) as u32, (i % lambda) as u32])
+            .expect("row");
+    }
+    Microdata::with_leading_qi(b.finish(), 1).expect("microdata")
+}
+
+/// Frequency-ladder `anatomize` vs the sort-based reference, head to head
+/// at wide sensitive domains (where the per-round sort dominates).
+fn bench_ladder_vs_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_creation");
+    group.sample_size(10);
+    for lambda in [64usize, 256] {
+        let md = wide_domain_md(20_000, lambda);
+        group.throughput(Throughput::Elements(20_000));
+        group.bench_with_input(
+            BenchmarkId::new("ladder_n20k_l10_lambda", lambda),
+            &md,
+            |b, md| {
+                b.iter(|| anatomize(md, &AnatomizeConfig::new(10)).expect("eligible"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sort_n20k_l10_lambda", lambda),
+            &md,
+            |b, md| {
+                b.iter(|| anatomize_reference(md, &AnatomizeConfig::new(10)).expect("eligible"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anatomize, bench_ladder_vs_sort);
 criterion_main!(benches);

@@ -1,0 +1,322 @@
+//! `bench_anatomize` — measure frequency-ladder group creation against
+//! the sort-based original across an (n, λ, l) grid and write the results
+//! to `BENCH_anatomize.json`.
+//!
+//! ```text
+//! bench_anatomize [--seed S] [--repeats R] [--out FILE] [--smoke]
+//! ```
+//!
+//! The grid uses synthetic microdata so the sensitive-domain size λ can be
+//! swept far past what the census families offer (λ up to 512), under both
+//! a uniform and a skewed (1/√rank) value distribution. Every cell is
+//! gated twice before its timing is trusted:
+//!
+//! * `create_groups_sorted` and `create_groups_ladder` must produce the
+//!   identical `GroupCreation` (groups, group values, residue order) from
+//!   the identical shuffled buckets;
+//! * the full pipelines `anatomize_reference` and `anatomize` must produce
+//!   the identical `Partition` for the same seed.
+//!
+//! `--smoke` shrinks the grid to two tiny cells for CI: the correctness
+//! gates still run, the timings are merely not meaningful.
+
+use anatomy_bench::runner::BenchResult;
+use anatomy_core::anatomize::{create_groups_ladder, create_groups_sorted, shuffled_buckets};
+use anatomy_core::{anatomize, anatomize_reference, AnatomizeConfig};
+use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Config {
+    seed: u64,
+    repeats: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        seed: 1,
+        repeats: 3,
+        out: "BENCH_anatomize.json".into(),
+        smoke: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--seed" => cfg.seed = next("--seed").parse().expect("--seed"),
+            "--repeats" => cfg.repeats = next("--repeats").parse().expect("--repeats"),
+            "--out" => cfg.out = next("--out"),
+            "--smoke" => cfg.smoke = true,
+            other => {
+                eprintln!(
+                    "unknown argument {other}\nusage: bench_anatomize [--seed S] [--repeats R] [--out FILE] [--smoke]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Dist {
+    /// Every sensitive value equally likely.
+    Uniform,
+    /// Value of rank k drawn with weight 1/√(k+1): skewed enough to stress
+    /// the ladder's unequal classes, mild enough to stay 10-eligible at
+    /// every λ in the grid (max frequency ≈ 1/(2√λ)).
+    Skewed,
+}
+
+impl Dist {
+    fn name(self) -> &'static str {
+        match self {
+            Dist::Uniform => "uniform",
+            Dist::Skewed => "skewed",
+        }
+    }
+}
+
+/// One grid point.
+struct Cell {
+    n: usize,
+    lambda: usize,
+    l: usize,
+    dist: Dist,
+}
+
+/// Synthetic microdata: one numerical QI column plus a sensitive column
+/// over a λ-value domain following `dist`.
+fn synthetic(n: usize, lambda: usize, dist: Dist, seed: u64) -> BenchResult<Microdata> {
+    let schema = Schema::new(vec![
+        Attribute::numerical("Age", 1_000),
+        Attribute::categorical("Sensitive", lambda as u32),
+    ])?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative weights for the skewed draw, scaled to integers.
+    let cum: Vec<u64> = match dist {
+        Dist::Uniform => Vec::new(),
+        Dist::Skewed => {
+            let mut acc = 0u64;
+            (0..lambda)
+                .map(|k| {
+                    acc += (1e6 / ((k + 1) as f64).sqrt()) as u64;
+                    acc
+                })
+                .collect()
+        }
+    };
+    let mut b = TableBuilder::new(schema);
+    for i in 0..n {
+        let code = match dist {
+            Dist::Uniform => rng.random_range(0..lambda as u32),
+            Dist::Skewed => {
+                let u = rng.random_range(0..*cum.last().unwrap());
+                cum.partition_point(|&c| c <= u) as u32
+            }
+        };
+        b.push_row(&[(i % 1_000) as u32, code])?;
+    }
+    Ok(Microdata::with_leading_qi(b.finish(), 1)?)
+}
+
+/// Wall-clock milliseconds of one call.
+fn time_ms<R>(mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    black_box(f());
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+struct CellResult {
+    cell: Cell,
+    sort_ms: f64,
+    ladder_ms: f64,
+    full_sort_ms: f64,
+    full_ladder_ms: f64,
+}
+
+fn run_cell(cell: Cell, cfg: &Config) -> BenchResult<CellResult> {
+    let Cell { n, lambda, l, dist } = cell;
+    let md = synthetic(
+        n,
+        lambda,
+        dist,
+        cfg.seed ^ (n as u64) ^ ((lambda as u64) << 32),
+    )?;
+
+    // Gate 1: both group-creation paths agree on identical buckets.
+    let buckets = shuffled_buckets(&md, &mut StdRng::seed_from_u64(cfg.seed));
+    let sorted = create_groups_sorted(&mut buckets.clone(), l);
+    let ladder = create_groups_ladder(&mut buckets.clone(), l);
+    assert_eq!(
+        sorted.groups, ladder.groups,
+        "groups diverge at {n}/{lambda}/{l}"
+    );
+    assert_eq!(
+        sorted.group_values, ladder.group_values,
+        "group values diverge at {n}/{lambda}/{l}"
+    );
+    assert_eq!(
+        sorted.residual, ladder.residual,
+        "residue order diverges at {n}/{lambda}/{l}"
+    );
+
+    // Gate 2: the full pipelines agree partition-for-partition.
+    let config = AnatomizeConfig::new(l).with_seed(cfg.seed);
+    assert_eq!(
+        anatomize_reference(&md, &config)?,
+        anatomize(&md, &config)?,
+        "pipelines diverge at {n}/{lambda}/{l}"
+    );
+
+    // Timed section: group creation in isolation (bucket clones happen
+    // outside the timer), best-of-`repeats`.
+    let mut sort_ms = f64::INFINITY;
+    let mut ladder_ms = f64::INFINITY;
+    for _ in 0..cfg.repeats {
+        let mut b = buckets.clone();
+        sort_ms = sort_ms.min(time_ms(|| create_groups_sorted(&mut b, l)));
+        let mut b = buckets.clone();
+        ladder_ms = ladder_ms.min(time_ms(|| create_groups_ladder(&mut b, l)));
+    }
+
+    // End-to-end for context: bucketing + shuffle + residue assignment are
+    // shared, so the full-pipeline ratio is smaller by Amdahl.
+    let mut full_sort_ms = f64::INFINITY;
+    let mut full_ladder_ms = f64::INFINITY;
+    for _ in 0..cfg.repeats {
+        full_sort_ms = full_sort_ms.min(time_ms(|| anatomize_reference(&md, &config)));
+        full_ladder_ms = full_ladder_ms.min(time_ms(|| anatomize(&md, &config)));
+    }
+
+    eprintln!(
+        "# n={n:>7} λ={lambda:>3} l={l:>2} {dist:<7}: groups {sort_ms:>9.3} -> {ladder_ms:>8.3} ms ({:>5.1}x), full {full_sort_ms:>9.3} -> {full_ladder_ms:>8.3} ms ({:.1}x)",
+        sort_ms / ladder_ms,
+        full_sort_ms / full_ladder_ms,
+        dist = dist.name(),
+    );
+    Ok(CellResult {
+        cell,
+        sort_ms,
+        ladder_ms,
+        full_sort_ms,
+        full_ladder_ms,
+    })
+}
+
+fn grid(smoke: bool) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    if smoke {
+        for lambda in [16usize, 64] {
+            cells.push(Cell {
+                n: 2_000,
+                lambda,
+                l: 4,
+                dist: Dist::Uniform,
+            });
+        }
+        return cells;
+    }
+    for &n in &[10_000usize, 100_000] {
+        for &lambda in &[64usize, 128, 256, 512] {
+            for &l in &[4usize, 10] {
+                for dist in [Dist::Uniform, Dist::Skewed] {
+                    cells.push(Cell { n, lambda, l, dist });
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn run(cfg: &Config) -> BenchResult<String> {
+    let results: Vec<CellResult> = grid(cfg.smoke)
+        .into_iter()
+        .map(|cell| run_cell(cell, cfg))
+        .collect::<BenchResult<_>>()?;
+
+    // The acceptance target: at n = 100k and λ ≥ 128 the ladder must beat
+    // the sort by ≥ 3x on group creation.
+    let target_speedups: Vec<f64> = results
+        .iter()
+        .filter(|r| r.cell.n >= 100_000 && r.cell.lambda >= 128)
+        .map(|r| r.sort_ms / r.ladder_ms)
+        .collect();
+    let min_target = target_speedups
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    if !target_speedups.is_empty() {
+        eprintln!("# min speedup at n=100k, λ>=128: {min_target:.1}x (target 3x)");
+    }
+
+    let mut cells_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            cells_json,
+            r#"    {{ "n": {n}, "lambda": {lambda}, "l": {l}, "dist": "{dist}", "group_creation": {{ "sort_ms": {s:.3}, "ladder_ms": {ld:.3}, "speedup": {sp:.2} }}, "full_anatomize": {{ "sort_ms": {fs:.3}, "ladder_ms": {fl:.3}, "speedup": {fsp:.2} }} }}{sep}"#,
+            n = r.cell.n,
+            lambda = r.cell.lambda,
+            l = r.cell.l,
+            dist = r.cell.dist.name(),
+            s = r.sort_ms,
+            ld = r.ladder_ms,
+            sp = r.sort_ms / r.ladder_ms,
+            fs = r.full_sort_ms,
+            fl = r.full_ladder_ms,
+            fsp = r.full_sort_ms / r.full_ladder_ms,
+        );
+    }
+    Ok(format!(
+        r#"{{
+  "config": {{ "seed": {seed}, "repeats": {repeats}, "smoke": {smoke}, "timing": "best-of-repeats wall clock, buckets cloned outside the timer" }},
+  "partitions_identical": true,
+  "min_speedup_n100k_lambda128": {min_target_json},
+  "cells": [
+{cells_json}  ]
+}}
+"#,
+        seed = cfg.seed,
+        repeats = cfg.repeats,
+        smoke = cfg.smoke,
+        min_target_json = if target_speedups.is_empty() {
+            "null".into()
+        } else {
+            format!("{min_target:.2}")
+        },
+    ))
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    match run(&cfg) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&cfg.out, &json) {
+                eprintln!("error writing {}: {e}", cfg.out);
+                return ExitCode::FAILURE;
+            }
+            print!("{json}");
+            eprintln!("# wrote {}", cfg.out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -110,8 +110,13 @@ fn main() -> ExitCode {
     };
     let scale = parse_scale(&args[1..]);
     eprintln!(
-        "# scale: n_default={} n_sweep={:?} queries={} l={} seed={}",
-        scale.n_default, scale.n_sweep, scale.queries, scale.l, scale.seed
+        "# scale: n_default={} n_sweep={:?} queries={} l={} seed={} pool_threads={}",
+        scale.n_default,
+        scale.n_sweep,
+        scale.queries,
+        scale.l,
+        scale.seed,
+        anatomy_pool::Pool::global().threads()
     );
     match run(&cmd, scale) {
         Ok(()) => ExitCode::SUCCESS,

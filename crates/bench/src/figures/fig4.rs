@@ -3,7 +3,7 @@
 
 use crate::params::{Scale, D_SWEEP};
 use crate::report::{pct, section, TextTable};
-use crate::runner::{accuracy_experiment, BenchResult, Env};
+use crate::runner::{accuracy_experiment, par_cells, BenchResult, Env};
 use anatomy_data::occ_sal::SensitiveChoice;
 
 /// One figure cell.
@@ -17,20 +17,20 @@ pub struct Cell {
     pub generalization: f64,
 }
 
-/// Compute one family's series (OCC-d or SAL-d).
+/// Compute one family's series (OCC-d or SAL-d). Grid points run
+/// concurrently on the persistent pool; each cell's seed depends only on
+/// its own `d`, so the series is identical to a serial run.
 pub fn series(env: &Env, family: SensitiveChoice) -> BenchResult<Vec<Cell>> {
     let s = env.scale;
-    let mut out = Vec::new();
-    for &d in &D_SWEEP {
+    par_cells(&D_SWEEP, |&d| {
         let md = env.microdata(family, d, s.n_default)?;
         let o = accuracy_experiment(&md, s.l, d, s.s, s.queries, s.seed ^ d as u64)?;
-        out.push(Cell {
+        Ok(Cell {
             d,
             anatomy: o.anatomy.mean,
             generalization: o.generalization.mean,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Run both families; returns the report.

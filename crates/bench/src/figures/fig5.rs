@@ -3,7 +3,7 @@
 
 use crate::params::{Scale, D_FOCUS};
 use crate::report::{pct, section, TextTable};
-use crate::runner::{accuracy_experiment, BenchResult, Env};
+use crate::runner::{accuracy_experiment, par_cells, BenchResult, Env};
 use anatomy_data::occ_sal::SensitiveChoice;
 
 /// One figure cell.
@@ -17,20 +17,20 @@ pub struct Cell {
     pub generalization: f64,
 }
 
-/// The qd sweep for one (family, d) plot.
+/// The qd sweep for one (family, d) plot, with the grid points running
+/// concurrently on the persistent pool over one shared microdata sample.
 pub fn series(env: &Env, family: SensitiveChoice, d: usize) -> BenchResult<Vec<Cell>> {
     let s = env.scale;
     let md = env.microdata(family, d, s.n_default)?;
-    let mut out = Vec::new();
-    for qd in 1..=d {
+    let qds: Vec<usize> = (1..=d).collect();
+    par_cells(&qds, |&qd| {
         let o = accuracy_experiment(&md, s.l, qd, s.s, s.queries, s.seed ^ (d * 10 + qd) as u64)?;
-        out.push(Cell {
+        Ok(Cell {
             qd,
             anatomy: o.anatomy.mean,
             generalization: o.generalization.mean,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Run all six sub-plots; returns the report.

@@ -3,7 +3,7 @@
 
 use crate::params::{Scale, D_FOCUS, S_SWEEP};
 use crate::report::{pct, section, TextTable};
-use crate::runner::{accuracy_experiment, BenchResult, Env};
+use crate::runner::{accuracy_experiment, par_cells, BenchResult, Env};
 use anatomy_data::occ_sal::SensitiveChoice;
 
 /// One figure cell.
@@ -17,12 +17,12 @@ pub struct Cell {
     pub generalization: f64,
 }
 
-/// The selectivity sweep for one (family, d) plot.
+/// The selectivity sweep for one (family, d) plot; grid points run
+/// concurrently on the persistent pool over one shared microdata sample.
 pub fn series(env: &Env, family: SensitiveChoice, d: usize) -> BenchResult<Vec<Cell>> {
     let sc = env.scale;
     let md = env.microdata(family, d, sc.n_default)?;
-    let mut out = Vec::new();
-    for &s in &S_SWEEP {
+    par_cells(&S_SWEEP, |&s| {
         let o = accuracy_experiment(
             &md,
             sc.l,
@@ -31,13 +31,12 @@ pub fn series(env: &Env, family: SensitiveChoice, d: usize) -> BenchResult<Vec<C
             sc.queries,
             sc.seed ^ (d as u64) ^ ((s * 1000.0) as u64),
         )?;
-        out.push(Cell {
+        Ok(Cell {
             s,
             anatomy: o.anatomy.mean,
             generalization: o.generalization.mean,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Run all six sub-plots; returns the report.

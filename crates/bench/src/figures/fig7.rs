@@ -3,7 +3,7 @@
 
 use crate::params::Scale;
 use crate::report::{count, pct, section, TextTable};
-use crate::runner::{accuracy_experiment, BenchResult, Env};
+use crate::runner::{accuracy_experiment, par_cells, BenchResult, Env};
 use anatomy_data::occ_sal::SensitiveChoice;
 
 /// One figure cell.
@@ -17,21 +17,20 @@ pub struct Cell {
     pub generalization: f64,
 }
 
-/// The cardinality sweep for one family at d = 5.
+/// The cardinality sweep for one family at d = 5; the five cardinalities
+/// run concurrently on the persistent pool.
 pub fn series(env: &Env, family: SensitiveChoice) -> BenchResult<Vec<Cell>> {
     let s = env.scale;
     let d = 5;
-    let mut out = Vec::new();
-    for &n in &s.n_sweep {
+    par_cells(&s.n_sweep, |&n| {
         let md = env.microdata(family, d, n)?;
         let o = accuracy_experiment(&md, s.l, d, s.s, s.queries, s.seed ^ n as u64)?;
-        out.push(Cell {
+        Ok(Cell {
             n,
             anatomy: o.anatomy.mean,
             generalization: o.generalization.mean,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Run both families; returns the report.

@@ -3,7 +3,7 @@
 
 use crate::params::{Scale, D_SWEEP};
 use crate::report::{count, section, TextTable};
-use crate::runner::{io_experiment, BenchResult, Env};
+use crate::runner::{io_experiment, par_cells, BenchResult, Env};
 use anatomy_data::occ_sal::SensitiveChoice;
 
 /// One figure cell.
@@ -17,20 +17,20 @@ pub struct Cell {
     pub generalization: u64,
 }
 
-/// The d sweep for one family at the default cardinality.
+/// The d sweep for one family at the default cardinality; the simulated
+/// disk runs are independent, so the grid points run concurrently on the
+/// persistent pool (each cell gets its own `IoCounter`/`BufferPool`).
 pub fn series(env: &Env, family: SensitiveChoice) -> BenchResult<Vec<Cell>> {
     let s = env.scale;
-    let mut out = Vec::new();
-    for &d in &D_SWEEP {
+    par_cells(&D_SWEEP, |&d| {
         let md = env.microdata(family, d, s.n_default)?;
         let o = io_experiment(&md, s.l)?;
-        out.push(Cell {
+        Ok(Cell {
             d,
             anatomy: o.anatomy,
             generalization: o.generalization,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Run both families; returns the report.

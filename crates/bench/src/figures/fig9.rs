@@ -6,7 +6,7 @@
 
 use crate::params::Scale;
 use crate::report::{count, section, TextTable};
-use crate::runner::{io_experiment, BenchResult, Env};
+use crate::runner::{io_experiment, par_cells, BenchResult, Env};
 use anatomy_data::occ_sal::SensitiveChoice;
 
 /// One figure cell.
@@ -20,20 +20,19 @@ pub struct Cell {
     pub generalization: u64,
 }
 
-/// The cardinality sweep for one family at d = 5.
+/// The cardinality sweep for one family at d = 5; the five cardinalities
+/// run concurrently on the persistent pool.
 pub fn series(env: &Env, family: SensitiveChoice) -> BenchResult<Vec<Cell>> {
     let s = env.scale;
-    let mut out = Vec::new();
-    for &n in &s.n_sweep {
+    par_cells(&s.n_sweep, |&n| {
         let md = env.microdata(family, 5, n)?;
         let o = io_experiment(&md, s.l)?;
-        out.push(Cell {
+        Ok(Cell {
             n,
             anatomy: o.anatomy,
             generalization: o.generalization,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Run both families; returns the report.

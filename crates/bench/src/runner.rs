@@ -7,8 +7,9 @@ use anatomy_data::census::{generate_census, CensusConfig};
 use anatomy_data::occ_sal::{census_microdata, SensitiveChoice};
 use anatomy_data::taxonomies::census_methods;
 use anatomy_generalization::{mondrian, mondrian_external, GeneralizedTable, MondrianConfig};
+use anatomy_pool::{ItemCost, Pool};
 use anatomy_query::{
-    estimate_anatomy_indexed, estimate_generalization, evaluate_exact_indexed, AccuracyReport,
+    estimate_anatomy_indexed, estimate_generalization, evaluate_exact_batch, AccuracyReport,
     CountQuery, QueryIndex, WorkloadSpec,
 };
 use anatomy_storage::{BufferPool, IoCounter, PageConfig, PAPER_MEMORY_PAGES};
@@ -44,36 +45,39 @@ impl Env {
     }
 }
 
-/// Order-preserving parallel map over a slice, using scoped threads.
+/// Order-preserving parallel map over a slice of cheap items, on the
+/// process-wide persistent [`Pool`] (no per-call thread spawning).
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    let threads = threads.min(items.len().max(1));
-    if threads <= 1 || items.len() < 32 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let out_chunks: Vec<&mut [Option<R>]> = out.chunks_mut(chunk).collect();
-    std::thread::scope(|s| {
-        for (slot_chunk, item_chunk) in out_chunks.into_iter().zip(items.chunks(chunk)) {
-            let f = &f;
-            s.spawn(move || {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
+    Pool::global().par_map(items, f)
+}
+
+/// [`par_map`] for expensive items (a whole experiment cell, an
+/// anatomization of 100k+ rows): parallelizes from 2 items up instead of
+/// the cheap-item cutoff of 32, so a 5-point sweep still uses the pool.
+pub fn par_map_heavy<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    Pool::global().par_map_hinted(items, ItemCost::Heavy, f)
+}
+
+/// Run a sweep of independent experiment cells on the pool, failing with
+/// the first cell error. The figure drivers (Figures 4–9) route their
+/// grid points through this.
+pub fn par_cells<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> BenchResult<R> + Sync,
+) -> BenchResult<Vec<R>> {
+    // Box<dyn Error> is not Send; carry errors across threads as strings.
+    let results = Pool::global().par_map_hinted(items, ItemCost::Heavy, |item| {
+        f(item).map_err(|e| e.to_string())
     });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    results
+        .into_iter()
+        .collect::<Result<Vec<R>, String>>()
+        .map_err(|e| e.into())
 }
 
 /// Generate `spec.count` queries with non-zero true answers, answering the
-/// ground truth through `index` (batches run through [`par_map`]).
+/// ground truth through `index` (batches run on the persistent pool via
+/// [`evaluate_exact_batch`]).
 ///
 /// This is [`WorkloadSpec::generate_nonzero_with`] under the hood, so the
 /// workload is *identical* to what `WorkloadSpec::generate_nonzero`
@@ -86,7 +90,7 @@ pub fn nonzero_workload_with(
     spec: &WorkloadSpec,
 ) -> BenchResult<Vec<(CountQuery, u64)>> {
     Ok(spec.generate_nonzero_with(md, |batch| {
-        par_map(batch, |q| evaluate_exact_indexed(index, q))
+        evaluate_exact_batch(Pool::global(), index, batch)
     })?)
 }
 

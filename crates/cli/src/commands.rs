@@ -7,7 +7,8 @@ use anatomy_core::adversary::tuple_value_probability;
 use anatomy_core::diversity::max_feasible_l;
 use anatomy_core::release::{parse_release, qit_to_csv, st_to_csv};
 use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
-use anatomy_query::{estimate_anatomy, workload_from_text, QueryIndex};
+use anatomy_pool::Pool;
+use anatomy_query::{estimate_anatomy, estimate_anatomy_batch, workload_from_text, QueryIndex};
 use anatomy_tables::{csv, Microdata, Schema, Table, TableBuilder, Value};
 use std::fmt::Write as _;
 use std::fs;
@@ -210,14 +211,18 @@ fn query_cmd(
     if queries.is_empty() {
         return Err("no query given".into());
     }
-    // The index gives identical estimates; build it once for the batch.
-    let index = indexed.then(|| QueryIndex::from_published(&tables));
+    // The index gives identical estimates; build it once for the batch and
+    // evaluate the whole workload on the persistent pool. The scalar path
+    // stays serial — it is the oracle the indexed path is checked against.
+    let estimates: Vec<f64> = match indexed.then(|| QueryIndex::from_published(&tables)) {
+        Some(index) => estimate_anatomy_batch(Pool::global(), &index, &tables, &queries),
+        None => queries
+            .iter()
+            .map(|q| estimate_anatomy(&tables, q))
+            .collect(),
+    };
     let mut out = String::new();
-    for q in &queries {
-        let est = match &index {
-            Some(index) => index.estimate_anatomy(&tables, q),
-            None => estimate_anatomy(&tables, q),
-        };
+    for (q, est) in queries.iter().zip(&estimates) {
         let _ = writeln!(out, "{q}\n  estimate: {est:.3}");
     }
     // Keep the adversary module linked in for the audit path; also a handy

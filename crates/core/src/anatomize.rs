@@ -16,6 +16,29 @@
 //! by Theorem 4 its re-construction error is within a factor `1 + 1/n` of
 //! the lower bound of Theorem 2.
 //!
+//! # The frequency ladder
+//!
+//! Line 5 needs the `l` largest buckets every round. The obvious
+//! implementation re-sorts the non-empty bucket list per round —
+//! `O((n/l)·λ log λ)` over the run, which dominates once the sensitive
+//! domain λ reaches the paper's Occupation/Salary sizes. [`anatomize`]
+//! instead maintains a *frequency ladder* (the LFU frequency-list trick):
+//! buckets are grouped into size classes kept in descending size order,
+//! each class holding its bucket values in ascending order. A round then
+//!
+//! * reads the selection straight off the ladder front (the prefix of the
+//!   ladder IS the sort order: size-descending, value-ascending on ties),
+//! * decrements the fully-drawn classes in place (`O(1)` each), and
+//! * splits the boundary class, re-linking at most two equal-size
+//!   neighbors (value-order merges with an `O(draw)` fast path when the
+//!   incoming run does not interleave).
+//!
+//! Group creation is `O(l)` per round plus merge work bounded by the class
+//! structure — `O(n + λ log λ)` total on the paper's workloads — while
+//! producing **bit-for-bit** the partition of the sort-based
+//! implementation, which survives as [`anatomize_reference`], the
+//! differential-testing oracle and benchmark baseline.
+//!
 //! This module is the fast in-memory implementation used by the accuracy
 //! experiments (Figures 4–7); [`crate::anatomize_io`] is the external,
 //! I/O-accounted variant matching Theorem 3's cost model.
@@ -27,6 +50,7 @@ use anatomy_tables::Microdata;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
 
 /// How group creation picks its `l` buckets each iteration.
 ///
@@ -81,11 +105,399 @@ impl AnatomizeConfig {
     }
 }
 
+/// Line 2: hash by sensitive value, one bucket per value. Shuffling each
+/// bucket once up front makes `pop()` equivalent to "remove an arbitrary
+/// (random) tuple" (Line 7).
+#[doc(hidden)]
+pub fn shuffled_buckets(md: &Microdata, rng: &mut StdRng) -> Vec<Vec<u32>> {
+    let domain = md.sensitive_domain_size() as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); domain];
+    for (r, &code) in md.sensitive_codes().iter().enumerate() {
+        buckets[code as usize].push(r as u32);
+    }
+    for b in &mut buckets {
+        b.shuffle(rng);
+    }
+    buckets
+}
+
+/// Output of the group-creation phase (Lines 3–8), before residues.
+///
+/// `residual` lists the buckets still non-empty after the last round, in
+/// the exact order the residue loop (Lines 9–12) must visit them: the
+/// order fixes which `rng` draw serves which leftover tuple, so it is part
+/// of the bit-for-bit contract between [`anatomize`] and
+/// [`anatomize_reference`].
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct GroupCreation {
+    /// Row ids per QI-group, in selection order.
+    pub groups: Vec<Vec<u32>>,
+    /// Sensitive values present in each group, ascending.
+    pub group_values: Vec<Vec<u32>>,
+    /// Still-non-empty bucket values, in residue-visit order.
+    pub residual: Vec<u32>,
+}
+
+/// One size class of the frequency ladder: every bucket in `members`
+/// currently holds exactly `size` tuples; `members` ascends by value.
+struct Class {
+    size: usize,
+    members: VecDeque<u32>,
+}
+
+/// Value-order merge of two ascending runs, with `O(shorter)` fast paths
+/// when the runs do not interleave (the common case: a freshly split-off
+/// draw joins a class it chains onto).
+fn merge_class_members(left: &mut VecDeque<u32>, mut right: VecDeque<u32>) {
+    if right.is_empty() {
+        return;
+    }
+    if left.is_empty() {
+        *left = right;
+        return;
+    }
+    if left.back() < right.front() {
+        left.append(&mut right);
+        return;
+    }
+    if right.back() < left.front() {
+        std::mem::swap(left, &mut right);
+        left.append(&mut right);
+        return;
+    }
+    let mut merged = VecDeque::with_capacity(left.len() + right.len());
+    loop {
+        match (left.front(), right.front()) {
+            (Some(a), Some(b)) => {
+                if a < b {
+                    merged.push_back(left.pop_front().expect("front exists"));
+                } else {
+                    merged.push_back(right.pop_front().expect("front exists"));
+                }
+            }
+            (Some(_), None) => {
+                merged.append(left);
+                break;
+            }
+            (None, _) => {
+                merged.append(&mut right);
+                break;
+            }
+        }
+    }
+    *left = merged;
+}
+
+/// Group creation with the frequency ladder (the paper's largest-first
+/// rule). Produces the identical group sequence, per-group tuple order and
+/// residue-visit order as [`create_groups_sorted`] for every input.
+#[doc(hidden)]
+pub fn create_groups_ladder(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation {
+    // Build the ladder: one sort of the non-empty bucket list, split into
+    // runs of equal size. Same comparator as the sort-based path, so the
+    // first round's selection is trivially identical.
+    let mut vals: Vec<u32> = (0..buckets.len() as u32)
+        .filter(|&v| !buckets[v as usize].is_empty())
+        .collect();
+    vals.sort_unstable_by(|&a, &b| {
+        buckets[b as usize]
+            .len()
+            .cmp(&buckets[a as usize].len())
+            .then(a.cmp(&b))
+    });
+    let mut ladder: VecDeque<Class> = VecDeque::new();
+    for &v in &vals {
+        let size = buckets[v as usize].len();
+        match ladder.back_mut() {
+            Some(c) if c.size == size => c.members.push_back(v),
+            _ => ladder.push_back(Class {
+                size,
+                members: VecDeque::from(vec![v]),
+            }),
+        }
+    }
+    let mut nonempty = vals.len();
+
+    let n: usize = buckets.iter().map(Vec::len).sum();
+    let mut groups: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let mut group_values: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    // Sorted sensitive values of the most recent round, for reconstructing
+    // the residue-visit order afterwards.
+    let mut last_selected: Vec<u32> = Vec::new();
+
+    while nonempty >= l {
+        // Selection: the ladder prefix covering l buckets. `full` classes
+        // are drawn whole; `m` more come from the boundary class (its
+        // value-ascending front, matching the sort's tie-break).
+        let mut remaining = l;
+        let mut full = 0usize;
+        let mut m = 0usize;
+        for c in ladder.iter() {
+            if c.members.len() <= remaining {
+                remaining -= c.members.len();
+                full += 1;
+                if remaining == 0 {
+                    break;
+                }
+            } else {
+                m = remaining;
+                break;
+            }
+        }
+
+        let mut group = Vec::with_capacity(l);
+        let mut values = Vec::with_capacity(l);
+        for c in ladder.iter().take(full) {
+            for &v in &c.members {
+                group.push(buckets[v as usize].pop().expect("bucket in ladder"));
+                values.push(v);
+            }
+        }
+        if m > 0 {
+            for &v in ladder[full].members.iter().take(m) {
+                group.push(buckets[v as usize].pop().expect("bucket in ladder"));
+                values.push(v);
+            }
+        }
+        values.sort_unstable();
+        last_selected.clone_from(&values);
+        groups.push(group);
+        group_values.push(values);
+
+        // Restructure. Fully drawn classes just step down one size; the
+        // strict descending order among them is preserved.
+        for c in ladder.iter_mut().take(full) {
+            c.size -= 1;
+        }
+        // Split the boundary class: the drawn front becomes a new class
+        // one size below, seated right after the remainder.
+        let mut split: Option<Class> = None;
+        if m > 0 {
+            let boundary = &mut ladder[full];
+            let drawn: VecDeque<u32> = boundary.members.drain(..m).collect();
+            if boundary.size > 1 {
+                split = Some(Class {
+                    size: boundary.size - 1,
+                    members: drawn,
+                });
+            } else {
+                // Drawn buckets are now empty and leave the ladder.
+                nonempty -= m;
+            }
+        } else if full > 0 && ladder[full - 1].size == 0 {
+            // A fully drawn size-1 class emptied out. Sizes descend
+            // strictly, so it can only be the ladder tail.
+            debug_assert_eq!(full, ladder.len());
+            let dead = ladder.pop_back().expect("class exists");
+            nonempty -= dead.members.len();
+            full -= 1;
+        }
+        // At most two equal-size adjacencies can appear; everything else
+        // keeps its strict descending order. First: the last fully drawn
+        // class against the first untouched one (the boundary remainder,
+        // or the first unselected class when the draw ended on a class
+        // boundary).
+        let mut insert_at = full + 1;
+        if full > 0 && full < ladder.len() && ladder[full - 1].size == ladder[full].size {
+            let right = ladder.remove(full).expect("index in bounds");
+            merge_class_members(&mut ladder[full - 1].members, right.members);
+            insert_at = full;
+        }
+        // Second: the split-off class against its successor.
+        if let Some(split) = split {
+            if insert_at < ladder.len() && ladder[insert_at].size == split.size {
+                let successor = &mut ladder[insert_at];
+                let tail = std::mem::take(&mut successor.members);
+                successor.members = split.members;
+                merge_class_members(&mut successor.members, tail);
+            } else {
+                ladder.insert(insert_at, split);
+            }
+        }
+    }
+
+    // Reconstruct the residue-visit order of the sort-based path: its
+    // non-empty list was last sorted at the top of the final round, i.e.
+    // by (pre-draw size descending, value ascending). A bucket's pre-draw
+    // size is its current size plus one if the final round drew from it.
+    // (Eligibility guarantees at least one round whenever n > 0, so the
+    // list is never left in its initial value-ascending build order.)
+    let mut residual: Vec<u32> = ladder
+        .iter()
+        .flat_map(|c| c.members.iter().copied())
+        .collect();
+    let pre_size = |v: u32| -> usize {
+        buckets[v as usize].len() + usize::from(last_selected.binary_search(&v).is_ok())
+    };
+    residual.sort_unstable_by(|&a, &b| pre_size(b).cmp(&pre_size(a)).then(a.cmp(&b)));
+
+    GroupCreation {
+        groups,
+        group_values,
+        residual,
+    }
+}
+
+/// Group creation by re-sorting the non-empty bucket list every round —
+/// the reference implementation the ladder is differentially tested and
+/// benchmarked against. `O(λ log λ)` per round.
+#[doc(hidden)]
+pub fn create_groups_sorted(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation {
+    let n: usize = buckets.iter().map(Vec::len).sum();
+    let mut groups: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let mut group_values: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let mut nonempty: Vec<u32> = (0..buckets.len() as u32)
+        .filter(|&v| !buckets[v as usize].is_empty())
+        .collect();
+
+    while nonempty.len() >= l {
+        // Line 5: S = the l largest buckets *currently*.
+        nonempty.sort_unstable_by(|&a, &b| {
+            buckets[b as usize]
+                .len()
+                .cmp(&buckets[a as usize].len())
+                .then(a.cmp(&b))
+        });
+        let mut group = Vec::with_capacity(l);
+        let mut values = Vec::with_capacity(l);
+        for &v in nonempty.iter().take(l) {
+            group.push(buckets[v as usize].pop().expect("bucket in non-empty list"));
+            values.push(v);
+        }
+        values.sort_unstable();
+        groups.push(group);
+        group_values.push(values);
+        nonempty.retain(|&v| !buckets[v as usize].is_empty());
+    }
+
+    GroupCreation {
+        groups,
+        group_values,
+        residual: nonempty,
+    }
+}
+
+/// Group creation with the round-robin ablation rule (shared by both
+/// [`anatomize`] and [`anatomize_reference`]; it is not a hot path).
+fn create_groups_round_robin(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation {
+    let n: usize = buckets.iter().map(Vec::len).sum();
+    let mut groups: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let mut group_values: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let mut nonempty: Vec<u32> = (0..buckets.len() as u32)
+        .filter(|&v| !buckets[v as usize].is_empty())
+        .collect();
+
+    let mut cursor = 0usize;
+    while nonempty.len() >= l {
+        // Rotate so each iteration starts after the previous one's first
+        // pick.
+        nonempty.sort_unstable();
+        cursor %= nonempty.len();
+        nonempty.rotate_left(cursor);
+        cursor += 1;
+        let mut group = Vec::with_capacity(l);
+        let mut values = Vec::with_capacity(l);
+        for &v in nonempty.iter().take(l) {
+            group.push(buckets[v as usize].pop().expect("bucket in non-empty list"));
+            values.push(v);
+        }
+        values.sort_unstable();
+        groups.push(group);
+        group_values.push(values);
+        nonempty.retain(|&v| !buckets[v as usize].is_empty());
+    }
+
+    GroupCreation {
+        groups,
+        group_values,
+        residual: nonempty,
+    }
+}
+
+/// Lines 9-12: residue assignment. At most l-1 tuples remain (Property 1
+/// guarantees one per bucket under eligibility; the loop below does not
+/// rely on that and drains whatever is left).
+///
+/// The candidate list (groups not containing the residue's sensitive
+/// value) is built **once per sensitive value** and kept current by
+/// deleting each chosen group, instead of being rebuilt from scratch for
+/// every leftover tuple: assigning value `v` to group `j` changes no other
+/// group's eligibility for `v`, so the maintained list stays equal to a
+/// recomputation — same candidates, same rng draws, same output.
+fn assign_residues(
+    rng: &mut StdRng,
+    buckets: &mut [Vec<u32>],
+    residual: &[u32],
+    groups: &mut [Vec<u32>],
+    group_values: &mut [Vec<u32>],
+) -> Result<(), CoreError> {
+    for &v in residual {
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut built = false;
+        while let Some(tuple) = buckets[v as usize].pop() {
+            if !built {
+                // S' = groups that do not contain sensitive value v.
+                candidates = group_values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, vals)| vals.binary_search(&v).is_err())
+                    .map(|(j, _)| j)
+                    .collect();
+                built = true;
+            }
+            if candidates.is_empty() {
+                return Err(CoreError::ResidueUnassignable { sensitive_code: v });
+            }
+            let pick = rng.random_range(0..candidates.len());
+            let j = candidates.remove(pick);
+            groups[j].push(tuple);
+            let pos = group_values[j].binary_search(&v).unwrap_err();
+            group_values[j].insert(pos, v);
+        }
+    }
+    Ok(())
+}
+
+fn anatomize_with(
+    md: &Microdata,
+    config: &AnatomizeConfig,
+    create_largest_first: impl FnOnce(&mut [Vec<u32>], usize) -> GroupCreation,
+) -> Result<Partition, CoreError> {
+    let l = config.l;
+    check_eligibility(md, l)?;
+    let n = md.len();
+    if n == 0 {
+        return Partition::new(vec![], 0);
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut buckets = shuffled_buckets(md, &mut rng);
+
+    let mut creation = match config.strategy {
+        BucketStrategy::LargestFirst => create_largest_first(&mut buckets, l),
+        BucketStrategy::RoundRobin => create_groups_round_robin(&mut buckets, l),
+    };
+    assign_residues(
+        &mut rng,
+        &mut buckets,
+        &creation.residual,
+        &mut creation.groups,
+        &mut creation.group_values,
+    )?;
+
+    Partition::new(creation.groups, n)
+}
+
 /// Compute an l-diverse partition of `md` with the `Anatomize` algorithm.
 ///
 /// Fails with [`CoreError::NotEligible`] when no l-diverse partition exists
 /// (some sensitive value occurs more than `n/l` times) and with
 /// [`CoreError::InvalidL`] for `l < 2`.
+///
+/// Group creation runs on the frequency ladder (see the module docs);
+/// [`anatomize_reference`] is the sort-based oracle it is differentially
+/// tested against.
 ///
 /// ```
 /// use anatomy_core::{anatomize, AnatomizeConfig};
@@ -107,96 +519,18 @@ impl AnatomizeConfig {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn anatomize(md: &Microdata, config: &AnatomizeConfig) -> Result<Partition, CoreError> {
-    let l = config.l;
-    check_eligibility(md, l)?;
-    let n = md.len();
-    if n == 0 {
-        return Partition::new(vec![], 0);
-    }
+    anatomize_with(md, config, create_groups_ladder)
+}
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
-    // Line 2: hash by sensitive value, one bucket per value. Shuffling each
-    // bucket once up front makes `pop()` equivalent to "remove an arbitrary
-    // (random) tuple" (Line 7).
-    let domain = md.sensitive_domain_size() as usize;
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); domain];
-    for (r, &code) in md.sensitive_codes().iter().enumerate() {
-        buckets[code as usize].push(r as u32);
-    }
-    for b in &mut buckets {
-        b.shuffle(&mut rng);
-    }
-
-    // Lines 3-8: group creation.
-    let mut groups: Vec<Vec<u32>> = Vec::with_capacity(n / l);
-    // Sensitive values present in each group, kept sorted for binary
-    // search during residue assignment.
-    let mut group_values: Vec<Vec<u32>> = Vec::with_capacity(n / l);
-    let mut nonempty: Vec<u32> = (0..domain as u32)
-        .filter(|&v| !buckets[v as usize].is_empty())
-        .collect();
-
-    let mut cursor = 0usize; // round-robin position (ablation strategy)
-    while nonempty.len() >= l {
-        match config.strategy {
-            BucketStrategy::LargestFirst => {
-                // Line 5: S = the l largest buckets *currently*. Sorting the
-                // non-empty list by size (descending) each iteration is
-                // O(λ log λ) with λ <= |sensitive domain|, negligible next
-                // to the scan.
-                nonempty.sort_unstable_by(|&a, &b| {
-                    buckets[b as usize]
-                        .len()
-                        .cmp(&buckets[a as usize].len())
-                        .then(a.cmp(&b))
-                });
-            }
-            BucketStrategy::RoundRobin => {
-                // Rotate so each iteration starts after the previous one's
-                // first pick.
-                nonempty.sort_unstable();
-                cursor %= nonempty.len();
-                nonempty.rotate_left(cursor);
-                cursor += 1;
-            }
-        }
-        let mut group = Vec::with_capacity(l);
-        let mut values = Vec::with_capacity(l);
-        for &v in nonempty.iter().take(l) {
-            let tuple = buckets[v as usize].pop().expect("bucket in non-empty list");
-            group.push(tuple);
-            values.push(v);
-        }
-        values.sort_unstable();
-        groups.push(group);
-        group_values.push(values);
-        nonempty.retain(|&v| !buckets[v as usize].is_empty());
-    }
-
-    // Lines 9-12: residue assignment. At most l-1 tuples remain (Property
-    // 1 guarantees one per bucket under eligibility; the loop below does
-    // not rely on that and drains whatever is left).
-    for v in nonempty {
-        while let Some(tuple) = buckets[v as usize].pop() {
-            // S' = groups that do not contain sensitive value v.
-            let candidates: Vec<usize> = group_values
-                .iter()
-                .enumerate()
-                .filter(|(_, vals)| vals.binary_search(&v).is_err())
-                .map(|(j, _)| j)
-                .collect();
-            if candidates.is_empty() {
-                return Err(CoreError::ResidueUnassignable { sensitive_code: v });
-            }
-            let j = candidates[rng.random_range(0..candidates.len())];
-            groups[j].push(tuple);
-            let pos = group_values[j].binary_search(&v).unwrap_err();
-            group_values[j].insert(pos, v);
-        }
-    }
-
-    Partition::new(groups, n)
+/// [`anatomize`] with sort-based group creation: the original
+/// implementation, kept as the differential-testing oracle and the
+/// baseline that `bench_anatomize` measures the ladder against. Returns
+/// the identical partition for every input and seed — only slower.
+pub fn anatomize_reference(
+    md: &Microdata,
+    config: &AnatomizeConfig,
+) -> Result<Partition, CoreError> {
+    anatomize_with(md, config, create_groups_sorted)
 }
 
 #[cfg(test)]
@@ -213,7 +547,7 @@ mod tests {
         .unwrap();
         let mut b = TableBuilder::new(schema);
         for (i, &c) in codes.iter().enumerate() {
-            b.push_row(&[i as u32, c]).unwrap();
+            b.push_row(&[(i % 1000) as u32, c]).unwrap();
         }
         Microdata::with_leading_qi(b.finish(), 1).unwrap()
     }
@@ -391,6 +725,74 @@ mod tests {
         }
     }
 
+    /// The tentpole contract: ladder and sort-based group creation agree
+    /// bit for bit — same groups, same tuple order, same residue handling.
+    #[test]
+    fn ladder_matches_reference_on_structured_inputs() {
+        let cases: Vec<(Vec<u32>, u32)> = vec![
+            // Uniform: one giant size class peeled front-to-back.
+            ((0..240).map(|i| i % 24).collect(), 24),
+            // Strict skew ladder: all-distinct sizes.
+            (
+                (0..17)
+                    .flat_map(|v| std::iter::repeat_n(v, 18 - v as usize))
+                    .collect(),
+                17,
+            ),
+            // Dominant value at the eligibility boundary.
+            (
+                {
+                    let mut c = vec![0u32; 40];
+                    c.extend((0..120).map(|i| 1 + (i % 37)));
+                    c
+                },
+                38,
+            ),
+            // Pairs of equal sizes everywhere: merge-heavy.
+            (
+                (0..30)
+                    .flat_map(|v| std::iter::repeat_n(v, 3 + (v as usize / 2) % 5))
+                    .collect(),
+                30,
+            ),
+        ];
+        for (codes, domain) in cases {
+            let md = md_from_sensitive(&codes, domain);
+            for l in [2usize, 3, 4, 7] {
+                for seed in [0u64, 1, 0xDEAD] {
+                    let cfg = AnatomizeConfig::new(l).with_seed(seed);
+                    let fast = anatomize(&md, &cfg);
+                    let slow = anatomize_reference(&md, &cfg);
+                    match (fast, slow) {
+                        (Ok(a), Ok(b)) => assert_eq!(a, b, "l={l} seed={seed}"),
+                        (Err(a), Err(b)) => {
+                            assert_eq!(a.to_string(), b.to_string(), "l={l} seed={seed}")
+                        }
+                        (a, b) => panic!("diverged: l={l} seed={seed}: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// A larger merge-heavy differential case: λ = 300 with mixed
+    /// multiplicities, exercising boundary-class splits, both merge
+    /// directions and residue assignment at scale.
+    #[test]
+    fn ladder_matches_reference_large() {
+        let codes: Vec<u32> = (0..20_000u64)
+            .map(|i| ((i * 2654435761) % 300) as u32)
+            .collect();
+        let md = md_from_sensitive(&codes, 300);
+        for l in [2usize, 10, 50] {
+            let cfg = AnatomizeConfig::new(l).with_seed(99);
+            let fast = anatomize(&md, &cfg).unwrap();
+            let slow = anatomize_reference(&md, &cfg).unwrap();
+            assert_eq!(fast, slow, "l={l}");
+            assert_anatomize_invariants(&md, &fast, l);
+        }
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -418,6 +820,41 @@ mod tests {
                 } else {
                     let rejected = matches!(result, Err(CoreError::NotEligible { .. }));
                     prop_assert!(rejected);
+                }
+            }
+
+            /// Differential property: the frequency ladder reproduces the
+            /// sort-based oracle bit for bit — identical partitions (and
+            /// identical errors) across random microdata, seeds, both
+            /// strategy arms, and sensitive domains up to λ = 64.
+            #[test]
+            fn ladder_equals_sort_oracle(
+                codes in proptest::collection::vec(0u32..64, 0..300),
+                lambda in 2u32..=64,
+                l in 2usize..8,
+                seed in 0u64..10_000,
+                round_robin in 0u8..2,
+            ) {
+                let codes: Vec<u32> = codes.iter().map(|&c| c % lambda).collect();
+                let md = md_from_sensitive(&codes, lambda);
+                let strategy = if round_robin == 1 {
+                    BucketStrategy::RoundRobin
+                } else {
+                    BucketStrategy::LargestFirst
+                };
+                let cfg = AnatomizeConfig::new(l)
+                    .with_seed(seed)
+                    .with_strategy(strategy);
+                let fast = anatomize(&md, &cfg);
+                let slow = anatomize_reference(&md, &cfg);
+                match (fast, slow) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                    (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+                    (a, b) => {
+                        return Err(TestCaseError::fail(
+                            format!("paths diverged: {a:?} vs {b:?}"),
+                        ));
+                    }
                 }
             }
         }

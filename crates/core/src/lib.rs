@@ -53,7 +53,7 @@ pub mod published;
 pub mod rce;
 pub mod release;
 
-pub use anatomize::{anatomize, AnatomizeConfig, BucketStrategy};
+pub use anatomize::{anatomize, anatomize_reference, AnatomizeConfig, BucketStrategy};
 pub use anatomize_io::{anatomize_external, ExternalAnatomizeOutput};
 pub use diversity::{
     check_eligibility, group_is_l_diverse, max_feasible_l, suppress_to_eligibility,

@@ -1,0 +1,93 @@
+//! Batch evaluation entry points: whole workloads against the bitmap
+//! index, parallelized on the persistent [`anatomy_pool::Pool`].
+//!
+//! The experiment harness answers workloads of up to 10 000 queries per
+//! figure cell. These helpers are the one place where "evaluate a batch"
+//! meets "spread it over the pool", so every caller (the ground-truth
+//! loop, the error loops, the CLI's batch query command) shares one
+//! parallelization policy: queries are [`anatomy_pool::ItemCost::Cheap`]
+//! items — microseconds each against the index — so tiny batches stay
+//! serial and large ones split into chunks.
+//!
+//! Each function is the batch form of its scalar namesake and inherits
+//! its bit-for-bit contract with the scan-based oracle.
+
+use crate::index::{estimate_anatomy_indexed, evaluate_exact_indexed, QueryIndex};
+use crate::query::CountQuery;
+use anatomy_core::AnatomizedTables;
+use anatomy_pool::{ItemCost, Pool};
+
+/// Exact COUNTs for a whole batch via `index`, on `pool`.
+///
+/// # Panics
+///
+/// Like [`evaluate_exact_indexed`]: the index must carry sensitive
+/// bitmaps (be microdata-backed).
+pub fn evaluate_exact_batch(pool: &Pool, index: &QueryIndex, queries: &[CountQuery]) -> Vec<u64> {
+    pool.par_map_hinted(queries, ItemCost::Cheap, |q| {
+        evaluate_exact_indexed(index, q)
+    })
+}
+
+/// Anatomy estimates for a whole batch via `index`, on `pool`.
+pub fn estimate_anatomy_batch(
+    pool: &Pool,
+    index: &QueryIndex,
+    tables: &AnatomizedTables,
+    queries: &[CountQuery],
+) -> Vec<f64> {
+    pool.par_map_hinted(queries, ItemCost::Cheap, |q| {
+        estimate_anatomy_indexed(index, tables, q)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::evaluate_exact;
+    use crate::workload::WorkloadSpec;
+    use anatomy_core::{anatomize, AnatomizeConfig};
+    use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder};
+
+    fn md(n: u32) -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::numerical("Zip", 60),
+            Attribute::categorical("Disease", 5),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..n {
+            b.push_row(&[i % 100, (i * 7) % 60, i % 5]).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 2).unwrap()
+    }
+
+    #[test]
+    fn batch_paths_match_scalar_paths() {
+        let md = md(500);
+        let partition = anatomize(&md, &AnatomizeConfig::new(4)).unwrap();
+        let tables = AnatomizedTables::publish(&md, &partition, 4).unwrap();
+        let index = QueryIndex::build(&md, &tables).unwrap();
+        let queries = WorkloadSpec {
+            qd: 2,
+            selectivity: 0.1,
+            count: 100,
+            seed: 11,
+        }
+        .generate(&md)
+        .unwrap();
+
+        let pool = Pool::new(4);
+        let exact = evaluate_exact_batch(&pool, &index, &queries);
+        let est = estimate_anatomy_batch(&pool, &index, &tables, &queries);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(exact[i], evaluate_exact(&md, q), "query {i}");
+            assert_eq!(
+                est[i],
+                estimate_anatomy_indexed(&index, &tables, q),
+                "query {i}"
+            );
+        }
+    }
+}

@@ -29,9 +29,13 @@
 //!   per-(column, value) bitmaps plus a group-clustered row permutation,
 //!   giving scan-free [`evaluate_exact_indexed`] / [`estimate_anatomy_indexed`]
 //!   that reproduce the scalar paths bit-for-bit. The scalar evaluators stay
-//!   as the differential-testing oracle.
+//!   as the differential-testing oracle;
+//! * [`batch`] — whole-workload evaluation on the persistent worker pool
+//!   (`anatomy_pool`), the entry points the experiment harness and CLI
+//!   batch paths share.
 
 pub mod accuracy;
+pub mod batch;
 pub mod bitmap;
 pub mod error;
 pub mod estimate_anatomy;
@@ -43,6 +47,7 @@ pub mod query;
 pub mod workload;
 
 pub use accuracy::{relative_error, AccuracyReport};
+pub use batch::{estimate_anatomy_batch, evaluate_exact_batch};
 pub use bitmap::Bitmap;
 pub use error::QueryError;
 pub use estimate_anatomy::estimate_anatomy;
