@@ -3,7 +3,7 @@
 //! to `BENCH_anatomize.json`.
 //!
 //! ```text
-//! bench_anatomize [--seed S] [--repeats R] [--out FILE] [--smoke]
+//! bench_anatomize [--seed S] [--repeats R] [--out FILE] [--smoke] [--obs-gate]
 //! ```
 //!
 //! The grid uses synthetic microdata so the sensitive-domain size λ can be
@@ -19,10 +19,22 @@
 //!
 //! `--smoke` shrinks the grid to two tiny cells for CI: the correctness
 //! gates still run, the timings are merely not meaningful.
+//!
+//! The run executes with the global observability registry enabled, so
+//! every cell embeds its own `RunManifest` (phase timings and counters
+//! for exactly that cell) in the output JSON. Both timing arms carry the
+//! identical instrumentation, so the sort-vs-ladder ratios are unbiased.
+//!
+//! `--obs-gate` skips the grid and instead measures that instrumentation
+//! is a true no-op when disabled: interleaved best-of-N `anatomize` runs
+//! with the registry enabled vs disabled must stay within 2% of each
+//! other, or the process exits non-zero. This is the CI overhead gate —
+//! the zero-cost claim is benchmarked, not assumed.
 
 use anatomy_bench::runner::BenchResult;
 use anatomy_core::anatomize::{create_groups_ladder, create_groups_sorted, shuffled_buckets};
 use anatomy_core::{anatomize, anatomize_reference, AnatomizeConfig};
+use anatomy_obs::RunManifest;
 use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -36,6 +48,7 @@ struct Config {
     repeats: usize,
     out: String,
     smoke: bool,
+    obs_gate: bool,
 }
 
 fn parse_args() -> Config {
@@ -44,6 +57,7 @@ fn parse_args() -> Config {
         repeats: 3,
         out: "BENCH_anatomize.json".into(),
         smoke: false,
+        obs_gate: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -61,9 +75,10 @@ fn parse_args() -> Config {
             "--repeats" => cfg.repeats = next("--repeats").parse().expect("--repeats"),
             "--out" => cfg.out = next("--out"),
             "--smoke" => cfg.smoke = true,
+            "--obs-gate" => cfg.obs_gate = true,
             other => {
                 eprintln!(
-                    "unknown argument {other}\nusage: bench_anatomize [--seed S] [--repeats R] [--out FILE] [--smoke]"
+                    "unknown argument {other}\nusage: bench_anatomize [--seed S] [--repeats R] [--out FILE] [--smoke] [--obs-gate]"
                 );
                 std::process::exit(2);
             }
@@ -147,9 +162,14 @@ struct CellResult {
     ladder_ms: f64,
     full_sort_ms: f64,
     full_ladder_ms: f64,
+    /// This cell's `RunManifest` as compact JSON: the phase tree and
+    /// counters accumulated by the gates and timing loops above.
+    manifest: String,
 }
 
 fn run_cell(cell: Cell, cfg: &Config) -> BenchResult<CellResult> {
+    let obs = anatomy_obs::global();
+    let before = obs.snapshot();
     let Cell { n, lambda, l, dist } = cell;
     let md = synthetic(
         n,
@@ -209,13 +229,46 @@ fn run_cell(cell: Cell, cfg: &Config) -> BenchResult<CellResult> {
         full_sort_ms / full_ladder_ms,
         dist = dist.name(),
     );
+    let manifest = RunManifest::capture_since(
+        &format!("cell.n{n}.lambda{lambda}.l{l}.{}", dist.name()),
+        obs,
+        &before,
+    )
+    .with_param("n", n as u64)
+    .with_param("lambda", lambda as u64)
+    .with_param("l", l as u64)
+    .with_param("dist", dist.name())
+    .to_json_compact();
     Ok(CellResult {
         cell,
         sort_ms,
         ladder_ms,
         full_sort_ms,
         full_ladder_ms,
+        manifest,
     })
+}
+
+/// The `--obs-gate` measurement: best-of-N `anatomize` wall clock with
+/// the registry enabled vs disabled, interleaved so drift hits both arms
+/// equally. Returns `(enabled_ms, disabled_ms)`.
+fn obs_gate(cfg: &Config) -> BenchResult<(f64, f64)> {
+    let obs = anatomy_obs::global();
+    let md = synthetic(20_000, 64, Dist::Uniform, cfg.seed)?;
+    let config = AnatomizeConfig::new(4).with_seed(cfg.seed);
+    // Warm caches and the allocator before timing.
+    anatomize(&md, &config)?;
+    let rounds = cfg.repeats.max(30);
+    let mut enabled_ms = f64::INFINITY;
+    let mut disabled_ms = f64::INFINITY;
+    for _ in 0..rounds {
+        obs.set_enabled(false);
+        disabled_ms = disabled_ms.min(time_ms(|| anatomize(&md, &config)));
+        obs.set_enabled(true);
+        enabled_ms = enabled_ms.min(time_ms(|| anatomize(&md, &config)));
+    }
+    obs.set_enabled(false);
+    Ok((enabled_ms, disabled_ms))
 }
 
 fn grid(smoke: bool) -> Vec<Cell> {
@@ -244,6 +297,9 @@ fn grid(smoke: bool) -> Vec<Cell> {
 }
 
 fn run(cfg: &Config) -> BenchResult<String> {
+    // Cells run instrumented so their manifests are populated; both
+    // timing arms see the identical instrumentation.
+    anatomy_obs::global().set_enabled(true);
     let results: Vec<CellResult> = grid(cfg.smoke)
         .into_iter()
         .map(|cell| run_cell(cell, cfg))
@@ -269,7 +325,7 @@ fn run(cfg: &Config) -> BenchResult<String> {
         let sep = if i + 1 < results.len() { "," } else { "" };
         let _ = writeln!(
             cells_json,
-            r#"    {{ "n": {n}, "lambda": {lambda}, "l": {l}, "dist": "{dist}", "group_creation": {{ "sort_ms": {s:.3}, "ladder_ms": {ld:.3}, "speedup": {sp:.2} }}, "full_anatomize": {{ "sort_ms": {fs:.3}, "ladder_ms": {fl:.3}, "speedup": {fsp:.2} }} }}{sep}"#,
+            r#"    {{ "n": {n}, "lambda": {lambda}, "l": {l}, "dist": "{dist}", "group_creation": {{ "sort_ms": {s:.3}, "ladder_ms": {ld:.3}, "speedup": {sp:.2} }}, "full_anatomize": {{ "sort_ms": {fs:.3}, "ladder_ms": {fl:.3}, "speedup": {fsp:.2} }}, "manifest": {manifest} }}{sep}"#,
             n = r.cell.n,
             lambda = r.cell.lambda,
             l = r.cell.l,
@@ -280,6 +336,7 @@ fn run(cfg: &Config) -> BenchResult<String> {
             fs = r.full_sort_ms,
             fl = r.full_ladder_ms,
             fsp = r.full_sort_ms / r.full_ladder_ms,
+            manifest = r.manifest,
         );
     }
     Ok(format!(
@@ -304,6 +361,26 @@ fn run(cfg: &Config) -> BenchResult<String> {
 
 fn main() -> ExitCode {
     let cfg = parse_args();
+    if cfg.obs_gate {
+        return match obs_gate(&cfg) {
+            Ok((enabled_ms, disabled_ms)) => {
+                let ratio = enabled_ms / disabled_ms;
+                eprintln!(
+                    "# obs gate: enabled {enabled_ms:.3} ms, disabled {disabled_ms:.3} ms, ratio {ratio:.4} (limit 1.02)"
+                );
+                if ratio <= 1.02 {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("# FAIL: observability overhead exceeds 2%");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run(&cfg) {
         Ok(json) => {
             if let Err(e) = std::fs::write(&cfg.out, &json) {

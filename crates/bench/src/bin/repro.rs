@@ -16,6 +16,9 @@
 //!   --n N            override the default cardinality
 //!   --queries Q      override the workload size
 //!   --seed S         override the master seed
+//!   --metrics PATH   enable observability and write the run's
+//!                    `RunManifest` JSON (phase tree, counters, I/O
+//!                    mirrors) to PATH
 //! ```
 
 use anatomy_bench::figures::{
@@ -25,11 +28,12 @@ use anatomy_bench::figures::{
 use anatomy_bench::params::Scale;
 use anatomy_bench::runner::BenchResult;
 use anatomy_bench::tables;
+use anatomy_obs::RunManifest;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1..table7|fig1|fig2|fig4..fig9|rce|encoding|uniform|tradeoff|memory|all> [--full] [--n N] [--queries Q] [--seed S]"
+        "usage: repro <table1..table7|fig1|fig2|fig4..fig9|rce|encoding|uniform|tradeoff|memory|all> [--full] [--n N] [--queries Q] [--seed S] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -54,6 +58,10 @@ fn parse_scale(args: &[String]) -> Scale {
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 scale.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--metrics" => {
+                // Consumed in `main`; skip the value here.
+                it.next().unwrap_or_else(|| usage());
             }
             "--full" => {}
             other if other.starts_with("--") => usage(),
@@ -102,6 +110,12 @@ fn run(cmd: &str, scale: Scale) -> BenchResult<()> {
     Ok(())
 }
 
+fn metrics_path(args: &[String]) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == "--metrics")
+        .map(|w| w[1].clone())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match args.first() {
@@ -109,6 +123,11 @@ fn main() -> ExitCode {
         _ => usage(),
     };
     let scale = parse_scale(&args[1..]);
+    let metrics = metrics_path(&args[1..]);
+    if metrics.is_some() {
+        anatomy_obs::global().set_enabled(true);
+    }
+    let before = anatomy_obs::global().snapshot();
     eprintln!(
         "# scale: n_default={} n_sweep={:?} queries={} l={} seed={} pool_threads={}",
         scale.n_default,
@@ -119,7 +138,26 @@ fn main() -> ExitCode {
         anatomy_pool::Pool::global().threads()
     );
     match run(&cmd, scale) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if let Some(path) = metrics {
+                let manifest = RunManifest::capture_since(
+                    &format!("repro.{cmd}"),
+                    anatomy_obs::global(),
+                    &before,
+                )
+                .with_param("experiment", cmd.as_str())
+                .with_param("n", scale.n_default as u64)
+                .with_param("queries", scale.queries as u64)
+                .with_param("l", scale.l as u64)
+                .with_param("seed", scale.seed);
+                if let Err(e) = std::fs::write(&path, manifest.to_json()) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("# metrics -> {path}");
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -186,12 +186,14 @@ pub struct IoOutcome {
 pub fn io_experiment(md: &Microdata, l: usize) -> BenchResult<IoOutcome> {
     let page = PageConfig::paper();
 
-    let ana_counter = IoCounter::new();
+    // Observed counters mirror the page counts into the global registry
+    // (when enabled) without changing the exact local totals below.
+    let ana_counter = IoCounter::observed(anatomy_obs::global(), "io.anatomy");
     let ana_pool =
         anatomy_core::anatomize_io::recommended_pool(md.sensitive_domain_size() as usize);
     let ana = anatomy_core::anatomize_external(md, l, page, &ana_pool, &ana_counter)?;
 
-    let gen_counter = IoCounter::new();
+    let gen_counter = IoCounter::observed(anatomy_obs::global(), "io.generalization");
     let gen_pool = BufferPool::new(PAPER_MEMORY_PAGES);
     let cfg = MondrianConfig {
         l,

@@ -1,6 +1,7 @@
 //! Minimal, dependency-free argument parsing.
 
 use crate::CliResult;
+use anatomy::Error;
 use std::collections::HashMap;
 
 /// A parsed CLI invocation.
@@ -16,7 +17,7 @@ pub enum Command {
         sensitive: String,
     },
     /// `anatomy publish --data F --schema F --sensitive NAME --l N
-    ///  --qit F --st F [--seed N]`
+    ///  --qit F --st F [--seed N] [--metrics F]`
     Publish {
         /// Microdata CSV path.
         data: String,
@@ -32,6 +33,8 @@ pub enum Command {
         st: String,
         /// RNG seed.
         seed: u64,
+        /// Write the run's `RunManifest` JSON here.
+        metrics: Option<String>,
     },
     /// `anatomy audit --qit F --st F --schema F --sensitive NAME --l N`
     Audit {
@@ -47,7 +50,7 @@ pub enum Command {
         l: usize,
     },
     /// `anatomy query --qit F --st F --schema F --sensitive NAME --l N
-    ///  --query SPEC [--indexed]`
+    ///  --query SPEC [--indexed] [--metrics F]`
     Query {
         /// QIT CSV path.
         qit: String,
@@ -64,6 +67,8 @@ pub enum Command {
         /// Estimate through the bitmap query index instead of the scalar
         /// estimator (identical answers; faster on many-query batches).
         indexed: bool,
+        /// Write the run's `RunManifest` JSON here.
+        metrics: Option<String>,
     },
 }
 
@@ -71,9 +76,9 @@ pub enum Command {
 pub const USAGE: &str = "\
 usage:
   anatomy stats   --data F --schema F --sensitive NAME
-  anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N]
+  anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N] [--metrics F]
   anatomy audit   --qit F --st F --schema F --sensitive NAME --l N
-  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed]";
+  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed] [--metrics F]";
 
 /// Flags that take no value; their presence alone means "true".
 const BOOLEAN_FLAGS: &[&str] = &["indexed"];
@@ -84,35 +89,36 @@ fn flags(args: &[String]) -> CliResult<HashMap<String, String>> {
     while let Some(a) = it.next() {
         let key = a
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected a --flag, got `{a}`"))?;
+            .ok_or_else(|| Error::msg(format!("expected a --flag, got `{a}`")))?;
         let value = if BOOLEAN_FLAGS.contains(&key) {
             "true".to_string()
         } else {
             it.next()
-                .ok_or_else(|| format!("--{key} needs a value"))?
+                .ok_or_else(|| Error::msg(format!("--{key} needs a value")))?
                 .clone()
         };
         if map.insert(key.to_string(), value).is_some() {
-            return Err(format!("--{key} given twice"));
+            return Err(Error::msg(format!("--{key} given twice")));
         }
     }
     Ok(map)
 }
 
 fn take(map: &mut HashMap<String, String>, key: &str) -> CliResult<String> {
-    map.remove(key).ok_or_else(|| format!("missing --{key}"))
+    map.remove(key)
+        .ok_or_else(|| Error::msg(format!("missing --{key}")))
 }
 
 fn finish(map: HashMap<String, String>) -> CliResult<()> {
     if let Some(key) = map.keys().next() {
-        return Err(format!("unknown flag --{key}"));
+        return Err(Error::msg(format!("unknown flag --{key}")));
     }
     Ok(())
 }
 
 /// Parse `argv[1..]` into a [`Command`].
 pub fn parse_args(args: &[String]) -> CliResult<Command> {
-    let (cmd, rest) = args.split_first().ok_or_else(|| USAGE.to_string())?;
+    let (cmd, rest) = args.split_first().ok_or_else(|| Error::msg(USAGE))?;
     let mut map = flags(rest)?;
     let parsed = match cmd.as_str() {
         "stats" => Command::Stats {
@@ -134,6 +140,7 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
                 .map(|s| s.parse::<u64>().map_err(|_| "--seed must be an integer"))
                 .transpose()?
                 .unwrap_or(0xA7A7),
+            metrics: map.remove("metrics"),
         },
         "audit" => Command::Audit {
             qit: take(&mut map, "qit")?,
@@ -154,8 +161,9 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
                 .map_err(|_| "--l must be an integer")?,
             query: take(&mut map, "query")?,
             indexed: map.remove("indexed").is_some(),
+            metrics: map.remove("metrics"),
         },
-        other => return Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => return Err(Error::msg(format!("unknown command `{other}`\n{USAGE}"))),
     };
     finish(map)?;
     Ok(parsed)
@@ -185,6 +193,7 @@ mod tests {
                 qit: "q.csv".into(),
                 st: "t.csv".into(),
                 seed: 9,
+                metrics: None,
             }
         );
     }

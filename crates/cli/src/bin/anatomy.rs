@@ -1,7 +1,7 @@
 //! `anatomy` — command-line anatomization. See `anatomy_cli` for the
 //! command set.
 
-use anatomy_cli::{args, parse_args, run};
+use anatomy_cli::{args, parse_args, render_chain, run};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -20,7 +20,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
+            // The full cause chain, one `caused by:` line per layer.
+            eprintln!("error: {}", render_chain(&e));
             ExitCode::FAILURE
         }
     }

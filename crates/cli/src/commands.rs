@@ -3,15 +3,45 @@
 
 use crate::schema_file;
 use crate::{CliResult, Command};
+use anatomy::{Error, Publish};
 use anatomy_core::adversary::tuple_value_probability;
 use anatomy_core::diversity::max_feasible_l;
 use anatomy_core::release::{parse_release, qit_to_csv, st_to_csv};
-use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
+use anatomy_core::AnatomizedTables;
+use anatomy_obs::RunManifest;
 use anatomy_pool::Pool;
 use anatomy_query::{estimate_anatomy, estimate_anatomy_batch, workload_from_text, QueryIndex};
 use anatomy_tables::{csv, Microdata, Schema, Table, TableBuilder, Value};
 use std::fmt::Write as _;
 use std::fs;
+
+/// Turns the global observability registry on for a `--metrics` run and
+/// restores the previous state on drop, error paths included, so a CLI
+/// call never changes what the embedding process observes.
+struct MetricsScope {
+    prev: bool,
+}
+
+impl MetricsScope {
+    fn new(wanted: bool) -> MetricsScope {
+        let obs = anatomy_obs::global();
+        let prev = obs.enabled();
+        if wanted {
+            obs.set_enabled(true);
+        }
+        MetricsScope { prev }
+    }
+}
+
+impl Drop for MetricsScope {
+    fn drop(&mut self) {
+        anatomy_obs::global().set_enabled(self.prev);
+    }
+}
+
+fn write_metrics(path: &str, manifest: &RunManifest) -> CliResult<()> {
+    fs::write(path, manifest.to_json()).map_err(|e| Error::msg(format!("cannot write {path}: {e}")))
+}
 
 /// Execute a parsed command, returning the report to print.
 pub fn run(cmd: &Command) -> CliResult<String> {
@@ -29,7 +59,17 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             qit,
             st,
             seed,
-        } => publish(data, schema, sensitive, *l, qit, st, *seed),
+            metrics,
+        } => publish(
+            data,
+            schema,
+            sensitive,
+            *l,
+            qit,
+            st,
+            *seed,
+            metrics.as_deref(),
+        ),
         Command::Audit {
             qit,
             st,
@@ -45,12 +85,22 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             l,
             query,
             indexed,
-        } => query_cmd(qit, st, schema, sensitive, *l, query, *indexed),
+            metrics,
+        } => query_cmd(
+            qit,
+            st,
+            schema,
+            sensitive,
+            *l,
+            query,
+            *indexed,
+            metrics.as_deref(),
+        ),
     }
 }
 
 fn read_file(path: &str) -> CliResult<String> {
-    fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    fs::read_to_string(path).map_err(|e| Error::msg(format!("cannot read {path}: {e}")))
 }
 
 fn load_schema(path: &str) -> CliResult<Schema> {
@@ -62,7 +112,7 @@ fn load_schema(path: &str) -> CliResult<Schema> {
 fn designate(schema: &Schema, sensitive: &str) -> CliResult<(Vec<usize>, usize)> {
     let s_col = schema
         .index_of(sensitive)
-        .map_err(|_| format!("sensitive attribute `{sensitive}` not in schema"))?;
+        .map_err(|_| Error::msg(format!("sensitive attribute `{sensitive}` not in schema")))?;
     let qi: Vec<usize> = (0..schema.width()).filter(|&i| i != s_col).collect();
     if qi.is_empty() {
         return Err("schema needs at least one QI attribute besides the sensitive one".into());
@@ -73,8 +123,8 @@ fn designate(schema: &Schema, sensitive: &str) -> CliResult<(Vec<usize>, usize)>
 fn load_microdata(data_path: &str, schema: &Schema, sensitive: &str) -> CliResult<Microdata> {
     let (qi, s_col) = designate(schema, sensitive)?;
     let table = csv::from_str(schema.clone(), &read_file(data_path)?)
-        .map_err(|e| format!("{data_path}: {e}"))?;
-    Microdata::new(table, qi, s_col).map_err(|e| e.to_string())
+        .map_err(|e| Error::from(e).context(format!("cannot load {data_path}")))?;
+    Ok(Microdata::new(table, qi, s_col)?)
 }
 
 fn stats(data: &str, schema_path: &str, sensitive: &str) -> CliResult<String> {
@@ -84,7 +134,7 @@ fn stats(data: &str, schema_path: &str, sensitive: &str) -> CliResult<String> {
     let _ = writeln!(out, "tuples: {}", md.len());
     let _ = writeln!(out, "QI attributes ({}):", md.qi_count());
     for (i, &col) in md.qi_columns().iter().enumerate() {
-        let attr = schema.attribute(col).map_err(|e| e.to_string())?;
+        let attr = schema.attribute(col)?;
         let hist = anatomy_tables::stats::Histogram::of_column(md.qi_codes(i), attr.domain_size());
         let _ = writeln!(
             out,
@@ -95,9 +145,7 @@ fn stats(data: &str, schema_path: &str, sensitive: &str) -> CliResult<String> {
             hist.distinct()
         );
     }
-    let s_attr = schema
-        .attribute(md.sensitive_column())
-        .map_err(|e| e.to_string())?;
+    let s_attr = schema.attribute(md.sensitive_column())?;
     let s_hist =
         anatomy_tables::stats::Histogram::of_column(md.sensitive_codes(), s_attr.domain_size());
     let _ = writeln!(
@@ -134,20 +182,32 @@ fn publish(
     qit_path: &str,
     st_path: &str,
     seed: u64,
+    metrics: Option<&str>,
 ) -> CliResult<String> {
     let schema = load_schema(schema_path)?;
     let md = load_microdata(data, &schema, sensitive)?;
-    let partition =
-        anatomize(&md, &AnatomizeConfig::new(l).with_seed(seed)).map_err(|e| e.to_string())?;
-    let tables = AnatomizedTables::publish(&md, &partition, l).map_err(|e| e.to_string())?;
-    fs::write(qit_path, qit_to_csv(&tables))
-        .map_err(|e| format!("cannot write {qit_path}: {e}"))?;
-    fs::write(st_path, st_to_csv(&tables)).map_err(|e| format!("cannot write {st_path}: {e}"))?;
-    Ok(format!(
+    let _scope = MetricsScope::new(metrics.is_some());
+    let release = Publish::new(&md)
+        .l(l)
+        .seed(seed)
+        .name("cli.publish")
+        .run()
+        .map_err(|e| e.context(format!("publishing {data}")))?;
+    let tables = &release.tables;
+    fs::write(qit_path, qit_to_csv(tables))
+        .map_err(|e| Error::msg(format!("cannot write {qit_path}: {e}")))?;
+    fs::write(st_path, st_to_csv(tables))
+        .map_err(|e| Error::msg(format!("cannot write {st_path}: {e}")))?;
+    let mut out = format!(
         "published {} tuples in {} QI-groups (l = {l})\nQIT -> {qit_path}\nST  -> {st_path}\n",
         tables.len(),
         tables.group_count()
-    ))
+    );
+    if let Some(path) = metrics {
+        write_metrics(path, &release.manifest)?;
+        let _ = writeln!(out, "metrics -> {path}");
+    }
+    Ok(out)
 }
 
 /// Parse a release from disk, returning the validated tables.
@@ -160,9 +220,11 @@ fn load_release(
 ) -> CliResult<(Schema, AnatomizedTables)> {
     let schema = load_schema(schema_path)?;
     let (qi, _) = designate(&schema, sensitive)?;
-    let qi_schema = schema.project(&qi).map_err(|e| e.to_string())?;
-    let tables = parse_release(qi_schema, &read_file(qit_path)?, &read_file(st_path)?, l)
-        .map_err(|e| e.to_string())?;
+    let qi_schema = schema.project(&qi)?;
+    let tables =
+        parse_release(qi_schema, &read_file(qit_path)?, &read_file(st_path)?, l).map_err(|e| {
+            Error::from(e).context(format!("cannot load release {qit_path} / {st_path}"))
+        })?;
     Ok((schema, tables))
 }
 
@@ -201,16 +263,19 @@ fn query_cmd(
     l: usize,
     query: &str,
     indexed: bool,
+    metrics: Option<&str>,
 ) -> CliResult<String> {
     let (schema, tables) = load_release(qit_path, st_path, schema_path, sensitive, l)?;
     let (qi, s_col) = designate(&schema, sensitive)?;
     // An empty microdata carries the domains the query parser validates
     // against.
-    let empty = Microdata::new(empty_table(&schema), qi, s_col).map_err(|e| e.to_string())?;
-    let queries = workload_from_text(&empty, query).map_err(|e| e.to_string())?;
+    let empty = Microdata::new(empty_table(&schema), qi, s_col)?;
+    let queries = workload_from_text(&empty, query)?;
     if queries.is_empty() {
-        return Err("no query given".into());
+        return Err(Error::msg("no query given"));
     }
+    let _scope = MetricsScope::new(metrics.is_some());
+    let before = anatomy_obs::global().snapshot();
     // The index gives identical estimates; build it once for the batch and
     // evaluate the whole workload on the persistent pool. The scalar path
     // stays serial — it is the oracle the indexed path is checked against.
@@ -228,6 +293,14 @@ fn query_cmd(
     // Keep the adversary module linked in for the audit path; also a handy
     // sanity line for single-row releases.
     let _ = tuple_value_probability(&tables, 0, Value(tables.st_records()[0].value.code()));
+    if let Some(path) = metrics {
+        let manifest = RunManifest::capture_since("cli.query", anatomy_obs::global(), &before)
+            .with_param("queries", queries.len() as u64)
+            .with_param("l", l as u64)
+            .with_param("indexed", indexed);
+        write_metrics(path, &manifest)?;
+        let _ = writeln!(out, "metrics -> {path}");
+    }
     Ok(out)
 }
 
@@ -296,6 +369,7 @@ mod tests {
             qit: qit.clone(),
             st: st.clone(),
             seed: 3,
+            metrics: None,
         })
         .unwrap();
         assert!(report.contains("40 tuples"));
@@ -331,6 +405,7 @@ mod tests {
             l: 4,
             query: "s=0".into(),
             indexed: false,
+            metrics: None,
         })
         .unwrap();
         assert!(report.contains("estimate: 8.000"), "{report}");
@@ -345,6 +420,7 @@ mod tests {
                 l: 4,
                 query: query.into(),
                 indexed: false,
+                metrics: None,
             })
             .unwrap();
             let indexed = run(&Command::Query {
@@ -355,6 +431,7 @@ mod tests {
                 l: 4,
                 query: query.into(),
                 indexed: true,
+                metrics: None,
             })
             .unwrap();
             assert_eq!(scalar, indexed, "query {query}");

@@ -31,5 +31,10 @@ pub mod schema_file;
 pub use args::{parse_args, Command};
 pub use commands::run;
 
-/// CLI errors are reported to stderr and exit non-zero; a string is enough.
-pub type CliResult<T> = Result<T, String>;
+// The binary prints errors through `render_chain`, so wrapped causes
+// (file errors, core/tables/query failures) each get a `caused by:` line.
+pub use anatomy::{render_chain, Error};
+
+/// CLI commands fail with the workspace-wide [`anatomy::Error`], keeping
+/// the cause chain intact all the way to the binary's stderr report.
+pub type CliResult<T> = Result<T, Error>;

@@ -2,6 +2,7 @@
 //! `name:kind:domain_size`, `#` comments and blank lines ignored.
 
 use crate::CliResult;
+use anatomy::Error;
 use anatomy_tables::{Attribute, AttributeKind, Schema};
 
 /// Parse a schema document.
@@ -22,33 +23,36 @@ pub fn parse(text: &str) -> CliResult<Schema> {
         }
         let parts: Vec<&str> = line.split(':').map(str::trim).collect();
         if parts.len() != 3 {
-            return Err(format!(
+            return Err(Error::msg(format!(
                 "schema line {line_no}: expected `name:kind:domain_size`, got `{line}`"
-            ));
+            )));
         }
         let kind = match parts[1] {
             "numerical" | "num" => AttributeKind::Numerical,
             "categorical" | "cat" => AttributeKind::Categorical,
             other => {
-                return Err(format!(
+                return Err(Error::msg(format!(
                     "schema line {line_no}: kind `{other}` is neither numerical nor categorical"
-                ))
+                )))
             }
         };
-        let domain: u32 = parts[2]
-            .parse()
-            .map_err(|_| format!("schema line {line_no}: bad domain size `{}`", parts[2]))?;
+        let domain: u32 = parts[2].parse().map_err(|_| {
+            Error::msg(format!(
+                "schema line {line_no}: bad domain size `{}`",
+                parts[2]
+            ))
+        })?;
         if domain == 0 {
-            return Err(format!(
+            return Err(Error::msg(format!(
                 "schema line {line_no}: domain size must be positive"
-            ));
+            )));
         }
         attrs.push(Attribute::new(parts[0], kind, domain));
     }
     if attrs.is_empty() {
         return Err("schema file declares no attributes".into());
     }
-    Schema::new(attrs).map_err(|e| e.to_string())
+    Ok(Schema::new(attrs)?)
 }
 
 /// Render a schema back into the file format (for `anatomy stats --emit-schema`).

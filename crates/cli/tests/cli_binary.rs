@@ -125,6 +125,120 @@ fn full_pipeline_through_the_binary() {
         .contains("estimate: 8.000"));
 }
 
+/// `--metrics` makes publish and query drop a valid `RunManifest` JSON
+/// next to their outputs — the CI smoke path.
+#[test]
+fn metrics_flag_emits_valid_manifests() {
+    let dir = scratch("metrics");
+    let (data, schema) = demo(&dir);
+    let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+    let st = dir.join("st.csv").to_string_lossy().into_owned();
+    let pub_metrics = dir.join("publish.json").to_string_lossy().into_owned();
+    let query_metrics = dir.join("query.json").to_string_lossy().into_owned();
+
+    let out = bin()
+        .args([
+            "publish",
+            "--data",
+            &data,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "4",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+            "--metrics",
+            &pub_metrics,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("metrics ->"));
+    let json = fs::read_to_string(&pub_metrics).unwrap();
+    anatomy_obs::validate_manifest_json(&json).unwrap();
+    let v = anatomy_obs::Json::parse(&json).unwrap();
+    assert_eq!(v.get("name").unwrap().as_str(), Some("cli.publish"));
+    assert_eq!(v.get("enabled").unwrap().as_bool(), Some(true));
+    // The instrumented anatomize phases are present and counted.
+    assert_eq!(
+        v.get("counters")
+            .unwrap()
+            .get("core.anatomize_runs")
+            .unwrap()
+            .as_u64(),
+        Some(1)
+    );
+
+    let out = bin()
+        .args([
+            "query",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "4",
+            "--query",
+            "s=0\ns=1",
+            "--indexed",
+            "--metrics",
+            &query_metrics,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = fs::read_to_string(&query_metrics).unwrap();
+    anatomy_obs::validate_manifest_json(&json).unwrap();
+    let v = anatomy_obs::Json::parse(&json).unwrap();
+    assert_eq!(v.get("name").unwrap().as_str(), Some("cli.query"));
+    assert_eq!(
+        v.get("params").unwrap().get("queries").unwrap().as_u64(),
+        Some(2)
+    );
+}
+
+/// A deep failure (infeasible `l` at publish time) is reported as a full
+/// cause chain, one layer per `caused by:` line.
+#[test]
+fn errors_print_the_cause_chain() {
+    let dir = scratch("chain");
+    let (data, schema) = demo(&dir);
+    let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+    let st = dir.join("st.csv").to_string_lossy().into_owned();
+    let out = bin()
+        .args([
+            "publish",
+            "--data",
+            &data,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "6", // max feasible l is 5
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("publishing"), "{stderr}");
+    assert!(stderr.contains("caused by: core error:"), "{stderr}");
+}
+
 #[test]
 fn bad_usage_exits_2_with_usage_text() {
     let out = bin().output().unwrap();

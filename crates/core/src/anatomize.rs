@@ -464,6 +464,14 @@ fn anatomize_with(
     config: &AnatomizeConfig,
     create_largest_first: impl FnOnce(&mut [Vec<u32>], usize) -> GroupCreation,
 ) -> Result<Partition, CoreError> {
+    // Phase spans and counters go to the process-wide registry; while it
+    // is disabled (the default) each is one relaxed atomic load. They
+    // observe timing only — nothing here feeds back into the rng or the
+    // partition, which the instrumented-vs-disabled differential test
+    // under tests/observability.rs pins bit-for-bit.
+    let obs = anatomy_obs::global();
+    let _run = obs.span("anatomize");
+
     let l = config.l;
     check_eligibility(md, l)?;
     let n = md.len();
@@ -472,19 +480,35 @@ fn anatomize_with(
     }
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut buckets = shuffled_buckets(md, &mut rng);
-
-    let mut creation = match config.strategy {
-        BucketStrategy::LargestFirst => create_largest_first(&mut buckets, l),
-        BucketStrategy::RoundRobin => create_groups_round_robin(&mut buckets, l),
+    let mut buckets = {
+        let _phase = obs.span("bucketize");
+        shuffled_buckets(md, &mut rng)
     };
-    assign_residues(
-        &mut rng,
-        &mut buckets,
-        &creation.residual,
-        &mut creation.groups,
-        &mut creation.group_values,
-    )?;
+
+    let mut creation = {
+        let _phase = obs.span("group_creation");
+        match config.strategy {
+            BucketStrategy::LargestFirst => create_largest_first(&mut buckets, l),
+            BucketStrategy::RoundRobin => create_groups_round_robin(&mut buckets, l),
+        }
+    };
+    {
+        let _phase = obs.span("residue");
+        assign_residues(
+            &mut rng,
+            &mut buckets,
+            &creation.residual,
+            &mut creation.groups,
+            &mut creation.group_values,
+        )?;
+    }
+
+    obs.counter("core.anatomize_runs").incr();
+    obs.counter("core.rows_anatomized").add(n as u64);
+    obs.counter("core.groups_created")
+        .add(creation.groups.len() as u64);
+    obs.counter("core.residue_values")
+        .add(creation.residual.len() as u64);
 
     Partition::new(creation.groups, n)
 }

@@ -121,6 +121,13 @@ pub fn anatomize_external(
     pool: &BufferPool,
     counter: &IoCounter,
 ) -> Result<ExternalAnatomizeOutput, CoreError> {
+    // Same observability contract as the in-memory `anatomize`: phase
+    // spans to the process registry, no effect on the output. Pass an
+    // [`IoCounter::observed`] counter to additionally mirror the page
+    // counts into the same registry.
+    let obs = anatomy_obs::global();
+    let _run = obs.span("anatomize_external");
+
     check_eligibility(md, l)?;
     let before = counter.stats();
     let d = md.qi_count();
@@ -134,15 +141,18 @@ pub fn anatomize_external(
     // Reading the input is charged inside hash_partition.
 
     // ---- Phase 1: hash by sensitive value (Line 2 of Figure 3). ----
-    let buckets = hash_partition(
-        &input,
-        tuple_codec,
-        |rec| rec[d],
-        lambda,
-        cfg,
-        pool,
-        counter,
-    )?;
+    let buckets = {
+        let _phase = obs.span("hash_partition");
+        hash_partition(
+            &input,
+            tuple_codec,
+            |rec| rec[d],
+            lambda,
+            cfg,
+            pool,
+            counter,
+        )?
+    };
 
     // In-memory O(λ) state: remaining records per bucket.
     let mut remaining: Vec<usize> = buckets.iter().map(|b| b.record_count()).collect();
@@ -164,6 +174,7 @@ pub fn anatomize_external(
         let mut group_writer =
             SeqWriter::open(&mut group_file, group_codec, cfg, pool, counter.clone())?;
 
+        let group_phase = obs.span("group_creation");
         let mut nonempty: Vec<u32> = (0..lambda as u32)
             .filter(|&v| remaining[v as usize] > 0)
             .collect();
@@ -189,7 +200,9 @@ pub fn anatomize_external(
             groups += 1;
             nonempty.retain(|&v| remaining[v as usize] > 0);
         }
+        drop(group_phase);
 
+        let publication_phase = obs.span("publication_scan");
         // ---- Residues: at most l-1 tuples, read into memory (O(l)). ----
         let mut residues: Vec<Vec<u32>> = Vec::new();
         for v in nonempty {
@@ -285,6 +298,11 @@ pub fn anatomize_external(
             qit_writer.finish();
             st_writer.finish();
         }
+        drop(publication_phase);
+
+        obs.counter("core.external_runs").incr();
+        obs.counter("core.rows_anatomized_external")
+            .add(md.len() as u64);
 
         let stats = counter.stats().since(&before);
         Ok(ExternalAnatomizeOutput {

@@ -32,9 +32,12 @@ impl fmt::Display for GenError {
                 f,
                 "got {got} generalization methods for {expected} QI attributes"
             ),
-            GenError::Core(e) => write!(f, "{e}"),
-            GenError::Tables(e) => write!(f, "{e}"),
-            GenError::Storage(e) => write!(f, "{e}"),
+            // Wrapper variants name the layer they crossed, matching
+            // `CoreError`'s style, so a rendered chain reads
+            // "core error: ..." even when the source chain is elided.
+            GenError::Core(e) => write!(f, "core error: {e}"),
+            GenError::Tables(e) => write!(f, "tables error: {e}"),
+            GenError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }

@@ -1,0 +1,53 @@
+//! `check_manifest` — validate `RunManifest` JSON files emitted by the
+//! CLI's `--metrics` flag or the bench harness.
+//!
+//! ```text
+//! check_manifest FILE [FILE ...]
+//! ```
+//!
+//! Prints one line per file; exits non-zero if any file is missing or
+//! structurally invalid (see `anatomy_obs::validate_manifest_json` for
+//! what is checked). CI runs this after the end-to-end smoke commands.
+
+use anatomy_obs::validate_manifest_json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_manifest FILE [FILE ...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("invalid: {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_manifest_json(&text) {
+            Ok(s) => {
+                let io = match s.io_total {
+                    Some(total) => format!(", {total} I/Os"),
+                    None => String::new(),
+                };
+                println!(
+                    "ok: {file} (name {:?}, {} counters, {} phases{io})",
+                    s.name, s.counters, s.phases
+                );
+            }
+            Err(e) => {
+                eprintln!("invalid: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

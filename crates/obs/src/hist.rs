@@ -1,0 +1,225 @@
+//! Log₂-bucketed histograms for latencies and sizes.
+//!
+//! A value `v` lands in bucket `0` if `v == 0`, else in bucket
+//! `64 - v.leading_zeros()`, so bucket `i ≥ 1` covers `[2^(i-1), 2^i)`.
+//! 65 buckets therefore cover all of `u64` — nanosecond latencies from
+//! sub-microsecond to hours, row counts from one to the address space —
+//! with a fixed 65-word footprint and one `fetch_add` per record.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub(crate) const BUCKETS: usize = 65;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Upper bound (inclusive) of the values a bucket can hold.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCell {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistCell {
+    fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log₂ histogram handle. Cheap to clone; clones share the cell.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<HistCell>,
+}
+
+impl Histogram {
+    pub(crate) fn new(enabled: Arc<AtomicBool>, cell: Arc<HistCell>) -> Self {
+        Histogram { enabled, cell }
+    }
+
+    /// Record one value (no-op while the registry is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.record(v);
+        }
+    }
+
+    /// Current contents.
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.cell.snapshot()
+    }
+}
+
+/// Point-in-time histogram contents. Keeps the raw bucket counts so
+/// deltas ([`HistSnapshot::since`]) can still answer percentile queries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values (wraps only past `u64::MAX` total).
+    pub sum: u64,
+    /// Largest recorded value (high-water over the cell's lifetime; a
+    /// delta keeps the later snapshot's max).
+    pub max: u64,
+    /// One count per log₂ bucket, index `0..=64`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean of recorded values, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile
+    /// (`0.0 ..= 1.0`), `0` when empty. A log₂ histogram answers
+    /// percentiles to within 2×, which is the granularity that matters
+    /// for "did this phase regress by an order of magnitude".
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Counts accumulated since `earlier` (same histogram, earlier
+    /// snapshot). `max` is taken from `self`.
+    pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        HistSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper(i)), i, "upper bound of {i}");
+        }
+    }
+
+    fn recording_hist() -> Histogram {
+        Histogram::new(
+            Arc::new(AtomicBool::new(true)),
+            Arc::new(HistCell::default()),
+        )
+    }
+
+    #[test]
+    fn mean_and_percentiles() {
+        let h = recording_hist();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1015);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.mean(), 203.0);
+        // p50 rank = 3 → third value (4) → bucket [4,8) upper bound 7.
+        assert_eq!(s.percentile(0.5), 7);
+        // p100 caps at the observed max, not the bucket bound.
+        assert_eq!(s.percentile(1.0), 1000);
+        assert_eq!(HistSnapshot::default().percentile(0.9), 0);
+    }
+
+    #[test]
+    fn since_subtracts_buckets() {
+        let h = recording_hist();
+        h.record(10);
+        let before = h.snapshot();
+        h.record(10);
+        h.record(3);
+        let d = h.snapshot().since(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 13);
+        assert_eq!(d.buckets[bucket_of(10)], 1);
+        assert_eq!(d.buckets[bucket_of(3)], 1);
+    }
+}

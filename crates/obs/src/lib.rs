@@ -1,0 +1,75 @@
+//! # anatomy-obs
+//!
+//! Zero-dependency observability for the Anatomy workspace.
+//!
+//! The paper's efficiency claims are stated in counters, not seconds —
+//! `O(λ)` memory and `O(n/b)` I/Os (Theorem 3, Figures 8–9) — and the
+//! workspace already counts logical I/Os in `anatomy-storage`. This crate
+//! is the layer that makes the *in-memory* hot paths equally countable:
+//! ladder group creation, residue assignment, bitmap-index build, pool
+//! scheduling. Every instrument here is std-only and cheap enough to
+//! leave compiled into release binaries.
+//!
+//! ## Instruments
+//!
+//! * [`Counter`] — monotone `u64` add, one relaxed atomic.
+//! * [`Gauge`] — signed level with a high-water mark (queue depths).
+//! * [`Histogram`] — log₂-bucketed magnitudes (latencies in ns, sizes in
+//!   rows); 65 buckets cover the full `u64` range, snapshots recover
+//!   mean and percentile upper bounds.
+//! * [`Span`] — RAII phase timer. Spans nest per thread: a span opened
+//!   while another is live records under the path `outer/inner`, so a
+//!   whole `anatomize` call decomposes into its bucketize / group
+//!   creation / residue phases without any explicit plumbing.
+//! * [`RunManifest`] — one run's parameters, counters, phase tree, and
+//!   I/O stats, serializable to the same hand-rolled JSON style as the
+//!   `BENCH_*.json` artifacts (see [`RunManifest::to_json`]).
+//!
+//! ## The enabled flag
+//!
+//! All instruments hang off a [`Registry`]. The process-wide one is
+//! [`global()`]; it starts **disabled**, and while disabled every
+//! instrument is a true no-op — one relaxed `AtomicBool` load, no clock
+//! read, no thread-local touch, no allocation. `bench_anatomize
+//! --obs-gate` measures (rather than assumes) that enabling the registry
+//! keeps full `anatomize` runs within 2% of the disabled baseline.
+//!
+//! Handles created while the registry is disabled are still registered,
+//! so enabling later activates them retroactively; there is no "noop
+//! handle" variant to accidentally keep after enabling.
+//!
+//! ## Reading results
+//!
+//! [`Registry::snapshot`] captures everything at a point in time;
+//! [`Snapshot::since`] subtracts an earlier snapshot so one process can
+//! attribute counts to individual bench cells. [`RunManifest::capture`]
+//! wraps a snapshot with run parameters; [`validate_manifest_json`]
+//! (and the `check_manifest` binary) verify an emitted manifest is
+//! well-formed.
+
+mod hist;
+mod json;
+mod manifest;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use json::Json;
+pub use manifest::{
+    validate_manifest_json, IoSummary, ManifestSummary, ParamValue, PhaseNode, RunManifest,
+};
+pub use registry::{Counter, Gauge, GaugeStats, Registry};
+pub use snapshot::Snapshot;
+pub use span::{Span, SpanStats};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry. Starts disabled; flip it with
+/// [`Registry::set_enabled`]. Library code should take instruments from
+/// here unless a caller supplies its own [`Registry`].
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}

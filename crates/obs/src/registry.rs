@@ -1,0 +1,311 @@
+//! The [`Registry`]: named instruments behind one shared enabled flag.
+
+use crate::hist::{HistCell, Histogram};
+use crate::snapshot::Snapshot;
+use crate::span::{Span, SpanStats};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Lock a mutex, shrugging off poisoning: an instrument map is plain
+/// data, never left in a torn state by a panicking recorder.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A collection of named counters, gauges, histograms, and span stats
+/// sharing one enabled flag.
+///
+/// Handle creation ([`Registry::counter`] etc.) takes a lock and may
+/// allocate; do it once at setup and keep the returned handle. Recording
+/// through a handle is lock-free (one relaxed atomic when enabled, one
+/// relaxed load when disabled). Span *closing* takes a lock, which is
+/// fine at phase granularity.
+#[derive(Debug, Default)]
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
+    hists: Mutex<BTreeMap<String, Arc<HistCell>>>,
+    spans: Arc<Mutex<BTreeMap<String, SpanStats>>>,
+}
+
+impl Registry {
+    /// A fresh, **disabled** registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Turn recording on or off. Affects every handle already created
+    /// from this registry as well as future ones.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether instruments currently record.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The named counter, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let cell = Arc::clone(
+            lock(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        );
+        Counter {
+            enabled: Arc::clone(&self.enabled),
+            cell,
+        }
+    }
+
+    /// The named gauge, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let cell = Arc::clone(
+            lock(&self.gauges)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(GaugeCell::default())),
+        );
+        Gauge {
+            enabled: Arc::clone(&self.enabled),
+            cell,
+        }
+    }
+
+    /// The named log₂ histogram, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let cell = Arc::clone(
+            lock(&self.hists)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(HistCell::default())),
+        );
+        Histogram::new(Arc::clone(&self.enabled), cell)
+    }
+
+    /// Open a phase span. While the returned guard lives, further spans
+    /// on the same thread nest under it (path `outer/inner`); dropping
+    /// it records the elapsed time under the full path.
+    ///
+    /// When the registry is disabled this reads one atomic and returns
+    /// an inert guard — no clock, no thread-local, no allocation.
+    #[must_use = "a span records on drop; binding it to _ closes it immediately"]
+    pub fn span(&self, name: &'static str) -> Span {
+        if !self.enabled() {
+            return Span::inert();
+        }
+        Span::open(name, Arc::clone(&self.spans))
+    }
+
+    /// Capture every instrument's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.stats()))
+                .collect(),
+            hists: lock(&self.hists)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            spans: lock(&self.spans).clone(),
+        }
+    }
+
+    /// Zero every instrument (handles stay valid) and forget all span
+    /// stats. Meant for tests and between bench repetitions; concurrent
+    /// recorders may land counts on either side of the reset.
+    pub fn reset(&self) {
+        for cell in lock(&self.counters).values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for cell in lock(&self.gauges).values() {
+            cell.reset();
+        }
+        for cell in lock(&self.hists).values() {
+            cell.reset();
+        }
+        lock(&self.spans).clear();
+    }
+}
+
+/// A monotone event counter. Cheap to clone; clones share the cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n` events (no-op while the registry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCell {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl GaugeCell {
+    fn stats(&self) -> GaugeStats {
+        GaugeStats {
+            value: self.value.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge's current level and high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeStats {
+    /// Level at snapshot time.
+    pub value: i64,
+    /// Highest level ever set (under races the mark may lag a concurrent
+    /// peak by one update — fine for queue-depth telemetry).
+    pub max: i64,
+}
+
+/// A signed level with a high-water mark (queue depth, live buffers).
+/// Cheap to clone; clones share the cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    /// Set the level (no-op while the registry is disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.value.store(v, Ordering::Relaxed);
+            self.cell.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Shift the level by `d` (no-op while the registry is disabled).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            let now = self.cell.value.fetch_add(d, Ordering::Relaxed) + d;
+            self.cell.max.fetch_max(now, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level and high-water mark.
+    pub fn stats(&self) -> GaugeStats {
+        self.cell.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let g = r.gauge("g");
+        let h = r.histogram("h");
+        c.add(5);
+        g.set(9);
+        h.record(100);
+        drop(r.span("phase"));
+        let s = r.snapshot();
+        assert_eq!(s.counters["c"], 0);
+        assert_eq!(s.gauges["g"], GaugeStats::default());
+        assert_eq!(s.hists["h"].count, 0);
+        assert!(s.spans.is_empty());
+    }
+
+    #[test]
+    fn enabling_activates_existing_handles() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.add(5);
+        r.set_enabled(true);
+        c.add(2);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn same_name_shares_a_cell() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(1);
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        let g = r.gauge("depth");
+        g.add(3);
+        g.add(4);
+        g.add(-5);
+        let s = g.stats();
+        assert_eq!(s.value, 2);
+        assert_eq!(s.max, 7);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_handles() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        let c = r.counter("c");
+        c.add(7);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.add(1);
+        assert_eq!(r.snapshot().counters["c"], 1);
+    }
+
+    #[test]
+    fn counters_race_free_across_threads() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        let c = r.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

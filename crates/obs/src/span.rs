@@ -1,0 +1,179 @@
+//! RAII phase spans with per-thread nesting.
+//!
+//! A [`Span`] measures wall time from open to drop and records it under
+//! a `/`-joined path built from the spans currently live on the same
+//! thread: opening `"group_creation"` while `"anatomize"` is live
+//! records under `"anatomize/group_creation"`. The path stack is a
+//! thread-local of `&'static str` names, so opening a span allocates
+//! only the joined path string, and only while the registry is enabled.
+//!
+//! Spans on *different* threads are independent roots: work shipped to
+//! the pool shows up as its own top-level phase, which is exactly how
+//! the bench harness wants worker time attributed.
+
+use crate::registry::lock;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregate timing of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Times the span closed.
+    pub calls: u64,
+    /// Total nanoseconds across all calls.
+    pub total_ns: u64,
+    /// Fastest single call, ns.
+    pub min_ns: u64,
+    /// Slowest single call, ns.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    pub(crate) fn record(&mut self, ns: u64) {
+        self.min_ns = if self.calls == 0 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+        self.max_ns = self.max_ns.max(ns);
+        self.calls += 1;
+        self.total_ns += ns;
+    }
+
+    /// Calls and time accumulated since `earlier`. `min_ns`/`max_ns`
+    /// are not recoverable from two cumulative points, so the delta
+    /// keeps the later snapshot's values (lifetime extrema).
+    pub fn since(&self, earlier: &SpanStats) -> SpanStats {
+        SpanStats {
+            calls: self.calls.saturating_sub(earlier.calls),
+            total_ns: self.total_ns.saturating_sub(earlier.total_ns),
+            min_ns: self.min_ns,
+            max_ns: self.max_ns,
+        }
+    }
+}
+
+struct SpanRec {
+    sink: Arc<Mutex<BTreeMap<String, SpanStats>>>,
+    path: String,
+    start: Instant,
+}
+
+/// A live phase timer; see the module docs. Obtained from
+/// [`Registry::span`](crate::Registry::span); records on drop.
+#[must_use = "a span records on drop; binding it to _ closes it immediately"]
+pub struct Span {
+    rec: Option<SpanRec>,
+}
+
+impl Span {
+    /// The guard handed out while the registry is disabled.
+    pub(crate) fn inert() -> Span {
+        Span { rec: None }
+    }
+
+    pub(crate) fn open(name: &'static str, sink: Arc<Mutex<BTreeMap<String, SpanStats>>>) -> Span {
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.join("/")
+        });
+        Span {
+            rec: Some(SpanRec {
+                sink,
+                path,
+                start: Instant::now(),
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            let ns = rec.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            STACK.with(|s| {
+                let popped = s.borrow_mut().pop();
+                // RAII scoping means spans close innermost-first; a
+                // mismatch would indicate a span smuggled across
+                // threads or leaked past its scope.
+                debug_assert!(popped.is_some(), "span stack underflow");
+            });
+            lock(&rec.sink).entry(rec.path).or_default().record(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        {
+            let _outer = r.span("outer");
+            {
+                let _inner = r.span("inner");
+            }
+            {
+                let _inner = r.span("inner");
+            }
+        }
+        let s = r.snapshot();
+        assert_eq!(s.spans["outer"].calls, 1);
+        assert_eq!(s.spans["outer/inner"].calls, 2);
+        assert!(!s.spans.contains_key("inner"));
+        assert!(s.spans["outer"].total_ns >= s.spans["outer/inner"].total_ns);
+    }
+
+    #[test]
+    fn sibling_threads_get_independent_roots() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        let _outer = r.span("outer");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _w = r.span("worker");
+            });
+        });
+        drop(_outer);
+        let s = r.snapshot();
+        assert!(
+            s.spans.contains_key("worker"),
+            "thread root not nested under outer"
+        );
+        assert!(s.spans.contains_key("outer"));
+    }
+
+    #[test]
+    fn min_max_bracket_totals() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        for _ in 0..3 {
+            let _s = r.span("p");
+        }
+        let st = r.snapshot().spans["p"];
+        assert_eq!(st.calls, 3);
+        assert!(st.min_ns <= st.max_ns);
+        assert!(st.total_ns >= st.min_ns.saturating_mul(3) || st.min_ns == 0);
+    }
+
+    #[test]
+    fn disabled_spans_touch_nothing() {
+        let r = Registry::new();
+        {
+            let _s = r.span("p");
+            // Enabling mid-flight must not make the inert guard record.
+            r.set_enabled(true);
+        }
+        assert!(r.snapshot().spans.is_empty());
+    }
+}

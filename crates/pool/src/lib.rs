@@ -91,6 +91,37 @@ struct Share {
 // through atomics) and outlives the share per the scoped protocol above.
 unsafe impl Send for Share {}
 
+/// Scheduling instruments, registered once per pool against the
+/// process-wide `anatomy-obs` registry. Every handle is a no-op while
+/// the registry is disabled (the default), so the hot path pays one
+/// relaxed load per event.
+struct PoolObs {
+    /// Shares currently sitting in the queue (gauge + high-water mark).
+    queue_depth: anatomy_obs::Gauge,
+    /// Parallel batches dispatched (serial-cutoff batches not counted).
+    batches: anatomy_obs::Counter,
+    /// Shares popped by dedicated workers.
+    worker_shares: anatomy_obs::Counter,
+    /// Shares popped by a *waiting caller* helping to drain the queue —
+    /// the pool's work-conservation path for nested batches.
+    help_drained: anatomy_obs::Counter,
+    /// Wall time one share spent draining its batch's cursor, ns.
+    share_ns: anatomy_obs::Histogram,
+}
+
+impl PoolObs {
+    fn new() -> PoolObs {
+        let registry = anatomy_obs::global();
+        PoolObs {
+            queue_depth: registry.gauge("pool.queue_depth"),
+            batches: registry.counter("pool.batches"),
+            worker_shares: registry.counter("pool.worker_shares"),
+            help_drained: registry.counter("pool.help_drained"),
+            share_ns: registry.histogram("pool.share_ns"),
+        }
+    }
+}
+
 struct PoolInner {
     queue: Mutex<VecDeque<Share>>,
     /// Signaled on every queue push and every share completion; workers
@@ -98,6 +129,7 @@ struct PoolInner {
     activity: Condvar,
     shutdown: AtomicBool,
     workers: usize,
+    obs: PoolObs,
 }
 
 /// A persistent worker pool. See the crate docs.
@@ -117,6 +149,7 @@ impl Pool {
             activity: Condvar::new(),
             shutdown: AtomicBool::new(false),
             workers,
+            obs: PoolObs::new(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -202,6 +235,8 @@ impl Pool {
                 });
             }
             drop(queue);
+            self.inner.obs.batches.incr();
+            self.inner.obs.queue_depth.add(shares as i64);
             self.inner.activity.notify_all();
         }
 
@@ -243,6 +278,8 @@ impl Pool {
             let mut queue = self.inner.queue.lock().expect("pool lock");
             if let Some(share) = queue.pop_front() {
                 drop(queue);
+                self.inner.obs.queue_depth.add(-1);
+                self.inner.obs.help_drained.incr();
                 // SAFETY: shares in the queue point at live batch states
                 // (their owners are blocked right here until they run).
                 unsafe { (share.run)(share.state, &self.inner) };
@@ -315,8 +352,19 @@ unsafe fn run_batch_share<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
     inner: &PoolInner,
 ) {
     let state = unsafe { &*(ptr as *const BatchState<T, R, F>) };
+    // Only read the clock when the registry records; the histogram's own
+    // enabled check would not save the two `Instant` calls.
+    let start = anatomy_obs::global()
+        .enabled()
+        .then(std::time::Instant::now);
     if catch_unwind(AssertUnwindSafe(|| state.work())).is_err() {
         state.panicked.store(true, Ordering::Release);
+    }
+    if let Some(start) = start {
+        inner
+            .obs
+            .share_ns
+            .record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
     }
     let guard = inner.queue.lock().expect("pool lock");
     state.pending.fetch_sub(1, Ordering::Release);
@@ -338,6 +386,8 @@ fn worker_loop(inner: &PoolInner) {
                 queue = inner.activity.wait(queue).expect("pool lock");
             }
         };
+        inner.obs.queue_depth.add(-1);
+        inner.obs.worker_shares.incr();
         // SAFETY: see Share.
         unsafe { (share.run)(share.state, inner) };
     }

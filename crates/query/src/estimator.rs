@@ -1,0 +1,298 @@
+//! One trait over every way this crate can answer a COUNT query.
+//!
+//! The crate grew four entry points — scan-based ground truth
+//! ([`evaluate_exact`]), indexed ground truth
+//! ([`evaluate_exact_indexed`]), the anatomy estimator in scalar and
+//! indexed forms ([`estimate_anatomy`] / [`estimate_anatomy_indexed`]),
+//! and the generalization estimator ([`estimate_generalization`]) — each
+//! with its own batch helper or none. [`Estimator`] unifies them: one
+//! `estimate` method per backend, one shared [`Estimator::evaluate_batch`]
+//! that runs any of them over the persistent pool with the same
+//! chunking policy.
+//!
+//! Every implementation delegates to its scalar free function, so the
+//! trait path inherits each function's bit-for-bit contract; the
+//! `trait_paths_match_free_functions` test pins that.
+//!
+//! The scalar free functions remain the canonical oracles — use the
+//! trait when code must be generic over "some way of answering
+//! queries" (the accuracy harness, the CLI), the free functions when a
+//! concrete path is wanted.
+
+use crate::estimate_anatomy::estimate_anatomy;
+use crate::estimate_generalization::estimate_generalization;
+use crate::exact::evaluate_exact;
+use crate::index::{estimate_anatomy_indexed, evaluate_exact_indexed, QueryIndex};
+use crate::query::CountQuery;
+use anatomy_core::AnatomizedTables;
+use anatomy_generalization::GeneralizedTable;
+use anatomy_pool::{ItemCost, Pool};
+use anatomy_tables::Microdata;
+
+/// A way of answering COUNT queries: exact or estimated, scan or
+/// indexed. `Sync` because [`Estimator::evaluate_batch`] shares the
+/// estimator across pool lanes.
+pub trait Estimator: Sync {
+    /// Short backend name, used in metrics and manifests.
+    fn name(&self) -> &'static str;
+
+    /// Answer one query.
+    fn estimate(&self, query: &CountQuery) -> f64;
+
+    /// Answer a whole workload on `pool`, preserving query order.
+    ///
+    /// Queries are [`ItemCost::Cheap`] items — the same policy as the
+    /// historical `*_batch` free functions, which now route through
+    /// here. Batch size and calls land on the `query.batch_queries` /
+    /// `query.batches` counters of the global `anatomy-obs` registry.
+    fn evaluate_batch(&self, pool: &Pool, queries: &[CountQuery]) -> Vec<f64> {
+        let obs = anatomy_obs::global();
+        let _span = obs.span("query.batch");
+        obs.counter("query.batches").incr();
+        obs.counter("query.batch_queries").add(queries.len() as u64);
+        pool.par_map_hinted(queries, ItemCost::Cheap, |q| self.estimate(q))
+    }
+}
+
+/// Ground truth by scanning the microdata ([`evaluate_exact`]).
+///
+/// Counts are returned as `f64` to fit the trait; they are exact for
+/// any table below 2⁵³ rows.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactScan<'a> {
+    md: &'a Microdata,
+}
+
+impl<'a> ExactScan<'a> {
+    pub fn new(md: &'a Microdata) -> Self {
+        ExactScan { md }
+    }
+}
+
+impl Estimator for ExactScan<'_> {
+    fn name(&self) -> &'static str {
+        "exact_scan"
+    }
+
+    fn estimate(&self, query: &CountQuery) -> f64 {
+        evaluate_exact(self.md, query) as f64
+    }
+}
+
+/// Ground truth from a bitmap index ([`evaluate_exact_indexed`]).
+///
+/// Same contract as the free function: the index must carry sensitive
+/// bitmaps (be microdata-backed), or `estimate` panics.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactIndexed<'a> {
+    index: &'a QueryIndex,
+}
+
+impl<'a> ExactIndexed<'a> {
+    pub fn new(index: &'a QueryIndex) -> Self {
+        ExactIndexed { index }
+    }
+}
+
+impl Estimator for ExactIndexed<'_> {
+    fn name(&self) -> &'static str {
+        "exact_indexed"
+    }
+
+    fn estimate(&self, query: &CountQuery) -> f64 {
+        evaluate_exact_indexed(self.index, query) as f64
+    }
+}
+
+/// The paper's anatomy estimator (Section 1.2), scan-based
+/// ([`AnatomyEstimator::scan`]) or accelerated by a bitmap index
+/// ([`AnatomyEstimator::indexed`]). Both forms produce identical
+/// estimates; the index only changes the cost.
+#[derive(Debug, Clone, Copy)]
+pub struct AnatomyEstimator<'a> {
+    tables: &'a AnatomizedTables,
+    index: Option<&'a QueryIndex>,
+}
+
+impl<'a> AnatomyEstimator<'a> {
+    /// Estimate by scanning the QIT/ST pair ([`estimate_anatomy`]).
+    pub fn scan(tables: &'a AnatomizedTables) -> Self {
+        AnatomyEstimator {
+            tables,
+            index: None,
+        }
+    }
+
+    /// Estimate through a bitmap index ([`estimate_anatomy_indexed`]).
+    pub fn indexed(index: &'a QueryIndex, tables: &'a AnatomizedTables) -> Self {
+        AnatomyEstimator {
+            tables,
+            index: Some(index),
+        }
+    }
+}
+
+impl Estimator for AnatomyEstimator<'_> {
+    fn name(&self) -> &'static str {
+        match self.index {
+            Some(_) => "anatomy_indexed",
+            None => "anatomy_scan",
+        }
+    }
+
+    fn estimate(&self, query: &CountQuery) -> f64 {
+        match self.index {
+            Some(index) => estimate_anatomy_indexed(index, self.tables, query),
+            None => estimate_anatomy(self.tables, query),
+        }
+    }
+}
+
+/// The generalization estimator (Section 1.1,
+/// [`estimate_generalization`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralizationEstimator<'a> {
+    table: &'a GeneralizedTable,
+}
+
+impl<'a> GeneralizationEstimator<'a> {
+    pub fn new(table: &'a GeneralizedTable) -> Self {
+        GeneralizationEstimator { table }
+    }
+}
+
+impl Estimator for GeneralizationEstimator<'_> {
+    fn name(&self) -> &'static str {
+        "generalization"
+    }
+
+    fn estimate(&self, query: &CountQuery) -> f64 {
+        estimate_generalization(self.table, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use anatomy_core::{anatomize, AnatomizeConfig};
+    use anatomy_generalization::GenGroup;
+    use anatomy_tables::value::CodeRange;
+    use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder, Value};
+
+    fn md(n: u32) -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::numerical("Zip", 60),
+            Attribute::categorical("Disease", 5),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..n {
+            b.push_row(&[i % 100, (i * 7) % 60, i % 5]).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 2).unwrap()
+    }
+
+    /// A hand-built two-group generalization over the same schema, in the
+    /// style of the paper's Table 2.
+    fn gen_table() -> GeneralizedTable {
+        GeneralizedTable::new(
+            vec![
+                GenGroup {
+                    ranges: vec![CodeRange::new(0, 49), CodeRange::new(0, 59)],
+                    size: 250,
+                    sens_counts: vec![(Value(0), 100), (Value(1), 150)],
+                },
+                GenGroup {
+                    ranges: vec![CodeRange::new(50, 99), CodeRange::new(0, 59)],
+                    size: 250,
+                    sens_counts: vec![(Value(2), 120), (Value(3), 80), (Value(4), 50)],
+                },
+            ],
+            2,
+        )
+    }
+
+    /// The satellite's pinning test: every trait path must equal its
+    /// free-function oracle bit-for-bit, both per query and through the
+    /// shared batch default.
+    #[test]
+    fn trait_paths_match_free_functions() {
+        let md = md(600);
+        let partition = anatomize(&md, &AnatomizeConfig::new(4)).unwrap();
+        let tables = anatomy_core::AnatomizedTables::publish(&md, &partition, 4).unwrap();
+        let index = QueryIndex::build(&md, &tables).unwrap();
+        let gen = gen_table();
+        let queries = WorkloadSpec {
+            qd: 2,
+            selectivity: 0.1,
+            count: 120,
+            seed: 23,
+        }
+        .generate(&md)
+        .unwrap();
+        let pool = Pool::new(4);
+
+        let exact_scan = ExactScan::new(&md);
+        let exact_indexed = ExactIndexed::new(&index);
+        let anatomy_scan = AnatomyEstimator::scan(&tables);
+        let anatomy_indexed = AnatomyEstimator::indexed(&index, &tables);
+        let generalization = GeneralizationEstimator::new(&gen);
+        let backends: Vec<(&dyn Estimator, Box<dyn Fn(&CountQuery) -> f64>)> = vec![
+            (&exact_scan, Box::new(|q| evaluate_exact(&md, q) as f64)),
+            (
+                &exact_indexed,
+                Box::new(|q| evaluate_exact_indexed(&index, q) as f64),
+            ),
+            (&anatomy_scan, Box::new(|q| estimate_anatomy(&tables, q))),
+            (
+                &anatomy_indexed,
+                Box::new(|q| estimate_anatomy_indexed(&index, &tables, q)),
+            ),
+            (
+                &generalization,
+                Box::new(|q| estimate_generalization(&gen, q)),
+            ),
+        ];
+        for (backend, oracle) in &backends {
+            let batch = backend.evaluate_batch(&pool, &queries);
+            assert_eq!(batch.len(), queries.len());
+            for (i, q) in queries.iter().enumerate() {
+                let scalar = backend.estimate(q);
+                let expect = oracle(q);
+                assert!(
+                    scalar.to_bits() == expect.to_bits(),
+                    "{}: scalar diverges from oracle on query {i}: {scalar} vs {expect}",
+                    backend.name()
+                );
+                assert!(
+                    batch[i].to_bits() == expect.to_bits(),
+                    "{}: batch diverges from oracle on query {i}: {} vs {expect}",
+                    backend.name(),
+                    batch[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        let md = md(40);
+        let index = QueryIndex::from_microdata(&md);
+        let gen = gen_table();
+        let partition = anatomize(&md, &AnatomizeConfig::new(2)).unwrap();
+        let tables = anatomy_core::AnatomizedTables::publish(&md, &partition, 2).unwrap();
+        let names = [
+            ExactScan::new(&md).name(),
+            ExactIndexed::new(&index).name(),
+            AnatomyEstimator::scan(&tables).name(),
+            AnatomyEstimator::indexed(&index, &tables).name(),
+            GeneralizationEstimator::new(&gen).name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate names in {names:?}");
+    }
+}

@@ -118,9 +118,10 @@ impl QueryIndex {
     /// This is the ground-truth configuration — the workload generators
     /// need [`evaluate_exact_indexed`] long before anything is published.
     pub fn from_microdata(md: &Microdata) -> QueryIndex {
+        let _span = anatomy_obs::global().span("query.index_build");
         let n = md.len();
         let pos: Vec<usize> = (0..n).collect();
-        QueryIndex {
+        let index = QueryIndex {
             n,
             qi: Self::qi_columns(md, &pos),
             sens: Some(ColumnIndex::build(
@@ -130,7 +131,9 @@ impl QueryIndex {
             )),
             group_ranges: vec![(0, n)],
             grouped: false,
-        }
+        };
+        Self::observe_build(&index);
+        index
     }
 
     /// Index the microdata/publication pair: both [`evaluate_exact_indexed`]
@@ -149,8 +152,9 @@ impl QueryIndex {
                 tables.qi_count()
             )));
         }
+        let _span = anatomy_obs::global().span("query.index_build");
         let (pos, group_ranges) = Self::cluster_by_group(tables);
-        Ok(QueryIndex {
+        let index = QueryIndex {
             n: md.len(),
             qi: Self::qi_columns(md, &pos),
             sens: Some(ColumnIndex::build(
@@ -160,7 +164,9 @@ impl QueryIndex {
             )),
             group_ranges,
             grouped: true,
-        })
+        };
+        Self::observe_build(&index);
+        Ok(index)
     }
 
     /// Index a publication alone (the adversary's / analyst's view: QIT and
@@ -168,16 +174,32 @@ impl QueryIndex {
     /// [`evaluate_exact_indexed`] reports [`QueryError::BadSpec`] via
     /// [`QueryIndex::try_evaluate_exact`].
     pub fn from_published(tables: &AnatomizedTables) -> QueryIndex {
+        let _span = anatomy_obs::global().span("query.index_build");
         let (pos, group_ranges) = Self::cluster_by_group(tables);
         let qi = (0..tables.qi_count())
             .map(|i| ColumnIndex::build(tables.qi_codes(i), tables.qi_domain_size(i), &pos))
             .collect();
-        QueryIndex {
+        let index = QueryIndex {
             n: tables.len(),
             qi,
             sens: None,
             group_ranges,
             grouped: true,
+        };
+        Self::observe_build(&index);
+        index
+    }
+
+    /// Report a finished build to the global registry: build count, and
+    /// the footprint gauge the ROADMAP's memory budget discussions need.
+    /// `memory_words` walks the bitmaps, so skip it entirely while the
+    /// registry is disabled.
+    fn observe_build(index: &QueryIndex) {
+        let obs = anatomy_obs::global();
+        if obs.enabled() {
+            obs.counter("query.index_builds").incr();
+            obs.gauge("query.index_memory_words")
+                .set(index.memory_words() as i64);
         }
     }
 

@@ -40,6 +40,7 @@ pub mod bitmap;
 pub mod error;
 pub mod estimate_anatomy;
 pub mod estimate_generalization;
+pub mod estimator;
 pub mod exact;
 pub mod index;
 pub mod predicate;
@@ -52,6 +53,9 @@ pub use bitmap::Bitmap;
 pub use error::QueryError;
 pub use estimate_anatomy::estimate_anatomy;
 pub use estimate_generalization::estimate_generalization;
+pub use estimator::{
+    AnatomyEstimator, Estimator, ExactIndexed, ExactScan, GeneralizationEstimator,
+};
 pub use exact::evaluate_exact;
 pub use index::{estimate_anatomy_indexed, evaluate_exact_indexed, QueryIndex};
 pub use predicate::InPredicate;

@@ -4,6 +4,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use anatomy_obs::Registry;
+
 /// A point-in-time snapshot of I/O counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoStats {
@@ -55,6 +57,11 @@ pub struct IoCounter {
 struct Counters {
     reads: AtomicU64,
     writes: AtomicU64,
+    /// Optional observability mirrors (`<prefix>.page_reads` /
+    /// `<prefix>.page_writes` in an `anatomy-obs` registry). `None` for
+    /// counters made with [`IoCounter::new`], so the plain path keeps
+    /// its two-atomics cost.
+    mirror: Option<(anatomy_obs::Counter, anatomy_obs::Counter)>,
 }
 
 impl IoCounter {
@@ -63,16 +70,44 @@ impl IoCounter {
         IoCounter::default()
     }
 
+    /// A fresh counter that additionally mirrors every charge into
+    /// `registry` as `<prefix>.page_reads` / `<prefix>.page_writes`,
+    /// so external-memory runs land in the same [`RunManifest`] as the
+    /// in-memory phase spans. The mirror obeys the registry's enabled
+    /// flag; [`IoCounter::stats`] always reads the local atomics and is
+    /// exact either way, which is what keeps manifest I/O counts equal
+    /// to the `IoStats` the Figure 8–9 harness reports.
+    ///
+    /// [`RunManifest`]: anatomy_obs::RunManifest
+    pub fn observed(registry: &Registry, prefix: &str) -> Self {
+        IoCounter {
+            inner: Arc::new(Counters {
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                mirror: Some((
+                    registry.counter(&format!("{prefix}.page_reads")),
+                    registry.counter(&format!("{prefix}.page_writes")),
+                )),
+            }),
+        }
+    }
+
     /// Charge `pages` page reads.
     #[inline]
     pub fn add_reads(&self, pages: u64) {
         self.inner.reads.fetch_add(pages, Ordering::Relaxed);
+        if let Some((reads, _)) = &self.inner.mirror {
+            reads.add(pages);
+        }
     }
 
     /// Charge `pages` page writes.
     #[inline]
     pub fn add_writes(&self, pages: u64) {
         self.inner.writes.fetch_add(pages, Ordering::Relaxed);
+        if let Some((_, writes)) = &self.inner.mirror {
+            writes.add(pages);
+        }
     }
 
     /// Snapshot the current counts.
@@ -153,6 +188,35 @@ mod tests {
             }
         });
         assert_eq!(c.stats().page_reads, 8000);
+    }
+
+    #[test]
+    fn observed_counter_mirrors_into_registry() {
+        let registry = Registry::new();
+        registry.set_enabled(true);
+        let c = IoCounter::observed(&registry, "io");
+        c.add_reads(4);
+        c.add_writes(2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["io.page_reads"], 4);
+        assert_eq!(snap.counters["io.page_writes"], 2);
+        // The local stats stay authoritative and identical.
+        assert_eq!(
+            c.stats(),
+            IoStats {
+                page_reads: 4,
+                page_writes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn observed_counter_stays_exact_while_registry_disabled() {
+        let registry = Registry::new();
+        let c = IoCounter::observed(&registry, "io");
+        c.add_reads(7);
+        assert_eq!(registry.snapshot().counters["io.page_reads"], 0);
+        assert_eq!(c.stats().page_reads, 7);
     }
 
     #[test]

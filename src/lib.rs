@@ -4,8 +4,17 @@
 //! *Anatomy: Simple and Effective Privacy Preservation* (Xiao & Tao,
 //! VLDB 2006).
 //!
-//! Re-exports the public API of every member crate under stable module
-//! names:
+//! **Start with [`prelude`]**: `use anatomy::prelude::*;` brings in the
+//! [`Publish`] builder — the one front door for producing a release —
+//! plus the query [`Estimator`](query::Estimator) backends and the
+//! substrate types they need. [`Publish::run`] returns a [`Release`]
+//! carrying the QIT/ST pair, the partition or I/O bill, and a
+//! [`RunManifest`](obs::RunManifest) describing the run itself.
+//! Failures from any layer unify into [`Error`], and [`render_chain`]
+//! prints a full `caused by:` report.
+//!
+//! The member crates remain the documented lower-level API, re-exported
+//! under stable module names:
 //!
 //! * [`tables`] — the columnar relation substrate (schemas, tables,
 //!   microdata, CSV, sampling, histograms);
@@ -18,17 +27,31 @@
 //!   Mondrian, single-dimension global recoding, taxonomy trees,
 //!   information-loss metrics;
 //! * [`query`] — COUNT queries, workload generation, exact evaluation,
-//!   and the two estimators of the paper's Section 6;
+//!   and the two estimators of the paper's Section 6 (unified under the
+//!   [`Estimator`](query::Estimator) trait);
+//! * [`pool`] — the persistent worker pool batch evaluation runs on;
+//! * [`obs`] — the zero-dependency observability layer: counters,
+//!   histograms, phase spans, and the `RunManifest` JSON every
+//!   instrumented binary can emit (`--metrics` on the CLI);
 //! * [`data`] — the paper's worked example and the synthetic CENSUS.
 //!
-//! Start with the `quickstart` example; `DESIGN.md` maps the paper to the
-//! modules, and the `repro` binary (crate `anatomy-bench`) regenerates
-//! every table and figure. The `anatomy` binary (crate `anatomy-cli`)
-//! publishes, audits, and queries releases from the command line.
+//! `DESIGN.md` maps the paper to the modules, and the `repro` binary
+//! (crate `anatomy-bench`) regenerates every table and figure. The
+//! `anatomy` binary (crate `anatomy-cli`) publishes, audits, and queries
+//! releases from the command line.
 
 pub use anatomy_core as core;
 pub use anatomy_data as data;
 pub use anatomy_generalization as generalization;
+pub use anatomy_obs as obs;
+pub use anatomy_pool as pool;
 pub use anatomy_query as query;
 pub use anatomy_storage as storage;
 pub use anatomy_tables as tables;
+
+pub mod error;
+pub mod prelude;
+pub mod publish;
+
+pub use error::{render_chain, Error};
+pub use publish::{Publish, Release};

@@ -1,0 +1,22 @@
+//! One import for the common path: `use anatomy::prelude::*;`.
+//!
+//! Brings in the [`Publish`](crate::Publish) front door, the types its
+//! [`Release`](crate::Release) carries, the query estimators behind the
+//! [`Estimator`](crate::query::Estimator) trait, and the handful of
+//! substrate types every program touches (schemas, microdata, page
+//! configuration, manifests). Anything rarer stays behind its module
+//! path — the prelude is deliberately small so `*`-importing it cannot
+//! shadow much.
+
+pub use crate::error::{render_chain, Error};
+pub use crate::publish::{Publish, Release};
+
+pub use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables, BucketStrategy, Partition};
+pub use anatomy_obs::{RunManifest, Span};
+pub use anatomy_pool::Pool;
+pub use anatomy_query::{
+    AnatomyEstimator, CountQuery, Estimator, ExactIndexed, ExactScan, GeneralizationEstimator,
+    QueryIndex, WorkloadSpec,
+};
+pub use anatomy_storage::{IoCounter, IoStats, PageConfig};
+pub use anatomy_tables::{Attribute, Microdata, Schema, Table, TableBuilder, Value};

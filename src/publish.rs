@@ -1,0 +1,293 @@
+//! The front door: one builder that runs the whole publish pipeline.
+//!
+//! The member crates expose each step separately — `anatomize` for the
+//! partition, `AnatomizedTables::publish` for the QIT/ST pair,
+//! `anatomize_external` for the paged O(n/b) variant — and every caller
+//! had to thread them together by hand. [`Publish`] packages the steps
+//! behind one builder and returns a [`Release`] carrying the published
+//! tables plus everything the run learned about itself: the partition
+//! (in-memory runs), the logical I/O bill (external runs), and a
+//! [`RunManifest`](anatomy_obs::RunManifest) with the phase tree and
+//! counters of exactly this run.
+//!
+//! ```
+//! use anatomy::prelude::*;
+//!
+//! # fn main() -> Result<(), anatomy::Error> {
+//! let md = anatomy::data::tiny::paper_microdata();
+//! let release = Publish::new(&md).l(2).seed(7).run()?;
+//! assert_eq!(release.tables.group_count(), md.len() / 2);
+//! println!("{}", release.manifest.to_json());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The step-by-step free functions remain the documented lower-level
+//! API; the builder adds no behavior of its own beyond sequencing them
+//! and capturing the manifest.
+
+use crate::error::Error;
+use anatomy_core::anatomize_io::{anatomize_external, recommended_pool};
+use anatomy_core::{
+    anatomize, anatomize_reference, AnatomizeConfig, AnatomizedTables, BucketStrategy, Partition,
+};
+use anatomy_obs::RunManifest;
+use anatomy_storage::{IoCounter, IoStats, PageConfig};
+use anatomy_tables::Microdata;
+
+/// Everything a publish run produces.
+///
+/// `tables` is always present — the external path decodes its QIT/ST
+/// files back into validated [`AnatomizedTables`] so downstream code
+/// (adversary analysis, query estimation) never cares which path ran.
+#[derive(Debug, Clone)]
+pub struct Release {
+    /// The published quasi-identifier table + sensitive table.
+    pub tables: AnatomizedTables,
+    /// The group partition; `None` for external runs, which never hold
+    /// the full partition in memory.
+    pub partition: Option<Partition>,
+    /// Logical I/O charged by the external algorithm; `None` for
+    /// in-memory runs. Matches the manifest's `io` block exactly.
+    pub io: Option<IoStats>,
+    /// Phase timings, counters, and parameters of this run, captured as
+    /// a delta over the process-wide registry.
+    pub manifest: RunManifest,
+    /// The diversity parameter the run enforced.
+    pub l: usize,
+    /// The seed the run used (ignored by the deterministic external
+    /// path).
+    pub seed: u64,
+}
+
+/// Builder for one publish run. See the [module docs](self) for an
+/// example.
+///
+/// Defaults: `l = 2`, the fixed seed of [`AnatomizeConfig::new`], the
+/// paper's largest-first bucket strategy, the in-memory ladder
+/// implementation.
+#[derive(Debug, Clone)]
+pub struct Publish<'a> {
+    md: &'a Microdata,
+    config: AnatomizeConfig,
+    reference: bool,
+    external: Option<PageConfig>,
+    name: String,
+}
+
+impl<'a> Publish<'a> {
+    /// Start a run over `md` with the defaults above.
+    pub fn new(md: &'a Microdata) -> Self {
+        Publish {
+            md,
+            config: AnatomizeConfig::new(2),
+            reference: false,
+            external: None,
+            name: "publish".to_string(),
+        }
+    }
+
+    /// Set the diversity parameter `l >= 2`.
+    pub fn l(mut self, l: usize) -> Self {
+        self.config.l = l;
+        self
+    }
+
+    /// Set the seed for the run's random choices.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Set the bucket-selection strategy (ablation only; the default
+    /// reproduces the paper).
+    pub fn strategy(mut self, strategy: BucketStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Use the sort-based reference implementation instead of the
+    /// frequency ladder. Produces the identical partition — this is the
+    /// differential-testing oracle, exposed for exactly that purpose.
+    pub fn reference(mut self) -> Self {
+        self.reference = true;
+        self
+    }
+
+    /// Run the external O(n/b)-I/O algorithm of Theorem 3 instead of
+    /// the in-memory one, with pages of `cfg.page_size` bytes and the
+    /// recommended buffer pool. The external algorithm is
+    /// deterministic, so `seed` and `strategy` do not apply.
+    pub fn external(mut self, cfg: PageConfig) -> Self {
+        self.external = Some(cfg);
+        self
+    }
+
+    /// Name recorded in the manifest (default `"publish"`).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Execute the pipeline and capture its manifest.
+    ///
+    /// The manifest is a delta: only counters and spans recorded during
+    /// this call appear in it, so concurrent activity on the global
+    /// registry elsewhere in the process does not leak in (spans from
+    /// other threads can, as the registry is process-wide; run-scoped
+    /// attribution holds whenever runs don't overlap).
+    pub fn run(self) -> Result<Release, Error> {
+        let obs = anatomy_obs::global();
+        let before = obs.snapshot();
+        let l = self.config.l;
+        let seed = self.config.seed;
+
+        let (tables, partition, io) = match self.external {
+            Some(page_cfg) => {
+                let counter = IoCounter::observed(obs, "io.publish");
+                let pool = recommended_pool(self.md.sensitive_domain_size() as usize);
+                let out = anatomize_external(self.md, l, page_cfg, &pool, &counter)?;
+                let qi_schema = self.md.table().schema().project(self.md.qi_columns())?;
+                let tables = out.into_tables(qi_schema, l)?;
+                (tables, None, Some(out.stats))
+            }
+            None => {
+                let partition = if self.reference {
+                    anatomize_reference(self.md, &self.config)?
+                } else {
+                    anatomize(self.md, &self.config)?
+                };
+                let tables = AnatomizedTables::publish(self.md, &partition, l)?;
+                (tables, Some(partition), None)
+            }
+        };
+
+        let mut manifest = RunManifest::capture_since(&self.name, obs, &before)
+            .with_param("n", self.md.len() as u64)
+            .with_param("l", l as u64)
+            .with_param(
+                "mode",
+                if self.external.is_some() {
+                    "external"
+                } else {
+                    "in_memory"
+                },
+            );
+        if self.external.is_none() {
+            manifest.add_param("seed", seed);
+            manifest.add_param(
+                "strategy",
+                match self.config.strategy {
+                    BucketStrategy::LargestFirst => "largest_first",
+                    BucketStrategy::RoundRobin => "round_robin",
+                },
+            );
+            manifest.add_param(
+                "implementation",
+                if self.reference {
+                    "reference"
+                } else {
+                    "ladder"
+                },
+            );
+        }
+        if let Some(stats) = io {
+            // Taken from the run's own IoStats, not the registry mirror,
+            // so the manifest is exact even with observability disabled.
+            manifest = manifest.with_io(stats.page_reads, stats.page_writes);
+        }
+
+        Ok(Release {
+            tables,
+            partition,
+            io,
+            manifest,
+            l,
+            seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anatomy_tables::{Attribute, Schema, TableBuilder};
+
+    fn md(n: u32) -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::numerical("Zip", 60),
+            Attribute::categorical("Disease", 7),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..n {
+            b.push_row(&[i % 100, (i * 13) % 60, i % 7]).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 2).unwrap()
+    }
+
+    #[test]
+    fn builder_matches_free_functions() {
+        let md = md(300);
+        let cfg = AnatomizeConfig::new(4).with_seed(99);
+        let expect = anatomize(&md, &cfg).unwrap();
+        let release = Publish::new(&md).l(4).seed(99).run().unwrap();
+        assert_eq!(release.partition.as_ref(), Some(&expect));
+        let expect_tables = AnatomizedTables::publish(&md, &expect, 4).unwrap();
+        assert_eq!(release.tables, expect_tables);
+        assert_eq!(release.l, 4);
+        assert_eq!(release.seed, 99);
+        assert!(release.io.is_none());
+    }
+
+    #[test]
+    fn reference_arm_matches_ladder() {
+        let md = md(250);
+        let ladder = Publish::new(&md).l(3).seed(5).run().unwrap();
+        let reference = Publish::new(&md).l(3).seed(5).reference().run().unwrap();
+        assert_eq!(ladder.partition, reference.partition);
+        assert_eq!(ladder.tables, reference.tables);
+    }
+
+    #[test]
+    fn external_run_reports_io_and_tables() {
+        let md = md(400);
+        let release = Publish::new(&md)
+            .l(4)
+            .external(PageConfig::with_page_size(64))
+            .run()
+            .unwrap();
+        let stats = release.io.expect("external run must report I/O");
+        assert!(stats.total() > 0);
+        assert!(release.partition.is_none());
+        assert_eq!(release.tables.group_count(), md.len() / 4);
+        // The manifest's io block mirrors IoStats exactly (the Figure 8-9
+        // acceptance contract).
+        let json = release.manifest.to_json();
+        let v = anatomy_obs::Json::parse(&json).unwrap();
+        let io = v.get("io").expect("manifest io block");
+        assert_eq!(
+            io.get("page_reads").unwrap().as_u64(),
+            Some(stats.page_reads)
+        );
+        assert_eq!(
+            io.get("page_writes").unwrap().as_u64(),
+            Some(stats.page_writes)
+        );
+        assert_eq!(io.get("total").unwrap().as_u64(), Some(stats.total()));
+    }
+
+    #[test]
+    fn manifest_is_valid_and_named() {
+        let md = md(120);
+        let release = Publish::new(&md).l(2).name("demo_run").run().unwrap();
+        let json = release.manifest.to_json();
+        anatomy_obs::validate_manifest_json(&json).unwrap();
+        let v = anatomy_obs::Json::parse(&json).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("demo_run"));
+        let params = v.get("params").unwrap();
+        assert_eq!(params.get("l").unwrap().as_u64(), Some(2));
+        assert_eq!(params.get("mode").unwrap().as_str(), Some("in_memory"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The observability layer's core contract, pinned at the integration
+//! level: instrumentation NEVER perturbs results. Partitions, published
+//! tables, and query estimates must be bit-for-bit identical whether the
+//! global registry is enabled or disabled — and the manifest's I/O block
+//! must equal the run's `IoStats` exactly in both states.
+
+use anatomy::core::{anatomize, AnatomizeConfig, AnatomizedTables, BucketStrategy, CoreError};
+use anatomy::obs;
+use anatomy::query::{estimate_anatomy, WorkloadSpec};
+use anatomy::storage::PageConfig;
+use anatomy::tables::{Attribute, Microdata, Schema, TableBuilder};
+use anatomy::Publish;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The registry's enabled flag is process-global; every test that toggles
+/// it serializes on this lock and restores the previous state via
+/// [`Enabled`], so tests cannot observe each other's state.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+struct Enabled {
+    prev: bool,
+}
+
+impl Enabled {
+    fn set(on: bool) -> Enabled {
+        let prev = obs::global().enabled();
+        obs::global().set_enabled(on);
+        Enabled { prev }
+    }
+}
+
+impl Drop for Enabled {
+    fn drop(&mut self) {
+        obs::global().set_enabled(self.prev);
+    }
+}
+
+const QI_DOM: u32 = 24;
+const S_DOM: u32 = 7;
+
+fn microdata(rows: &[(u32, u32)]) -> Microdata {
+    let schema = Schema::new(vec![
+        Attribute::numerical("A", QI_DOM),
+        Attribute::categorical("S", S_DOM),
+    ])
+    .unwrap();
+    let mut b = TableBuilder::new(schema);
+    for &(a, s) in rows {
+        b.push_row(&[a, s]).unwrap();
+    }
+    Microdata::with_leading_qi(b.finish(), 1).unwrap()
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..QI_DOM, 0u32..S_DOM), 10..160)
+}
+
+/// One full publish + estimate pass under the current registry state.
+fn run_pipeline(
+    md: &Microdata,
+    config: &AnatomizeConfig,
+) -> Result<(AnatomizedTables, Vec<u64>), CoreError> {
+    let partition = anatomize(md, config)?;
+    let tables = AnatomizedTables::publish(md, &partition, config.l)?;
+    let queries = WorkloadSpec {
+        qd: 1,
+        selectivity: 0.2,
+        count: 12,
+        seed: config.seed ^ 0xBEEF,
+    }
+    .generate(md)
+    .unwrap();
+    // Bit patterns, so NaN-free f64 comparison is exact by construction.
+    let estimates = queries
+        .iter()
+        .map(|q| estimate_anatomy(&tables, q).to_bits())
+        .collect();
+    Ok((tables, estimates))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Enabled vs disabled registry: identical partitions, identical
+    /// QIT/ST, identical estimates — for random microdata, every seed,
+    /// and both bucket strategies.
+    #[test]
+    fn instrumentation_never_perturbs_results(
+        rows in rows_strategy(),
+        l in 2usize..5,
+        seed in 0u64..40,
+        strategy_arm in 0u32..2,
+    ) {
+        let md = microdata(&rows);
+        let strategy = if strategy_arm == 1 {
+            BucketStrategy::RoundRobin
+        } else {
+            BucketStrategy::LargestFirst
+        };
+        let config = AnatomizeConfig::new(l).with_seed(seed).with_strategy(strategy);
+
+        let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let disabled = {
+            let _state = Enabled::set(false);
+            run_pipeline(&md, &config)
+        };
+        let enabled = {
+            let _state = Enabled::set(true);
+            run_pipeline(&md, &config)
+        };
+
+        match (disabled, enabled) {
+            (Ok((t_off, e_off)), Ok((t_on, e_on))) => {
+                prop_assert_eq!(t_off, t_on);
+                prop_assert_eq!(e_off, e_on);
+            }
+            // Ineligible inputs must be rejected identically.
+            (Err(off), Err(on)) => prop_assert_eq!(off, on),
+            (off, on) => prop_assert!(
+                false,
+                "registry state changed the outcome: disabled={:?} enabled={:?}",
+                off.map(|_| "ok"),
+                on.map(|_| "ok")
+            ),
+        }
+    }
+}
+
+/// The Figure 8–9 acceptance contract: an external run's manifest carries
+/// an `io` block equal to its `IoStats`, and — with the registry enabled —
+/// the mirrored `io.publish.*` counters agree with those exact values.
+#[test]
+fn external_manifest_io_matches_iostats_exactly() {
+    let rows: Vec<(u32, u32)> = (0..600).map(|i| (i % QI_DOM, i % S_DOM)).collect();
+    let md = microdata(&rows);
+
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _state = Enabled::set(true);
+    let release = Publish::new(&md)
+        .l(4)
+        .external(PageConfig::with_page_size(128))
+        .run()
+        .unwrap();
+    let stats = release.io.expect("external run reports I/O");
+    assert!(stats.total() > 0);
+
+    let json = release.manifest.to_json();
+    obs::validate_manifest_json(&json).unwrap();
+    let v = obs::Json::parse(&json).unwrap();
+    let io = v.get("io").expect("io block");
+    assert_eq!(
+        io.get("page_reads").unwrap().as_u64(),
+        Some(stats.page_reads)
+    );
+    assert_eq!(
+        io.get("page_writes").unwrap().as_u64(),
+        Some(stats.page_writes)
+    );
+    assert_eq!(io.get("total").unwrap().as_u64(), Some(stats.total()));
+
+    // The registry mirrors agree with the authoritative local counter.
+    let counters = v.get("counters").expect("counters");
+    assert_eq!(
+        counters.get("io.publish.page_reads").unwrap().as_u64(),
+        Some(stats.page_reads)
+    );
+    assert_eq!(
+        counters.get("io.publish.page_writes").unwrap().as_u64(),
+        Some(stats.page_writes)
+    );
+
+    // The external phase tree is attributed under one root span.
+    let phases = release.manifest.phases();
+    assert!(phases.iter().any(|p| p.name == "anatomize_external"));
+}
+
+/// With the registry disabled the manifest says so, records no counters —
+/// and the `io` block is STILL exact, because it comes from the run's own
+/// `IoStats`, not the registry.
+#[test]
+fn disabled_registry_still_reports_exact_io() {
+    let rows: Vec<(u32, u32)> = (0..400).map(|i| ((i * 5) % QI_DOM, i % S_DOM)).collect();
+    let md = microdata(&rows);
+
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _state = Enabled::set(false);
+    let release = Publish::new(&md)
+        .l(3)
+        .external(PageConfig::with_page_size(128))
+        .run()
+        .unwrap();
+    let stats = release.io.unwrap();
+
+    let json = release.manifest.to_json();
+    obs::validate_manifest_json(&json).unwrap();
+    let v = obs::Json::parse(&json).unwrap();
+    assert_eq!(v.get("enabled").unwrap().as_bool(), Some(false));
+    let io = v.get("io").unwrap();
+    assert_eq!(io.get("total").unwrap().as_u64(), Some(stats.total()));
+    // No spans were recorded: a disabled registry is a true no-op.
+    assert!(release.manifest.phases().is_empty());
+}
