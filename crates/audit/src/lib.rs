@@ -1,0 +1,732 @@
+//! # anatomy-audit
+//!
+//! Release-integrity auditor for anatomized publications.
+//!
+//! The paper's privacy and utility guarantees are *conditional*: Corollary
+//! 1's `1/l` breach bound holds only if every QI-group really is l-diverse
+//! (Definition 2), and Theorem 2's error floor only describes pairs that
+//! actually satisfy Definitions 1 and 3. A release that went through
+//! external storage, serialization, or an incremental pipeline can violate
+//! those conditions silently — a flipped count, a swapped group id — while
+//! still looking like a perfectly healthy pair of CSV files. This crate
+//! re-derives every invariant from the released bytes alone, the same way
+//! a recipient (or a CI gate) would:
+//!
+//! * **`qit_st_structure`** — Definitions 1 & 3: QIT group ids are dense,
+//!   the ST is sorted by `(group, value)` without duplicates, counts are
+//!   positive, and each group's ST counts sum to its QIT population.
+//! * **`l_diversity`** — Definition 2: in every group the most frequent
+//!   sensitive value has frequency at most `1/l`.
+//! * **`group_sizes`** — Properties 1 & 3 of `Anatomize`: exactly
+//!   `⌊n/l⌋` groups, each holding between `l` and `2l − 1` tuples.
+//! * **`residue_placement`** — Properties 2 & 3: every ST count is 1
+//!   (a residue only joins a group *not* containing its value, so values
+//!   stay distinct within each group) and at most `l − 1` residues exist.
+//! * **`rce_bound`** — Theorem 2: the achieved re-construction error is at
+//!   least `n(1 − 1/l)`.
+//! * **`estimator_consistency`** (full releases only) — the query layer's
+//!   aggregate view agrees with the ST: for every sensitive value, the
+//!   anatomy estimate of `COUNT(*) WHERE As = v` with no QI predicate
+//!   equals the value's total ST count.
+//!
+//! [`audit_parts`] runs the first five checks on raw `(group_ids, ST)`
+//! parts — tolerant of arbitrarily corrupt input, it never panics — and
+//! [`audit_release`] runs all six on an assembled
+//! [`AnatomizedTables`]. The three checks that encode `Anatomize`-specific
+//! output shape (`group_sizes`, `residue_placement`, `rce_bound` at
+//! equality) are still *required*: this auditor certifies releases produced
+//! by the paper's algorithm, and a deviation means the pipeline did
+//! something the paper's analysis does not cover.
+
+use anatomy_core::{AnatomizedTables, GroupId, StRecord};
+use anatomy_query::{estimate_anatomy, CountQuery, InPredicate};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Check name: Definitions 1 & 3 structural consistency.
+pub const CHECK_QIT_ST_STRUCTURE: &str = "qit_st_structure";
+/// Check name: Definition 2 per-group diversity.
+pub const CHECK_L_DIVERSITY: &str = "l_diversity";
+/// Check name: Properties 1 & 3 group count and sizes.
+pub const CHECK_GROUP_SIZES: &str = "group_sizes";
+/// Check name: Properties 2 & 3 residue shape.
+pub const CHECK_RESIDUE_PLACEMENT: &str = "residue_placement";
+/// Check name: Theorem 2 error floor.
+pub const CHECK_RCE_BOUND: &str = "rce_bound";
+/// Check name: query-layer agreement with the ST.
+pub const CHECK_ESTIMATOR_CONSISTENCY: &str = "estimator_consistency";
+
+/// Every check [`audit_release`] runs, in execution order.
+pub const CHECK_NAMES: [&str; 6] = [
+    CHECK_QIT_ST_STRUCTURE,
+    CHECK_L_DIVERSITY,
+    CHECK_GROUP_SIZES,
+    CHECK_RESIDUE_PLACEMENT,
+    CHECK_RCE_BOUND,
+    CHECK_ESTIMATOR_CONSISTENCY,
+];
+
+/// One check's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// One of the `CHECK_*` constants.
+    pub name: &'static str,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// On failure, the first offending group/value, in words.
+    pub detail: Option<String>,
+}
+
+impl CheckOutcome {
+    fn pass(name: &'static str) -> Self {
+        CheckOutcome {
+            name,
+            passed: true,
+            detail: None,
+        }
+    }
+
+    fn fail(name: &'static str, detail: String) -> Self {
+        CheckOutcome {
+            name,
+            passed: false,
+            detail: Some(detail),
+        }
+    }
+}
+
+/// The auditor's full verdict on one release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// The diversity parameter the release claims.
+    pub l: usize,
+    /// QIT rows audited.
+    pub n: usize,
+    /// Distinct QI-groups seen in the QIT.
+    pub groups: usize,
+    /// Achieved re-construction error (Equation 13), derived from the ST.
+    pub rce: f64,
+    /// Theorem 2's floor `n(1 − 1/l)`.
+    pub rce_bound: f64,
+    /// Per-check outcomes, in execution order.
+    pub checks: Vec<CheckOutcome>,
+}
+
+impl AuditReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Look up one check by name.
+    pub fn check(&self, name: &str) -> Option<&CheckOutcome> {
+        self.checks.iter().find(|c| c.name == name)
+    }
+
+    /// `(passed, per-check outcomes)` in the shape run manifests carry.
+    pub fn summary(&self) -> (bool, Vec<(String, bool)>) {
+        (
+            self.passed(),
+            self.checks
+                .iter()
+                .map(|c| (c.name.to_string(), c.passed))
+                .collect(),
+        )
+    }
+
+    /// Human-readable multi-line rendering (the `anatomy verify` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "audit: {verdict} ({} rows, {} groups, l = {})",
+            self.n, self.groups, self.l
+        );
+        for c in &self.checks {
+            match (&c.passed, &c.detail) {
+                (true, _) => {
+                    let _ = writeln!(out, "  [PASS] {}", c.name);
+                }
+                (false, Some(d)) => {
+                    let _ = writeln!(out, "  [FAIL] {} — {d}", c.name);
+                }
+                (false, None) => {
+                    let _ = writeln!(out, "  [FAIL] {}", c.name);
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  rce {:.3} vs Theorem 2 floor {:.3}",
+            self.rce, self.rce_bound
+        );
+        out
+    }
+
+    /// The first failed check as a typed error, or `None` when clean.
+    pub fn into_failure(self) -> Option<AuditFailure> {
+        self.checks
+            .into_iter()
+            .find(|c| !c.passed)
+            .map(|c| AuditFailure {
+                check: c.name,
+                detail: c.detail.unwrap_or_else(|| "invariant violated".into()),
+            })
+    }
+}
+
+/// A failed audit, carrying the first violated check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFailure {
+    /// The violated check (one of the `CHECK_*` constants).
+    pub check: &'static str,
+    /// The first offending group/value, in words.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "release audit failed {}: {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for AuditFailure {}
+
+/// Audit raw release parts: the QIT's group-id column and the ST records,
+/// as parsed (not validated) from a release. Runs the five structural
+/// checks; [`audit_release`] adds the query-layer check.
+///
+/// Tolerates arbitrarily corrupt input — sparse or wild group ids,
+/// unsorted or duplicated ST records, zero counts — reporting failures
+/// instead of panicking.
+pub fn audit_parts(group_ids: &[GroupId], st: &[StRecord], l: usize) -> AuditReport {
+    let n = group_ids.len();
+
+    // Group populations as the QIT sees them. A corrupt release may use
+    // arbitrary ids, so count into a map rather than a dense vector.
+    let mut qit_sizes: BTreeMap<GroupId, u64> = BTreeMap::new();
+    for &g in group_ids {
+        *qit_sizes.entry(g).or_insert(0) += 1;
+    }
+    let groups = qit_sizes.len();
+
+    // Group histograms as the ST sees them (mass and max count), plus the
+    // ST's own ordering defects.
+    let mut st_mass: BTreeMap<GroupId, u64> = BTreeMap::new();
+    let mut st_max: BTreeMap<GroupId, u32> = BTreeMap::new();
+    let mut order_defect: Option<String> = None;
+    let mut zero_count: Option<String> = None;
+    for (i, r) in st.iter().enumerate() {
+        if r.count == 0 && zero_count.is_none() {
+            zero_count = Some(format!(
+                "ST row {i} (group {}, value {}) has count 0",
+                r.group, r.value.0
+            ));
+        }
+        if i > 0 && order_defect.is_none() {
+            let p = &st[i - 1];
+            if (p.group, p.value) >= (r.group, r.value) {
+                order_defect = Some(format!(
+                    "ST rows {} and {i} out of (group, value) order or duplicated \
+                     (group {}, value {})",
+                    i - 1,
+                    r.group,
+                    r.value.0
+                ));
+            }
+        }
+        *st_mass.entry(r.group).or_insert(0) += r.count as u64;
+        let m = st_max.entry(r.group).or_insert(0);
+        *m = (*m).max(r.count);
+    }
+
+    let mut checks = Vec::with_capacity(5);
+
+    // ---- qit_st_structure: Definitions 1 & 3 ----------------------------
+    let structure = 'structure: {
+        if let Some(d) = order_defect {
+            break 'structure CheckOutcome::fail(CHECK_QIT_ST_STRUCTURE, d);
+        }
+        if let Some(d) = zero_count {
+            break 'structure CheckOutcome::fail(CHECK_QIT_ST_STRUCTURE, d);
+        }
+        // Dense ids: with `groups` distinct ids, the largest must be
+        // `groups − 1` and the smallest 0.
+        if let (Some((&lo, _)), Some((&hi, _))) =
+            (qit_sizes.iter().next(), qit_sizes.iter().next_back())
+        {
+            if lo != 0 || hi as usize != groups - 1 {
+                break 'structure CheckOutcome::fail(
+                    CHECK_QIT_ST_STRUCTURE,
+                    format!("QIT group ids are not dense 0..{groups} (span {lo}..={hi})"),
+                );
+            }
+        }
+        for (&g, &size) in &qit_sizes {
+            match st_mass.get(&g) {
+                None => {
+                    break 'structure CheckOutcome::fail(
+                        CHECK_QIT_ST_STRUCTURE,
+                        format!("group {g} has {size} QIT tuples but no ST records"),
+                    );
+                }
+                Some(&mass) if mass != size => {
+                    break 'structure CheckOutcome::fail(
+                        CHECK_QIT_ST_STRUCTURE,
+                        format!("group {g}: ST counts sum to {mass} but QIT has {size} tuples"),
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        if let Some((&g, _)) = st_mass.iter().find(|(g, _)| !qit_sizes.contains_key(g)) {
+            break 'structure CheckOutcome::fail(
+                CHECK_QIT_ST_STRUCTURE,
+                format!("ST references group {g} absent from the QIT"),
+            );
+        }
+        CheckOutcome::pass(CHECK_QIT_ST_STRUCTURE)
+    };
+    checks.push(structure);
+
+    // ---- l_diversity: Definition 2 --------------------------------------
+    // Judged from the ST's own histograms so the verdict stays meaningful
+    // even when the QIT disagrees with the ST.
+    let diversity = if l < 2 {
+        CheckOutcome::fail(
+            CHECK_L_DIVERSITY,
+            format!("l = {l}, but Definition 2 needs l >= 2"),
+        )
+    } else {
+        match st_max.iter().find(|(g, &max)| {
+            let mass = st_mass.get(g).copied().unwrap_or(0);
+            (max as u64) * (l as u64) > mass
+        }) {
+            Some((&g, &max)) => CheckOutcome::fail(
+                CHECK_L_DIVERSITY,
+                format!(
+                    "group {g} is not {l}-diverse: a value occurs {max} times in {} tuples",
+                    st_mass.get(&g).copied().unwrap_or(0)
+                ),
+            ),
+            None => CheckOutcome::pass(CHECK_L_DIVERSITY),
+        }
+    };
+    checks.push(diversity);
+
+    // ---- group_sizes: Properties 1 & 3 ----------------------------------
+    let sizes = 'sizes: {
+        if l < 2 {
+            break 'sizes CheckOutcome::fail(
+                CHECK_GROUP_SIZES,
+                format!("l = {l}, but Anatomize needs l >= 2"),
+            );
+        }
+        let expected = n / l;
+        if groups != expected {
+            break 'sizes CheckOutcome::fail(
+                CHECK_GROUP_SIZES,
+                format!(
+                    "{groups} groups for n = {n}, l = {l}; Property 1 demands ⌊n/l⌋ = {expected}"
+                ),
+            );
+        }
+        if let Some((&g, &size)) = qit_sizes
+            .iter()
+            .find(|(_, &size)| size < l as u64 || size > (2 * l - 1) as u64)
+        {
+            break 'sizes CheckOutcome::fail(
+                CHECK_GROUP_SIZES,
+                format!("group {g} has {size} tuples, outside [{l}, {}]", 2 * l - 1),
+            );
+        }
+        CheckOutcome::pass(CHECK_GROUP_SIZES)
+    };
+    checks.push(sizes);
+
+    // ---- residue_placement: Properties 2 & 3 ----------------------------
+    let residue = 'residue: {
+        if let Some((i, r)) = st.iter().enumerate().find(|(_, r)| r.count != 1) {
+            break 'residue CheckOutcome::fail(
+                CHECK_RESIDUE_PLACEMENT,
+                format!(
+                    "ST row {i} (group {}, value {}) has count {}; Anatomize output keeps \
+                     sensitive values distinct within each group, so every count is 1",
+                    r.group, r.value.0, r.count
+                ),
+            );
+        }
+        if l >= 2 {
+            let residues: u64 = qit_sizes
+                .values()
+                .map(|&size| size.saturating_sub(l as u64))
+                .sum();
+            if residues > (l - 1) as u64 {
+                break 'residue CheckOutcome::fail(
+                    CHECK_RESIDUE_PLACEMENT,
+                    format!(
+                        "{residues} residue tuples, but Property 1 allows at most {}",
+                        l - 1
+                    ),
+                );
+            }
+        }
+        CheckOutcome::pass(CHECK_RESIDUE_PLACEMENT)
+    };
+    checks.push(residue);
+
+    // ---- rce_bound: Theorem 2 -------------------------------------------
+    // Achieved RCE from the ST histograms against QIT group populations
+    // (Equations 12–13): each of the c(v) tuples carrying v in a group of
+    // size s errs by (1 − c(v)/s)² + Σ_{u≠v} (c(u)/s)².
+    let mut rce = 0.0f64;
+    for (&g, &size) in &qit_sizes {
+        let s = size as f64;
+        if size == 0 {
+            continue;
+        }
+        let records: Vec<&StRecord> = st.iter().filter(|r| r.group == g).collect();
+        let sum_sq: f64 = records
+            .iter()
+            .map(|r| (r.count as f64) * (r.count as f64))
+            .sum();
+        for r in &records {
+            let c = r.count as f64;
+            let a = 1.0 - c / s;
+            rce += c * (a * a + (sum_sq - c * c) / (s * s));
+        }
+    }
+    let rce_bound = if l >= 1 {
+        n as f64 * (1.0 - 1.0 / l as f64)
+    } else {
+        f64::INFINITY
+    };
+    let bound_check = if rce + 1e-9 >= rce_bound {
+        CheckOutcome::pass(CHECK_RCE_BOUND)
+    } else {
+        CheckOutcome::fail(
+            CHECK_RCE_BOUND,
+            format!("achieved RCE {rce:.6} below Theorem 2's floor {rce_bound:.6}"),
+        )
+    };
+    checks.push(bound_check);
+
+    AuditReport {
+        l,
+        n,
+        groups,
+        rce,
+        rce_bound,
+        checks,
+    }
+}
+
+/// Audit an assembled release: the five structural checks of
+/// [`audit_parts`] plus `estimator_consistency`, which drives the query
+/// layer's anatomy estimator over every sensitive value and demands exact
+/// agreement with the ST totals.
+pub fn audit_release(tables: &AnatomizedTables, l: usize) -> AuditReport {
+    let mut report = audit_parts(tables.group_ids(), tables.st_records(), l);
+
+    let mut totals: BTreeMap<u32, u64> = BTreeMap::new();
+    for r in tables.st_records() {
+        *totals.entry(r.value.0).or_insert(0) += r.count as u64;
+    }
+    let domain = totals.keys().next_back().map_or(1, |&v| v + 1);
+
+    let mut outcome = CheckOutcome::pass(CHECK_ESTIMATOR_CONSISTENCY);
+    for (&v, &total) in &totals {
+        let pred = match InPredicate::new(vec![v], domain) {
+            Ok(p) => p,
+            Err(e) => {
+                outcome = CheckOutcome::fail(
+                    CHECK_ESTIMATOR_CONSISTENCY,
+                    format!("cannot build point predicate for value {v}: {e}"),
+                );
+                break;
+            }
+        };
+        let query = CountQuery {
+            qi_preds: Vec::new(),
+            sens_pred: pred,
+        };
+        // With no QI predicate every group's fraction p_j is exactly 1,
+        // so the estimate must equal Σ_j c_j(v) with no estimation error.
+        let est = estimate_anatomy(tables, &query);
+        if (est - total as f64).abs() > 1e-6 {
+            outcome = CheckOutcome::fail(
+                CHECK_ESTIMATOR_CONSISTENCY,
+                format!("value {v}: estimator says {est}, ST counts sum to {total}"),
+            );
+            break;
+        }
+    }
+    report.checks.push(outcome);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anatomy_core::{anatomize, AnatomizeConfig};
+    use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder, Value};
+
+    /// 24 rows, sensitive domain 6, one QI column.
+    fn sample_md() -> Microdata {
+        let schema = Schema::new(vec![
+            Attribute::numerical("Age", 100),
+            Attribute::categorical("Disease", 6),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for i in 0..24u32 {
+            b.push_row(&[20 + i, i % 6]).unwrap();
+        }
+        Microdata::with_leading_qi(b.finish(), 1).unwrap()
+    }
+
+    fn sample_release(l: usize) -> AnatomizedTables {
+        let md = sample_md();
+        let p = anatomize(&md, &AnatomizeConfig::new(l)).unwrap();
+        AnatomizedTables::publish(&md, &p, l).unwrap()
+    }
+
+    #[test]
+    fn clean_release_passes_all_six_checks() {
+        let t = sample_release(3);
+        let report = audit_release(&t, 3);
+        assert_eq!(report.checks.len(), CHECK_NAMES.len());
+        for (c, name) in report.checks.iter().zip(CHECK_NAMES) {
+            assert_eq!(c.name, name);
+            assert!(c.passed, "{name} failed: {:?}", c.detail);
+        }
+        assert!(report.passed());
+        assert!(report.clone().into_failure().is_none());
+        assert_eq!(report.n, 24);
+        assert_eq!(report.groups, 8);
+        assert!(report.rce + 1e-9 >= report.rce_bound);
+        let rendered = report.render();
+        assert!(rendered.starts_with("audit: PASS"));
+        for name in CHECK_NAMES {
+            assert!(rendered.contains(name), "render misses {name}");
+        }
+        let (passed, checks) = report.summary();
+        assert!(passed);
+        assert_eq!(checks.len(), 6);
+    }
+
+    #[test]
+    fn undercounted_st_row_is_caught_by_structure() {
+        let t = sample_release(3);
+        let gids = t.group_ids().to_vec();
+        let mut st = t.st_records().to_vec();
+        // An undercount in transit: some row's count drops by one (to 0
+        // here, since Anatomize emits all-1 counts — the mass mismatch is
+        // what the check keys on either way).
+        st[0].count = 0;
+        let report = audit_parts(&gids, &st, 3);
+        let c = report.check(CHECK_QIT_ST_STRUCTURE).unwrap();
+        assert!(!c.passed);
+        assert!(c.detail.as_ref().unwrap().contains("count 0"));
+        // And the failure names the check.
+        let failure = report.into_failure().unwrap();
+        assert_eq!(failure.check, CHECK_QIT_ST_STRUCTURE);
+    }
+
+    #[test]
+    fn overcounted_st_row_is_caught_by_structure() {
+        let t = sample_release(3);
+        let gids = t.group_ids().to_vec();
+        let mut st = t.st_records().to_vec();
+        st[0].count = 2;
+        let report = audit_parts(&gids, &st, 3);
+        let c = report.check(CHECK_QIT_ST_STRUCTURE).unwrap();
+        assert!(!c.passed, "mass mismatch should fail structure");
+        assert!(c.detail.as_ref().unwrap().contains("sum to"));
+    }
+
+    #[test]
+    fn swapped_group_id_is_caught_by_structure() {
+        let t = sample_release(3);
+        let mut gids = t.group_ids().to_vec();
+        let st = t.st_records().to_vec();
+        // Reassign one tuple from its group to another: both groups' ST
+        // masses now disagree with their QIT populations.
+        let from = gids[0];
+        let to = (from + 1) % t.group_count() as u32;
+        gids[0] = to;
+        let report = audit_parts(&gids, &st, 3);
+        let c = report.check(CHECK_QIT_ST_STRUCTURE).unwrap();
+        assert!(!c.passed);
+        assert!(c.detail.as_ref().unwrap().contains("sum to"));
+    }
+
+    #[test]
+    fn duplicated_sensitive_value_is_caught_by_l_diversity() {
+        let t = sample_release(3);
+        let gids = t.group_ids().to_vec();
+        let mut st = t.st_records().to_vec();
+        // Merge group 0's first two (count-1) records into one record of
+        // count 2: the ST stays sorted and its mass still matches the QIT,
+        // so structure passes — but the group now repeats a value.
+        assert_eq!(st[0].group, 0);
+        assert_eq!(st[1].group, 0);
+        st[0].count = 2;
+        st.remove(1);
+        let report = audit_parts(&gids, &st, 3);
+        assert!(report.check(CHECK_QIT_ST_STRUCTURE).unwrap().passed);
+        let c = report.check(CHECK_L_DIVERSITY).unwrap();
+        assert!(!c.passed);
+        assert!(c.detail.as_ref().unwrap().contains("not 3-diverse"));
+        // Residue placement (all counts 1) independently flags it.
+        assert!(!report.check(CHECK_RESIDUE_PLACEMENT).unwrap().passed);
+    }
+
+    #[test]
+    fn oversized_and_missing_groups_are_caught_by_group_sizes() {
+        // 9 tuples, l = 3, but packed into 2 groups instead of ⌊9/3⌋ = 3.
+        let gids = vec![0, 0, 0, 0, 0, 1, 1, 1, 1];
+        let st: Vec<StRecord> = [
+            (0, 0, 1),
+            (0, 1, 1),
+            (0, 2, 1),
+            (0, 3, 1),
+            (0, 4, 1),
+            (1, 0, 1),
+            (1, 1, 1),
+            (1, 2, 1),
+            (1, 3, 1),
+        ]
+        .iter()
+        .map(|&(g, v, c)| StRecord {
+            group: g,
+            value: Value(v),
+            count: c,
+        })
+        .collect();
+        let report = audit_parts(&gids, &st, 3);
+        assert!(report.check(CHECK_QIT_ST_STRUCTURE).unwrap().passed);
+        assert!(report.check(CHECK_L_DIVERSITY).unwrap().passed);
+        let c = report.check(CHECK_GROUP_SIZES).unwrap();
+        assert!(!c.passed);
+        assert!(c.detail.as_ref().unwrap().contains("⌊n/l⌋"));
+    }
+
+    #[test]
+    fn too_many_residues_fail_residue_placement() {
+        // 8 tuples in 2 groups of 4 with l = 4 claimed... n/l = 2 groups
+        // expected for n = 8, l = 4 would be 2 — use a shape where sizes
+        // pass but residues exceed l − 1: n = 10, l = 3 → 3 groups, one
+        // residue allowed is 1 (10 mod 3). Build 3 groups sized 3, 3, 4 —
+        // legal. Instead claim l = 2: ⌊10/2⌋ = 5 groups expected, so
+        // group_sizes fails; residue check must ALSO fail on its own
+        // grounds when sizes are inflated: 3 groups sized 4, 3, 3 with
+        // l = 2 carries (4−2)+(3−2)+(3−2) = 4 residues > 1.
+        let gids = vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let st: Vec<StRecord> = [
+            (0u32, 0u32),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+        ]
+        .iter()
+        .map(|&(g, v)| StRecord {
+            group: g,
+            value: Value(v),
+            count: 1,
+        })
+        .collect();
+        let report = audit_parts(&gids, &st, 2);
+        let c = report.check(CHECK_RESIDUE_PLACEMENT).unwrap();
+        assert!(!c.passed);
+        assert!(c.detail.as_ref().unwrap().contains("residue"));
+    }
+
+    #[test]
+    fn rce_matches_core_and_respects_theorem_2() {
+        let t = sample_release(4);
+        let report = audit_release(&t, 4);
+        let expected = anatomy_core::rce_of_anatomized(&t);
+        assert!(
+            (report.rce - expected).abs() < 1e-9,
+            "audit rce {} vs core {}",
+            report.rce,
+            expected
+        );
+        assert!(report.check(CHECK_RCE_BOUND).unwrap().passed);
+    }
+
+    #[test]
+    fn corrupt_garbage_never_panics() {
+        // Wild group ids, unsorted ST, zero counts, ST-only groups: every
+        // combination must produce a report, not a panic.
+        let cases: Vec<(Vec<GroupId>, Vec<StRecord>)> = vec![
+            (vec![], vec![]),
+            (vec![u32::MAX, 0, 7], vec![]),
+            (
+                vec![0, 0],
+                vec![
+                    StRecord {
+                        group: 5,
+                        value: Value(1),
+                        count: 0,
+                    },
+                    StRecord {
+                        group: 5,
+                        value: Value(1),
+                        count: 9,
+                    },
+                ],
+            ),
+            (
+                vec![3, 3, 3],
+                vec![StRecord {
+                    group: 0,
+                    value: Value(0),
+                    count: 3,
+                }],
+            ),
+        ];
+        for (gids, st) in cases {
+            for l in [0usize, 1, 2, 5] {
+                let report = audit_parts(&gids, &st, l);
+                assert!(!report.render().is_empty());
+                if !(gids.is_empty() && st.is_empty()) {
+                    assert!(
+                        !report.passed(),
+                        "garbage audited clean: {gids:?} {st:?} l={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_release_with_valid_l_is_vacuously_structured() {
+        let report = audit_parts(&[], &[], 2);
+        assert!(report.check(CHECK_QIT_ST_STRUCTURE).unwrap().passed);
+        assert!(report.check(CHECK_RCE_BOUND).unwrap().passed);
+        assert_eq!(report.n, 0);
+    }
+
+    #[test]
+    fn failure_display_names_check_and_detail() {
+        let f = AuditFailure {
+            check: CHECK_L_DIVERSITY,
+            detail: "group 3 is not 4-diverse: a value occurs 2 times in 4 tuples".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("l_diversity"));
+        assert!(s.contains("group 3"));
+        // It is a std error.
+        let _: &dyn std::error::Error = &f;
+    }
+}

@@ -64,9 +64,9 @@ fn bench_storage_primitives(c: &mut Criterion) {
             let mut rec = vec![0u32; 6];
             for i in 0..n as u32 {
                 rec[0] = i;
-                w.push(&rec);
+                w.push(&rec).unwrap();
             }
-            w.finish();
+            w.finish().unwrap();
             let r = SeqReader::open(&file, codec, &pool, counter).unwrap();
             black_box(r.count());
         });

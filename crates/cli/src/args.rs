@@ -49,6 +49,24 @@ pub enum Command {
         /// Claimed diversity parameter.
         l: usize,
     },
+    /// `anatomy verify --qit F --st F --schema F --sensitive NAME --l N`
+    ///
+    /// Unlike `audit` (which re-validates while *parsing* and stops at
+    /// the first defect), `verify` parses leniently and then runs the
+    /// full `anatomy-audit` check battery, reporting every invariant's
+    /// PASS/FAIL by name.
+    Verify {
+        /// QIT CSV path.
+        qit: String,
+        /// ST CSV path.
+        st: String,
+        /// Schema file path.
+        schema: String,
+        /// Sensitive attribute name.
+        sensitive: String,
+        /// Claimed diversity parameter.
+        l: usize,
+    },
     /// `anatomy query --qit F --st F --schema F --sensitive NAME --l N
     ///  --query SPEC [--indexed] [--metrics F]`
     Query {
@@ -78,6 +96,7 @@ usage:
   anatomy stats   --data F --schema F --sensitive NAME
   anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N] [--metrics F]
   anatomy audit   --qit F --st F --schema F --sensitive NAME --l N
+  anatomy verify  --qit F --st F --schema F --sensitive NAME --l N
   anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed] [--metrics F]";
 
 /// Flags that take no value; their presence alone means "true".
@@ -143,6 +162,15 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
             metrics: map.remove("metrics"),
         },
         "audit" => Command::Audit {
+            qit: take(&mut map, "qit")?,
+            st: take(&mut map, "st")?,
+            schema: take(&mut map, "schema")?,
+            sensitive: take(&mut map, "sensitive")?,
+            l: take(&mut map, "l")?
+                .parse()
+                .map_err(|_| "--l must be an integer")?,
+        },
+        "verify" => Command::Verify {
             qit: take(&mut map, "qit")?,
             st: take(&mut map, "st")?,
             schema: take(&mut map, "schema")?,
@@ -222,6 +250,25 @@ mod tests {
         ))
         .is_err());
         assert!(parse_args(&argv("stats --data a --data b --schema s --sensitive X")).is_err());
+    }
+
+    #[test]
+    fn parses_verify() {
+        let c = parse_args(&argv(
+            "verify --qit q --st t --schema s --sensitive X --l 3",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Verify {
+                qit: "q".into(),
+                st: "t".into(),
+                schema: "s".into(),
+                sensitive: "X".into(),
+                l: 3,
+            }
+        );
+        assert!(parse_args(&argv("verify --qit q --st t --schema s --sensitive X")).is_err());
     }
 
     #[test]

@@ -3,10 +3,11 @@
 
 use crate::schema_file;
 use crate::{CliResult, Command};
+use anatomy::audit::{audit_parts, audit_release};
 use anatomy::{Error, Publish};
 use anatomy_core::adversary::tuple_value_probability;
 use anatomy_core::diversity::max_feasible_l;
-use anatomy_core::release::{parse_release, qit_to_csv, st_to_csv};
+use anatomy_core::release::{parse_release, parse_release_parts, qit_to_csv, st_to_csv};
 use anatomy_core::AnatomizedTables;
 use anatomy_obs::RunManifest;
 use anatomy_pool::Pool;
@@ -77,6 +78,13 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             sensitive,
             l,
         } => audit(qit, st, schema, sensitive, *l),
+        Command::Verify {
+            qit,
+            st,
+            schema,
+            sensitive,
+            l,
+        } => verify(qit, st, schema, sensitive, *l),
         Command::Query {
             qit,
             st,
@@ -252,6 +260,47 @@ fn audit(
         worst * 100.0,
         100.0 / l as f64
     ))
+}
+
+/// `anatomy verify`: the full `anatomy-audit` battery over a release.
+///
+/// Parsing is deliberately lenient — `parse_release_parts` checks only
+/// CSV syntax and schema conformance — so a *corrupt* release reaches
+/// the auditor instead of dying in the strict `from_parts` validation.
+/// When the structural checks pass, the release is re-assembled and the
+/// query-layer consistency check runs too. Any failed check makes the
+/// command fail (nonzero exit from the binary), with the per-check
+/// report as the error text.
+fn verify(
+    qit_path: &str,
+    st_path: &str,
+    schema_path: &str,
+    sensitive: &str,
+    l: usize,
+) -> CliResult<String> {
+    let schema = load_schema(schema_path)?;
+    let (qi, _) = designate(&schema, sensitive)?;
+    let qi_schema = schema.project(&qi)?;
+    let (qit, group_ids, st) =
+        parse_release_parts(qi_schema, &read_file(qit_path)?, &read_file(st_path)?).map_err(
+            |e| Error::from(e).context(format!("cannot parse release {qit_path} / {st_path}")),
+        )?;
+    let structural = audit_parts(&group_ids, &st, l);
+    let report = if structural.passed() {
+        // Structure holds, so strict re-assembly cannot fail; run the
+        // full battery including the estimator check.
+        match AnatomizedTables::from_parts(qit, group_ids, st, l) {
+            Ok(tables) => audit_release(&tables, l),
+            Err(_) => structural,
+        }
+    } else {
+        structural
+    };
+    let rendered = report.render();
+    match report.into_failure() {
+        None => Ok(rendered),
+        Some(failure) => Err(Error::from(failure).context(rendered.trim_end().to_string())),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -436,6 +485,100 @@ mod tests {
             .unwrap();
             assert_eq!(scalar, indexed, "query {query}");
         }
+    }
+
+    #[test]
+    fn verify_passes_clean_releases_and_names_each_corruption() {
+        let dir = scratch("verify");
+        let data = write(&dir, "d.csv", &demo_data());
+        let schema = write(&dir, "s.txt", SCHEMA);
+        let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+        let st = dir.join("st.csv").to_string_lossy().into_owned();
+        run(&Command::Publish {
+            data,
+            schema: schema.clone(),
+            sensitive: "Disease".into(),
+            l: 4,
+            qit: qit.clone(),
+            st: st.clone(),
+            seed: 3,
+            metrics: None,
+        })
+        .unwrap();
+        let verify = |qit: &str, st: &str| {
+            run(&Command::Verify {
+                qit: qit.into(),
+                st: st.into(),
+                schema: schema.clone(),
+                sensitive: "Disease".into(),
+                l: 4,
+            })
+        };
+
+        // Clean release: all six checks pass by name.
+        let report = verify(&qit, &st).unwrap();
+        assert!(report.starts_with("audit: PASS"), "{report}");
+        for name in [
+            "qit_st_structure",
+            "l_diversity",
+            "group_sizes",
+            "residue_placement",
+            "rce_bound",
+            "estimator_consistency",
+        ] {
+            assert!(report.contains(&format!("[PASS] {name}")), "{report}");
+        }
+
+        let st_lines: Vec<String> = fs::read_to_string(&st)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        let qit_lines: Vec<String> = fs::read_to_string(&qit)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+
+        // Corruption 1 — a miscounted ST row (count 1 -> 2): the group's
+        // counts no longer sum to its QIT population.
+        let mut bad = st_lines.clone();
+        let row = bad[1].strip_suffix(",1").unwrap().to_string();
+        bad[1] = format!("{row},2");
+        let st_bad = write(&dir, "st_overcount.csv", &(bad.join("\n") + "\n"));
+        let err = verify(&qit, &st_bad).unwrap_err();
+        assert!(
+            anatomy::render_chain(&err).contains("[FAIL] qit_st_structure"),
+            "{err}"
+        );
+
+        // Corruption 2 — one QIT tuple's group id swapped to a different
+        // group: both groups' masses now disagree with the ST.
+        let mut bad = qit_lines.clone();
+        let (prefix, gid) = bad[1].rsplit_once(',').unwrap();
+        let swapped = if gid == "1" { "2" } else { "1" };
+        bad[1] = format!("{prefix},{swapped}");
+        let qit_bad = write(&dir, "qit_swapped.csv", &(bad.join("\n") + "\n"));
+        let err = verify(&qit_bad, &st).unwrap_err();
+        assert!(
+            anatomy::render_chain(&err).contains("[FAIL] qit_st_structure"),
+            "{err}"
+        );
+
+        // Corruption 3 — a sensitive value duplicated within a group: two
+        // count-1 rows of group 1 merge into one count-2 row. Mass and
+        // order still check out, so structure passes — Definition 2 does
+        // not.
+        let mut bad = st_lines.clone();
+        assert!(bad[1].starts_with("1,") && bad[2].starts_with("1,"));
+        let row = bad[1].strip_suffix(",1").unwrap().to_string();
+        bad[1] = format!("{row},2");
+        bad.remove(2);
+        let st_dup = write(&dir, "st_duplicated.csv", &(bad.join("\n") + "\n"));
+        let err = verify(&qit, &st_dup).unwrap_err();
+        let chain = anatomy::render_chain(&err);
+        assert!(chain.contains("[PASS] qit_st_structure"), "{chain}");
+        assert!(chain.contains("[FAIL] l_diversity"), "{chain}");
     }
 
     #[test]

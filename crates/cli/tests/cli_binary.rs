@@ -239,6 +239,75 @@ fn errors_print_the_cause_chain() {
     assert!(stderr.contains("caused by: core error:"), "{stderr}");
 }
 
+/// `anatomy verify` exits 0 on a clean release and 1 on a corrupted one,
+/// naming the violated check on stderr — the CI audit-smoke contract.
+#[test]
+fn verify_exit_codes_follow_release_integrity() {
+    let dir = scratch("verify");
+    let (data, schema) = demo(&dir);
+    let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+    let st = dir.join("st.csv").to_string_lossy().into_owned();
+    assert!(bin()
+        .args([
+            "publish",
+            "--data",
+            &data,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "4",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let verify_args = |st_path: &str| {
+        vec![
+            "verify".to_string(),
+            "--qit".to_string(),
+            qit.clone(),
+            "--st".to_string(),
+            st_path.to_string(),
+            "--schema".to_string(),
+            schema.clone(),
+            "--sensitive".to_string(),
+            "Disease".to_string(),
+            "--l".to_string(),
+            "4".to_string(),
+        ]
+    };
+
+    let out = bin().args(verify_args(&st)).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("audit: PASS"), "{stdout}");
+    assert!(stdout.contains("[PASS] estimator_consistency"), "{stdout}");
+
+    // Corrupt one ST count (1 -> 2) and verify again: exit 1, violated
+    // check named on stderr.
+    let text = fs::read_to_string(&st).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let row = lines[1].strip_suffix(",1").unwrap().to_string();
+    lines[1] = format!("{row},2");
+    let st_bad = dir.join("st_bad.csv").to_string_lossy().into_owned();
+    fs::write(&st_bad, lines.join("\n") + "\n").unwrap();
+
+    let out = bin().args(verify_args(&st_bad)).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("[FAIL] qit_st_structure"), "{stderr}");
+    assert!(
+        stderr.contains("audit error:") || stderr.contains("release audit failed"),
+        "{stderr}"
+    );
+}
+
 #[test]
 fn bad_usage_exits_2_with_usage_text() {
     let out = bin().output().unwrap();

@@ -103,9 +103,9 @@ pub fn microdata_to_file(md: &Microdata, cfg: PageConfig) -> Result<SimFile, Cor
             *slot = md.qi_value(r, i).code();
         }
         row[d] = md.sensitive_value(r).code();
-        w.push(&row);
+        w.push(&row)?;
     }
-    w.finish();
+    w.finish()?;
     Ok(file)
 }
 
@@ -186,15 +186,22 @@ pub fn anatomize_external(
             });
             let gid = groups as u32;
             for &v in nonempty.iter().take(l) {
-                let reader = readers[v as usize]
-                    .as_mut()
-                    .expect("non-empty bucket has reader");
-                let mut rec = reader
-                    .next()
-                    .expect("remaining count positive")
-                    .map_err(CoreError::Storage)?;
+                // Both lookups are invariants of the loop above, but a
+                // damaged bucket file must degrade to a typed error, not
+                // a panic, so the whole chain stays recoverable.
+                let Some(reader) = readers[v as usize].as_mut() else {
+                    return Err(CoreError::InvalidPartition(format!(
+                        "bucket {v} has no open reader during group creation"
+                    )));
+                };
+                let Some(rec) = reader.next() else {
+                    return Err(CoreError::InvalidPartition(format!(
+                        "bucket {v} exhausted early during group creation"
+                    )));
+                };
+                let mut rec = rec.map_err(CoreError::Storage)?;
                 rec.push(gid);
-                group_writer.push(&rec);
+                group_writer.push(&rec)?;
                 remaining[v as usize] -= 1;
             }
             groups += 1;
@@ -206,14 +213,18 @@ pub fn anatomize_external(
         // ---- Residues: at most l-1 tuples, read into memory (O(l)). ----
         let mut residues: Vec<Vec<u32>> = Vec::new();
         for v in nonempty {
-            let reader = readers[v as usize]
-                .as_mut()
-                .expect("non-empty bucket has reader");
+            let Some(reader) = readers[v as usize].as_mut() else {
+                return Err(CoreError::InvalidPartition(format!(
+                    "bucket {v} has no open reader during residue collection"
+                )));
+            };
             for rec in reader.by_ref() {
                 residues.push(rec.map_err(CoreError::Storage)?);
             }
         }
-        drop(group_writer);
+        // Finish explicitly: a failed flush of the last partial page must
+        // propagate, not vanish in a drop.
+        group_writer.finish()?;
         drop(readers);
 
         // ---- Phase 3: one scan of the QI-group file; assign residues,
@@ -231,34 +242,35 @@ pub fn anatomize_external(
             // O(l) working set).
             let mut group_values: Vec<u32> = Vec::with_capacity(l + 2);
 
-            let flush_group =
-                |gid: u32,
-                 group_values: &mut Vec<u32>,
-                 assigned: &mut [bool],
-                 qit_writer: &mut SeqWriter<'_, U32RowCodec>,
-                 st_writer: &mut SeqWriter<'_, U32RowCodec>| {
-                    // Offer every unassigned residue to this group.
-                    for (i, res) in residues.iter().enumerate() {
-                        if assigned[i] {
-                            continue;
-                        }
-                        let v = res[d];
-                        if !group_values.contains(&v) {
-                            assigned[i] = true;
-                            group_values.push(v);
-                            let mut qrow: Vec<u32> = res[..d].to_vec();
-                            qrow.push(gid);
-                            qit_writer.push(&qrow);
-                        }
+            let flush_group = |gid: u32,
+                               group_values: &mut Vec<u32>,
+                               assigned: &mut [bool],
+                               qit_writer: &mut SeqWriter<'_, U32RowCodec>,
+                               st_writer: &mut SeqWriter<'_, U32RowCodec>|
+             -> Result<(), anatomy_storage::StorageError> {
+                // Offer every unassigned residue to this group.
+                for (i, res) in residues.iter().enumerate() {
+                    if assigned[i] {
+                        continue;
                     }
-                    // All values in a group are distinct (Property 3), so every
-                    // ST count is 1. Emit in value order for determinism.
-                    group_values.sort_unstable();
-                    for &v in group_values.iter() {
-                        st_writer.push(&vec![gid, v, 1]);
+                    let v = res[d];
+                    if !group_values.contains(&v) {
+                        assigned[i] = true;
+                        group_values.push(v);
+                        let mut qrow: Vec<u32> = res[..d].to_vec();
+                        qrow.push(gid);
+                        qit_writer.push(&qrow)?;
                     }
-                    group_values.clear();
-                };
+                }
+                // All values in a group are distinct (Property 3), so every
+                // ST count is 1. Emit in value order for determinism.
+                group_values.sort_unstable();
+                for &v in group_values.iter() {
+                    st_writer.push(&vec![gid, v, 1])?;
+                }
+                group_values.clear();
+                Ok(())
+            };
 
             for rec in reader {
                 let rec = rec.map_err(CoreError::Storage)?;
@@ -271,14 +283,14 @@ pub fn anatomize_external(
                             &mut assigned,
                             &mut qit_writer,
                             &mut st_writer,
-                        );
+                        )?;
                     }
                     current_group = Some(gid);
                 }
                 group_values.push(rec[d]);
                 let mut qrow: Vec<u32> = rec[..d].to_vec();
                 qrow.push(gid);
-                qit_writer.push(&qrow);
+                qit_writer.push(&qrow)?;
             }
             if let Some(prev) = current_group {
                 flush_group(
@@ -287,7 +299,7 @@ pub fn anatomize_external(
                     &mut assigned,
                     &mut qit_writer,
                     &mut st_writer,
-                );
+                )?;
             }
 
             if let Some(i) = assigned.iter().position(|&a| !a) {
@@ -295,8 +307,8 @@ pub fn anatomize_external(
                     sensitive_code: residues[i][d],
                 });
             }
-            qit_writer.finish();
-            st_writer.finish();
+            qit_writer.finish()?;
+            st_writer.finish()?;
         }
         drop(publication_phase);
 
@@ -451,9 +463,9 @@ mod tests {
         let pool = recommended_pool(8);
         let counter = IoCounter::new();
         let out = anatomize_external(&md, 4, cfg, &pool, &counter).unwrap();
-        let input_pages = cfg.pages_for(n, 8) as u64; // d+1 = 2 fields
-                                                      // read input + write/read buckets + write/read group file + write
-                                                      // QIT/ST: roughly 6-7 passes over ~input-sized files.
+        let input_pages = cfg.pages_for(n, 8).unwrap() as u64; // d+1 = 2 fields
+                                                               // read input + write/read buckets + write/read group file + write
+                                                               // QIT/ST: roughly 6-7 passes over ~input-sized files.
         assert!(out.stats.total() >= 5 * input_pages);
         assert!(
             out.stats.total() <= 10 * input_pages,

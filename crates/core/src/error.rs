@@ -19,6 +19,14 @@ pub enum CoreError {
         /// Requested diversity parameter.
         l: usize,
     },
+    /// The sensitive attribute's domain has fewer than `l` distinct
+    /// values, so no group can ever contain `l` distinct ones.
+    DomainTooSmall {
+        /// Distinct values the sensitive domain can hold.
+        domain: u32,
+        /// Requested diversity parameter.
+        l: usize,
+    },
     /// A partition failed validation (not a partition of `0..n`, or not
     /// l-diverse).
     InvalidPartition(String),
@@ -46,6 +54,11 @@ impl fmt::Display for CoreError {
                 f,
                 "not eligible for {l}-diversity: a sensitive value occurs {max_count} times \
                  but at most n/l = {n}/{l} occurrences are allowed"
+            ),
+            CoreError::DomainTooSmall { domain, l } => write!(
+                f,
+                "sensitive domain holds only {domain} distinct values; \
+                 {l}-diverse groups need at least {l}"
             ),
             CoreError::InvalidPartition(msg) => write!(f, "invalid partition: {msg}"),
             CoreError::ResidueUnassignable { sensitive_code } => write!(
@@ -97,6 +110,15 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("60") && s.contains("100") && s.contains('2'));
+    }
+
+    #[test]
+    fn domain_too_small_names_both_numbers() {
+        let e = CoreError::DomainTooSmall { domain: 2, l: 3 };
+        let s = e.to_string();
+        assert!(s.contains("2 distinct") && s.contains('3'), "{s}");
+        use std::error::Error as _;
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -54,9 +54,8 @@ impl IncrementalPublisher {
         }
         if (sensitive_domain as usize) < l {
             // Fewer than l possible values: no group can ever form.
-            return Err(CoreError::NotEligible {
-                max_count: 1,
-                n: 0,
+            return Err(CoreError::DomainTooSmall {
+                domain: sensitive_domain,
                 l,
             });
         }
@@ -247,8 +246,16 @@ mod tests {
 
     #[test]
     fn validation_of_inputs() {
-        assert!(IncrementalPublisher::new(schema(), 5, 1).is_err());
-        assert!(IncrementalPublisher::new(schema(), 2, 3).is_err());
+        assert!(matches!(
+            IncrementalPublisher::new(schema(), 5, 1),
+            Err(CoreError::InvalidL(1))
+        ));
+        // A 2-value domain can never host a 3-diverse group; the error
+        // names the actual domain size instead of a fabricated count.
+        assert!(matches!(
+            IncrementalPublisher::new(schema(), 2, 3),
+            Err(CoreError::DomainTooSmall { domain: 2, l: 3 })
+        ));
         let mut p = IncrementalPublisher::new(schema(), 5, 2).unwrap();
         assert!(p.insert(&[1, 2], Value(0)).is_err()); // arity
         assert!(p.insert(&[5000], Value(0)).is_err()); // QI domain

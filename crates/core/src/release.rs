@@ -59,6 +59,24 @@ pub fn parse_release(
     st_csv: &str,
     l: usize,
 ) -> Result<AnatomizedTables, CoreError> {
+    let (qit, group_ids, st) = parse_release_parts(qi_schema, qit_csv, st_csv)?;
+    AnatomizedTables::from_parts(qit, group_ids, st, l)
+}
+
+/// Parse a release's files *without* semantic validation.
+///
+/// Only the CSV syntax and schema agreement are checked; the returned raw
+/// parts may violate every invariant of [`AnatomizedTables::from_parts`].
+/// This is the entry point for auditors (`anatomy-audit`,
+/// `anatomy verify`) that want to inspect a possibly-corrupt release and
+/// report *which* invariant broke, rather than having the strict
+/// constructor reject it wholesale.
+#[allow(clippy::type_complexity)]
+pub fn parse_release_parts(
+    qi_schema: Schema,
+    qit_csv: &str,
+    st_csv: &str,
+) -> Result<(anatomy_tables::Table, Vec<GroupId>, Vec<StRecord>), CoreError> {
     let d = qi_schema.width();
 
     // ---- QIT ----
@@ -151,7 +169,7 @@ pub fn parse_release(
         });
     }
 
-    AnatomizedTables::from_parts(qit, group_ids, st, l)
+    Ok((qit, group_ids, st))
 }
 
 #[cfg(test)]
@@ -227,6 +245,21 @@ mod tests {
         // Point one tuple at a non-existent group.
         qit_csv = qit_csv.replacen(",1\n", ",999\n", 1);
         assert!(parse_release(schema, &qit_csv, &st_csv, 3).is_err());
+    }
+
+    #[test]
+    fn raw_parse_accepts_what_the_strict_parse_rejects() {
+        let (schema, tables) = publication();
+        let qit_csv = qit_to_csv(&tables);
+        let st_csv = st_to_csv(&tables).replacen(",1\n", ",2\n", 1);
+        // Strict parse refuses the tampered release outright...
+        assert!(parse_release(schema.clone(), &qit_csv, &st_csv, 3).is_err());
+        // ...while the raw parts come back for an auditor to diagnose.
+        let (qit, group_ids, st) = parse_release_parts(schema, &qit_csv, &st_csv).unwrap();
+        assert_eq!(qit.len(), tables.len());
+        assert_eq!(group_ids, tables.group_ids());
+        assert_eq!(st.len(), tables.st_records().len());
+        assert_eq!(st[0].count, 2);
     }
 
     #[test]

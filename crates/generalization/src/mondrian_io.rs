@@ -288,7 +288,10 @@ pub fn mondrian_external(
                             child_lo[c][a] = child_lo[c][a].min(rec[a]);
                             child_hi[c][a] = child_hi[c][a].max(rec[a]);
                         }
-                        writers[c].push(&rec);
+                        writers[c].push(&rec).map_err(GenError::Storage)?;
+                    }
+                    for w in writers {
+                        w.finish().map_err(GenError::Storage)?;
                     }
                 }
                 for (c, file) in child_files.into_iter().enumerate() {
@@ -334,10 +337,10 @@ pub fn mondrian_external(
                     out_rec[2 * i + 1] = ranges[i].hi;
                 }
                 out_rec[2 * d] = rec[d];
-                out.push(&out_rec);
+                out.push(&out_rec).map_err(GenError::Storage)?;
             }
         }
-        out.finish();
+        out.finish().map_err(GenError::Storage)?;
     }
 
     Ok(ExternalMondrianOutput {

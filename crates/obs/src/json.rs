@@ -253,6 +253,18 @@ impl<'a> Parser<'a> {
             .map_err(|_| format!("bad number '{text}' at byte {start}"))
     }
 
+    /// Four hex digits of a `\u` escape, advancing past them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?, 16)
+            .map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut s = String::new();
@@ -288,23 +300,36 @@ impl<'a> Parser<'a> {
                         b'r' => s.push('\r'),
                         b't' => s.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            self.pos += 4;
-                            // Surrogate pairs are not needed by any
-                            // manifest the workspace writes; reject
-                            // rather than mis-decode.
-                            s.push(
-                                char::from_u32(code)
-                                    .ok_or(format!("unpaired surrogate \\u{code:04x}"))?,
-                            );
+                            let code = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: JSON encodes non-BMP
+                                // characters as a \uXXXX\uXXXX pair
+                                // (RFC 8259 §7), so the low half must
+                                // follow immediately.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(format!("unpaired high surrogate \\u{code:04x}"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(format!("unpaired high surrogate \\u{code:04x}"));
+                                }
+                                self.pos += 1;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!(
+                                        "invalid low surrogate \\u{low:04x} after \\u{code:04x}"
+                                    ));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined).ok_or(format!(
+                                    "bad surrogate pair \\u{code:04x}\\u{low:04x}"
+                                ))?
+                            } else if (0xDC00..0xE000).contains(&code) {
+                                return Err(format!("unpaired low surrogate \\u{code:04x}"));
+                            } else {
+                                char::from_u32(code).ok_or(format!("bad \\u escape {code:04x}"))?
+                            };
+                            s.push(c);
                         }
                         other => {
                             return Err(format!("bad escape '\\{}'", other as char));
@@ -420,6 +445,37 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_pairs_decode_to_non_bmp_chars() {
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Pair embedded between plain text and a BMP escape.
+        let v = Json::parse(r#""g: \ud834\udd1e\t""#).unwrap();
+        assert_eq!(v.as_str(), Some("g: 𝄞\t"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected_with_named_errors() {
+        for (doc, needle) in [
+            (r#""\ud83d""#, "unpaired high surrogate"),
+            (r#""\ud83d x""#, "unpaired high surrogate"),
+            (r#""\ud83d\n""#, "unpaired high surrogate"),
+            (r#""\ude00""#, "unpaired low surrogate"),
+            (r#""\ud83d\ud83d""#, "invalid low surrogate"),
+        ] {
+            let err = Json::parse(doc).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn escaped_and_raw_forms_parse_to_the_same_value() {
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::parse("\"😀\"").unwrap()
+        );
+    }
+
+    #[test]
     fn integers_render_without_fraction() {
         assert_eq!(Json::Num(3.0).render(false), "3");
         assert_eq!(Json::Num(3.5).render(false), "3.5");
@@ -430,5 +486,49 @@ mod tests {
     fn duplicate_keys_keep_the_last() {
         let v = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap();
         assert_eq!(v.get("a").unwrap().as_u64(), Some(2));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Any string — control bytes, quotes, backslashes, and
+            /// non-BMP characters included — survives
+            /// `write_escaped` → `Json::parse` unchanged.
+            #[test]
+            fn strings_round_trip_through_writer_and_parser(
+                codes in proptest::collection::vec(0u32..0x11_0000, 0..24),
+            ) {
+                // `from_u32` skips the surrogate gap, so this covers
+                // every Unicode scalar value.
+                let s: String = codes.iter().copied().filter_map(char::from_u32).collect();
+                let mut doc = String::new();
+                write_escaped(&mut doc, &s);
+                let parsed = Json::parse(&doc).unwrap();
+                prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+            }
+
+            /// The explicit `\uXXXX\uXXXX` surrogate-pair spelling of any
+            /// supplementary-plane character parses to that character.
+            #[test]
+            fn surrogate_pair_escapes_decode_every_supplementary_char(
+                offset in 0u32..0x10_0000,
+            ) {
+                let scalar = 0x1_0000 + offset;
+                let Some(c) = char::from_u32(scalar) else {
+                    // Unreachable: supplementary planes hold no surrogates.
+                    return Err(TestCaseError::fail("non-scalar supplementary code"));
+                };
+                let hi = 0xD800 + ((scalar - 0x1_0000) >> 10);
+                let lo = 0xDC00 + ((scalar - 0x1_0000) & 0x3FF);
+                let doc = format!("\"\\u{hi:04x}\\u{lo:04x}\"");
+                let expected = c.to_string();
+                let parsed = Json::parse(&doc).unwrap();
+                prop_assert_eq!(parsed.as_str(), Some(expected.as_str()));
+            }
+        }
     }
 }

@@ -57,7 +57,8 @@ mod span;
 pub use hist::{HistSnapshot, Histogram};
 pub use json::Json;
 pub use manifest::{
-    validate_manifest_json, IoSummary, ManifestSummary, ParamValue, PhaseNode, RunManifest,
+    validate_manifest_json, AuditSummary, IoSummary, ManifestSummary, ParamValue, PhaseNode,
+    RunManifest,
 };
 pub use registry::{Counter, Gauge, GaugeStats, Registry};
 pub use snapshot::Snapshot;

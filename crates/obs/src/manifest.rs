@@ -18,9 +18,14 @@
 //!                                      "mean": 11.4, "p50": 7, "p90": 15, "p99": 30 } },
 //!   "phases": [ { "name": "anatomize", "calls": 1, "total_ms": 1.5,
 //!                 "min_ms": 1.5, "max_ms": 1.5, "children": [ ... ] } ],
-//!   "io": { "page_reads": 120, "page_writes": 60, "total": 180 }
+//!   "io": { "page_reads": 120, "page_writes": 60, "total": 180 },
+//!   "audit": { "passed": true, "checks": { "l_diversity": true, ... } }
 //! }
 //! ```
+//!
+//! `io` and `audit` are optional: the first appears on external-memory
+//! runs, the second when the release was audited (`anatomy verify`, or
+//! `Publish` with auditing enabled).
 //!
 //! The phase tree nests by span path: `"anatomize/bucketize"` becomes a
 //! child of `"anatomize"`. [`validate_manifest_json`] checks all of the
@@ -101,6 +106,17 @@ impl IoSummary {
     }
 }
 
+/// Outcome of a release-integrity audit carried by a manifest (mirrors
+/// `anatomy_audit::AuditReport` without depending on it — obs sits at
+/// the bottom of the dependency order).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AuditSummary {
+    /// Whether every check passed.
+    pub passed: bool,
+    /// Per-check outcomes, in the order the auditor ran them.
+    pub checks: Vec<(String, bool)>,
+}
+
 /// One run's auditable record; see the module docs for the JSON schema.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -115,6 +131,8 @@ pub struct RunManifest {
     pub snapshot: Snapshot,
     /// Logical I/O totals for external-memory runs.
     pub io: Option<IoSummary>,
+    /// Release-integrity audit outcome, when the run was audited.
+    pub audit: Option<AuditSummary>,
 }
 
 impl RunManifest {
@@ -137,6 +155,7 @@ impl RunManifest {
             params: Vec::new(),
             snapshot,
             io: None,
+            audit: None,
         }
     }
 
@@ -157,6 +176,12 @@ impl RunManifest {
             page_reads,
             page_writes,
         });
+        self
+    }
+
+    /// Attach a release-integrity audit outcome (builder style).
+    pub fn with_audit(mut self, audit: AuditSummary) -> Self {
+        self.audit = Some(audit);
         self
     }
 
@@ -254,6 +279,20 @@ impl RunManifest {
                 ]),
             ));
         }
+        if let Some(audit) = &self.audit {
+            let checks = audit
+                .checks
+                .iter()
+                .map(|(name, ok)| (name.clone(), Json::Bool(*ok)))
+                .collect();
+            members.push((
+                "audit".to_string(),
+                Json::Obj(vec![
+                    ("passed".into(), Json::Bool(audit.passed)),
+                    ("checks".into(), Json::Obj(checks)),
+                ]),
+            ));
+        }
         Json::Obj(members)
     }
 }
@@ -340,6 +379,8 @@ pub struct ManifestSummary {
     pub phases: usize,
     /// `io.total` when the manifest carries I/O stats.
     pub io_total: Option<u64>,
+    /// `audit.passed` when the manifest carries an audit outcome.
+    pub audit_passed: Option<bool>,
 }
 
 /// Structurally validate a manifest document: required keys present and
@@ -441,11 +482,41 @@ pub fn validate_manifest_json(text: &str) -> Result<ManifestSummary, String> {
             Some(total)
         }
     };
+    let audit_passed = match doc.get("audit") {
+        None => None,
+        Some(audit) => {
+            let passed = audit
+                .get("passed")
+                .and_then(Json::as_bool)
+                .ok_or("audit missing boolean passed")?;
+            let checks = audit
+                .get("checks")
+                .and_then(Json::as_obj)
+                .ok_or("audit missing object checks")?;
+            for (k, v) in checks {
+                if k.is_empty() {
+                    return Err("audit check with empty name".into());
+                }
+                if v.as_bool().is_none() {
+                    return Err(format!("audit check {k:?} is not a boolean"));
+                }
+            }
+            // `passed` must be the conjunction of the per-check bits.
+            let all = checks.iter().all(|(_, v)| v.as_bool() == Some(true));
+            if passed != all {
+                return Err(format!(
+                    "audit.passed {passed} contradicts its per-check outcomes"
+                ));
+            }
+            Some(passed)
+        }
+    };
     Ok(ManifestSummary {
         name: name.to_string(),
         counters: counters.len(),
         phases: phase_count,
         io_total,
+        audit_passed,
     })
 }
 
@@ -536,6 +607,33 @@ mod tests {
         assert_eq!(tree[0].children[0].children[0].name, "c");
         assert_eq!(tree[0].children[0].children[0].stats, leaf);
         assert_eq!(tree[1].name, "d");
+    }
+
+    #[test]
+    fn audit_block_round_trips_and_validates() {
+        let r = busy_registry();
+        let audit = AuditSummary {
+            passed: false,
+            checks: vec![
+                ("qit_st_structure".to_string(), true),
+                ("l_diversity".to_string(), false),
+            ],
+        };
+        let m = RunManifest::capture("publish", &r).with_audit(audit);
+        let text = m.to_json();
+        let summary = validate_manifest_json(&text).expect("audited manifest should validate");
+        assert_eq!(summary.audit_passed, Some(false));
+
+        // A manifest without an audit reports None.
+        let plain = RunManifest::capture("publish", &r).to_json();
+        assert_eq!(validate_manifest_json(&plain).unwrap().audit_passed, None);
+
+        // `passed` lying about its per-check outcomes is rejected.
+        let lying = text.replace("\"passed\": false", "\"passed\": true");
+        assert!(validate_manifest_json(&lying).is_err());
+        // Non-boolean check outcomes are rejected.
+        let bad = text.replace("\"l_diversity\": false", "\"l_diversity\": 0");
+        assert!(validate_manifest_json(&bad).is_err());
     }
 
     #[test]

@@ -14,6 +14,12 @@ pub enum QueryError {
     },
     /// A workload specification was inconsistent.
     BadSpec(String),
+    /// A selectivity outside `(0, 1]` (including NaN) was passed to
+    /// Equation 14.
+    InvalidSelectivity {
+        /// The offending selectivity.
+        s: f64,
+    },
     /// The generator could not find enough queries with non-zero true
     /// answers within its retry budget.
     WorkloadExhausted {
@@ -34,6 +40,9 @@ impl fmt::Display for QueryError {
                 )
             }
             QueryError::BadSpec(msg) => write!(f, "bad workload spec: {msg}"),
+            QueryError::InvalidSelectivity { s } => {
+                write!(f, "selectivity {s} outside (0, 1]")
+            }
             QueryError::WorkloadExhausted {
                 produced,
                 requested,

@@ -22,17 +22,17 @@ use rand::SeedableRng;
 /// Equation 14: the number of values per predicate,
 /// `b = ⌈|A| · s^{1/(qd+1)}⌉`, clamped into `[1, |A|]`.
 ///
-/// # Panics
-///
-/// Panics when `s` is outside `(0, 1]` (including NaN). The function is
-/// public API, so the check must hold in release builds too — a
-/// `debug_assert!` would let a bad selectivity silently produce a
-/// nonsensical width (e.g. `s = 0` collapsing every predicate to one
-/// value) in exactly the optimized builds the experiments run under.
-pub fn predicate_width(domain_size: u32, s: f64, qd: usize) -> usize {
-    assert!(s > 0.0 && s <= 1.0, "selectivity {s} outside (0, 1]");
+/// A selectivity outside `(0, 1]` (including NaN) is a typed
+/// [`QueryError::InvalidSelectivity`] — the check holds in release builds
+/// too, so a malformed workload spec surfaces as an error the caller can
+/// render instead of aborting the process (and a bad `s` never silently
+/// collapses every predicate to one value).
+pub fn predicate_width(domain_size: u32, s: f64, qd: usize) -> Result<usize, QueryError> {
+    if !(s > 0.0 && s <= 1.0) {
+        return Err(QueryError::InvalidSelectivity { s });
+    }
     let b = (domain_size as f64 * s.powf(1.0 / (qd as f64 + 1.0))).ceil() as usize;
-    b.clamp(1, domain_size as usize)
+    Ok(b.clamp(1, domain_size as usize))
 }
 
 /// Parameters of one workload (one cell of the paper's Table 7 grid).
@@ -59,52 +59,51 @@ impl WorkloadSpec {
             )));
         }
         if !(self.selectivity > 0.0 && self.selectivity <= 1.0) {
-            return Err(QueryError::BadSpec(format!(
-                "selectivity {} outside (0, 1]",
-                self.selectivity
-            )));
+            return Err(QueryError::InvalidSelectivity {
+                s: self.selectivity,
+            });
         }
         Ok(())
     }
 
-    /// Draw one query.
-    fn draw(&self, md: &Microdata, rng: &mut StdRng) -> CountQuery {
+    /// Draw one query. `check` has validated the spec, so the only error
+    /// this can return in practice is an [`QueryError::InvalidSelectivity`]
+    /// from a caller that skipped validation.
+    fn draw(&self, md: &Microdata, rng: &mut StdRng) -> Result<CountQuery, QueryError> {
         let d = md.qi_count();
         let mut attrs: Vec<usize> = index::sample(rng, d, self.qd).into_iter().collect();
         attrs.sort_unstable();
 
-        let qi_preds = attrs
-            .into_iter()
-            .map(|i| {
-                let dom = md.qi_domain_size(i);
-                let b = predicate_width(dom, self.selectivity, self.qd);
-                let values: Vec<u32> = index::sample(rng, dom as usize, b)
-                    .into_iter()
-                    .map(|v| v as u32)
-                    .collect();
-                (i, InPredicate::new(values, dom).expect("sampled in domain"))
-            })
-            .collect();
+        let mut qi_preds = Vec::with_capacity(attrs.len());
+        for i in attrs {
+            let dom = md.qi_domain_size(i);
+            let b = predicate_width(dom, self.selectivity, self.qd)?;
+            let values: Vec<u32> = index::sample(rng, dom as usize, b)
+                .into_iter()
+                .map(|v| v as u32)
+                .collect();
+            qi_preds.push((i, InPredicate::new(values, dom).expect("sampled in domain")));
+        }
 
         let s_dom = md.sensitive_domain_size();
-        let b = predicate_width(s_dom, self.selectivity, self.qd);
+        let b = predicate_width(s_dom, self.selectivity, self.qd)?;
         let values: Vec<u32> = index::sample(rng, s_dom as usize, b)
             .into_iter()
             .map(|v| v as u32)
             .collect();
         let sens_pred = InPredicate::new(values, s_dom).expect("sampled in domain");
 
-        CountQuery {
+        Ok(CountQuery {
             qi_preds,
             sens_pred,
-        }
+        })
     }
 
     /// Generate `count` queries (true answers may be zero).
     pub fn generate(&self, md: &Microdata) -> Result<Vec<CountQuery>, QueryError> {
         self.check(md)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        Ok((0..self.count).map(|_| self.draw(md, &mut rng)).collect())
+        (0..self.count).map(|_| self.draw(md, &mut rng)).collect()
     }
 
     /// Generate `count` queries whose true answer on `md` is non-zero,
@@ -147,7 +146,9 @@ impl WorkloadSpec {
             // blowing past the serial draw budget.
             let need = self.count - out.len();
             let batch_len = (need + need / 2).max(64).min(budget - drawn);
-            let batch: Vec<CountQuery> = (0..batch_len).map(|_| self.draw(md, &mut rng)).collect();
+            let batch: Vec<CountQuery> = (0..batch_len)
+                .map(|_| self.draw(md, &mut rng))
+                .collect::<Result<_, _>>()?;
             drawn += batch_len;
             let acts = eval(&batch);
             assert_eq!(
@@ -285,11 +286,11 @@ mod tests {
     #[test]
     fn predicate_width_follows_eq_14() {
         // |A| = 78, s = 5%, qd = 2: b = ceil(78 * 0.05^(1/3)) = ceil(28.7).
-        assert_eq!(predicate_width(78, 0.05, 2), 29);
+        assert_eq!(predicate_width(78, 0.05, 2).unwrap(), 29);
         // Full selectivity accepts the whole domain.
-        assert_eq!(predicate_width(10, 1.0, 1), 10);
+        assert_eq!(predicate_width(10, 1.0, 1).unwrap(), 10);
         // Tiny domains never drop below one value.
-        assert_eq!(predicate_width(2, 0.0001, 1), 1);
+        assert_eq!(predicate_width(2, 0.0001, 1).unwrap(), 1);
     }
 
     #[test]
@@ -330,15 +331,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside (0, 1]")]
-    fn predicate_width_rejects_zero_selectivity_in_release_too() {
-        predicate_width(78, 0.0, 2);
+    fn predicate_width_rejects_bad_selectivity_with_typed_errors() {
+        // These used to abort the process via a release-mode assert; a
+        // malformed spec must instead surface as an error the CLI/bench
+        // drivers can render.
+        assert!(matches!(
+            predicate_width(78, 0.0, 2),
+            Err(QueryError::InvalidSelectivity { s }) if s == 0.0
+        ));
+        assert!(matches!(
+            predicate_width(78, 1.5, 2),
+            Err(QueryError::InvalidSelectivity { .. })
+        ));
+        assert!(matches!(
+            predicate_width(78, f64::NAN, 2),
+            Err(QueryError::InvalidSelectivity { s }) if s.is_nan()
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "outside (0, 1]")]
-    fn predicate_width_rejects_nan_selectivity() {
-        predicate_width(78, f64::NAN, 2);
+    fn bad_selectivity_propagates_through_nonzero_generation() {
+        let md = md(100);
+        let spec = WorkloadSpec {
+            qd: 1,
+            selectivity: f64::NAN,
+            count: 5,
+            seed: 0,
+        };
+        assert!(matches!(
+            spec.generate_nonzero_with(&md, |batch| vec![1; batch.len()]),
+            Err(QueryError::InvalidSelectivity { .. })
+        ));
     }
 
     /// The batched generator is THE nonzero-workload implementation: for a
@@ -359,7 +382,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut reference = Vec::new();
             while reference.len() < spec.count {
-                let q = spec.draw(&md, &mut rng);
+                let q = spec.draw(&md, &mut rng).unwrap();
                 let act = evaluate_exact(&md, &q);
                 if act > 0 {
                     reference.push((q, act));

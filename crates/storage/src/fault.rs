@@ -1,0 +1,343 @@
+//! Seeded fault injection for the simulated file layer.
+//!
+//! A [`FaultConfig`] is a schedule of physical faults keyed by operation
+//! index: "truncate the 3rd page write", "flip a bit in the 0th page
+//! read", "return ENOSPC on the 5th write". Installing it with
+//! [`FaultScope::install`] arms the schedule for the current thread;
+//! every page flushed by [`SeqWriter`](crate::SeqWriter) and every page
+//! loaded by [`SeqReader`](crate::SeqReader) on that thread then passes
+//! through the schedule until the scope is dropped.
+//!
+//! The state is thread-local on purpose: `anatomize_external` creates
+//! its scratch [`SimFile`](crate::SimFile)s internally, so callers
+//! cannot wrap them directly — but arming the thread lets a test inject
+//! faults into the middle of the pipeline while parallel tests on other
+//! threads stay clean.
+//!
+//! ```
+//! use anatomy_storage::fault::{FaultConfig, FaultScope};
+//! use anatomy_storage::{
+//!     BufferPool, IoCounter, PageConfig, SeqWriter, SimFile, StorageError, U32RowCodec,
+//! };
+//!
+//! let _scope = FaultScope::install(FaultConfig::new().disk_full(0));
+//! let mut file = SimFile::new();
+//! let pool = BufferPool::unbounded();
+//! let mut w = SeqWriter::open(
+//!     &mut file,
+//!     U32RowCodec::new(1),
+//!     PageConfig::with_page_size(8),
+//!     &pool,
+//!     IoCounter::new(),
+//! )
+//! .unwrap();
+//! w.push(&vec![1]).unwrap();
+//! w.push(&vec![2]).unwrap();
+//! // The first page flush hits the scheduled ENOSPC.
+//! assert!(matches!(w.push(&vec![3]), Err(StorageError::DiskFull { .. })));
+//! ```
+
+use crate::error::StorageError;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Keep only the first `keep` bytes of a written page (a torn/short
+    /// write that the device acknowledged anyway).
+    ShortWrite {
+        /// Bytes that survive.
+        keep: usize,
+    },
+    /// Flip one bit of a written page after its header was computed.
+    BitFlipWrite {
+        /// Bit position; reduced modulo the page's bit length.
+        bit: u64,
+    },
+    /// Reject a page write outright (ENOSPC).
+    DiskFull,
+    /// Deliver only the first `keep` bytes of a read page.
+    ShortRead {
+        /// Bytes that survive.
+        keep: usize,
+    },
+    /// Flip one bit of a page as it is read.
+    BitFlipRead {
+        /// Bit position; reduced modulo the page's bit length.
+        bit: u64,
+    },
+}
+
+impl FaultKind {
+    /// Whether this fault fires on the write path.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::ShortWrite { .. } | FaultKind::BitFlipWrite { .. } | FaultKind::DiskFull
+        )
+    }
+}
+
+/// A schedule of faults, keyed by 0-based page-operation index.
+///
+/// Write faults count page *writes* (flushes) since the scope was
+/// installed, across all files on the thread; read faults count page
+/// loads the same way. Operations with no scheduled fault proceed
+/// untouched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    on_write: Vec<(u64, FaultKind)>,
+    on_read: Vec<(u64, FaultKind)>,
+}
+
+impl FaultConfig {
+    /// An empty schedule (no faults).
+    pub fn new() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Truncate the `op`-th page write to its first `keep` bytes.
+    pub fn short_write(mut self, op: u64, keep: usize) -> Self {
+        self.on_write.push((op, FaultKind::ShortWrite { keep }));
+        self
+    }
+
+    /// Flip bit `bit` (mod page length) of the `op`-th page write.
+    pub fn bit_flip_write(mut self, op: u64, bit: u64) -> Self {
+        self.on_write.push((op, FaultKind::BitFlipWrite { bit }));
+        self
+    }
+
+    /// Fail the `op`-th page write with [`StorageError::DiskFull`].
+    pub fn disk_full(mut self, op: u64) -> Self {
+        self.on_write.push((op, FaultKind::DiskFull));
+        self
+    }
+
+    /// Truncate the `op`-th page read to its first `keep` bytes.
+    pub fn short_read(mut self, op: u64, keep: usize) -> Self {
+        self.on_read.push((op, FaultKind::ShortRead { keep }));
+        self
+    }
+
+    /// Flip bit `bit` (mod page length) of the `op`-th page read.
+    pub fn bit_flip_read(mut self, op: u64, bit: u64) -> Self {
+        self.on_read.push((op, FaultKind::BitFlipRead { bit }));
+        self
+    }
+
+    /// Schedule `kind` at operation `op` on its natural path.
+    pub fn with_fault(mut self, op: u64, kind: FaultKind) -> Self {
+        if kind.is_write() {
+            self.on_write.push((op, kind));
+        } else {
+            self.on_read.push((op, kind));
+        }
+        self
+    }
+
+    /// A schedule of one pseudo-random fault derived from `seed` via
+    /// splitmix64 (no dependency on any RNG crate). Deterministic:
+    /// equal seeds give equal schedules.
+    pub fn seeded(seed: u64) -> Self {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let op = next() % 16;
+        let kind = match next() % 5 {
+            0 => FaultKind::ShortWrite {
+                keep: (next() % 8) as usize,
+            },
+            1 => FaultKind::BitFlipWrite { bit: next() % 512 },
+            2 => FaultKind::DiskFull,
+            3 => FaultKind::ShortRead {
+                keep: (next() % 8) as usize,
+            },
+            _ => FaultKind::BitFlipRead { bit: next() % 512 },
+        };
+        FaultConfig::new().with_fault(op, kind)
+    }
+
+    /// All scheduled faults, for display/debugging.
+    pub fn faults(&self) -> impl Iterator<Item = (u64, FaultKind)> + '_ {
+        self.on_write.iter().chain(self.on_read.iter()).copied()
+    }
+}
+
+struct FaultState {
+    cfg: FaultConfig,
+    writes: u64,
+    reads: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<FaultState>> = const { RefCell::new(None) };
+}
+
+/// RAII guard arming a [`FaultConfig`] for the current thread.
+///
+/// Dropping the scope restores whatever schedule (usually none) was
+/// active before, so scopes nest. The guard is `!Send`: it must be
+/// dropped on the thread it armed.
+pub struct FaultScope {
+    prev: Option<FaultState>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl FaultScope {
+    /// Arm `cfg` on this thread until the returned guard is dropped.
+    pub fn install(cfg: FaultConfig) -> FaultScope {
+        let prev = ACTIVE.with(|a| {
+            a.borrow_mut().replace(FaultState {
+                cfg,
+                writes: 0,
+                reads: 0,
+            })
+        });
+        FaultScope {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| {
+            *a.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+fn flip(payload: &mut [u8], bit: u64) {
+    if payload.is_empty() {
+        return;
+    }
+    let pos = bit % (payload.len() as u64 * 8);
+    payload[(pos / 8) as usize] ^= 1 << (pos % 8);
+}
+
+/// Write-path hook: called by `SeqWriter` with the payload it is about
+/// to store, after the page header has been computed. May truncate or
+/// corrupt `payload` in place, or veto the write entirely.
+pub(crate) fn on_write(payload: &mut Vec<u8>, page: usize) -> Result<(), StorageError> {
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        let Some(state) = a.as_mut() else {
+            return Ok(());
+        };
+        let op = state.writes;
+        state.writes += 1;
+        for &(at, kind) in &state.cfg.on_write {
+            if at != op {
+                continue;
+            }
+            match kind {
+                FaultKind::ShortWrite { keep } => payload.truncate(keep),
+                FaultKind::BitFlipWrite { bit } => flip(payload, bit),
+                FaultKind::DiskFull => return Err(StorageError::DiskFull { page }),
+                _ => {}
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Read-path hook: called by `SeqReader` with its private copy of a
+/// page's payload, before header verification. May truncate or corrupt
+/// the copy in place (never the stored page).
+pub(crate) fn on_read(payload: &mut Vec<u8>) {
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        let Some(state) = a.as_mut() else {
+            return;
+        };
+        let op = state.reads;
+        state.reads += 1;
+        for &(at, kind) in &state.cfg.on_read {
+            if at != op {
+                continue;
+            }
+            match kind {
+                FaultKind::ShortRead { keep } => payload.truncate(keep),
+                FaultKind::BitFlipRead { bit } => flip(payload, bit),
+                _ => {}
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert!(on_write(&mut vec![0u8; 4], 0).is_ok());
+        let outer = FaultScope::install(FaultConfig::new().disk_full(0));
+        {
+            let _inner = FaultScope::install(FaultConfig::new());
+            // Inner scope has no faults; the outer schedule is shadowed.
+            assert!(on_write(&mut vec![0u8; 4], 0).is_ok());
+        }
+        // Outer schedule restored, its counter untouched by the inner ops.
+        assert!(matches!(
+            on_write(&mut vec![0u8; 4], 3),
+            Err(StorageError::DiskFull { page: 3 })
+        ));
+        drop(outer);
+        assert!(on_write(&mut vec![0u8; 4], 0).is_ok());
+    }
+
+    #[test]
+    fn faults_fire_at_their_op_index_only() {
+        let _scope = FaultScope::install(
+            FaultConfig::new()
+                .short_write(1, 2)
+                .bit_flip_read(0, 3)
+                .short_read(2, 0),
+        );
+        let mut w0 = vec![0xAAu8; 4];
+        on_write(&mut w0, 0).unwrap();
+        assert_eq!(w0.len(), 4); // untouched
+        let mut w1 = vec![0xAAu8; 4];
+        on_write(&mut w1, 1).unwrap();
+        assert_eq!(w1, vec![0xAA, 0xAA]); // truncated
+
+        let mut r0 = vec![0u8; 4];
+        on_read(&mut r0);
+        assert_eq!(r0[0], 1 << 3); // bit 3 flipped
+        let mut r1 = vec![0u8; 4];
+        on_read(&mut r1);
+        assert_eq!(r1, vec![0u8; 4]); // untouched
+        let mut r2 = vec![0u8; 4];
+        on_read(&mut r2);
+        assert!(r2.is_empty()); // short read to zero bytes
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic() {
+        assert_eq!(FaultConfig::seeded(42), FaultConfig::seeded(42));
+        // A handful of seeds should not all collapse to the same fault.
+        let distinct: std::collections::HashSet<String> = (0..16u64)
+            .map(|s| format!("{:?}", FaultConfig::seeded(s)))
+            .collect();
+        assert!(distinct.len() > 3);
+    }
+
+    #[test]
+    fn bit_flip_wraps_and_ignores_empty() {
+        let mut p = vec![0u8; 2];
+        flip(&mut p, 17); // 17 mod 16 = 1
+        assert_eq!(p, vec![0b10, 0]);
+        let mut empty: Vec<u8> = vec![];
+        flip(&mut empty, 5);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,19 +1,32 @@
 //! Sequential record files over simulated pages.
 //!
-//! A [`SimFile`] is a sequence of byte pages, each at most `page_size`
-//! bytes, holding fixed-size records back to back. [`SeqWriter`] charges one
-//! page write each time an output buffer fills (plus one for the final
-//! partial page); [`SeqReader`] charges one page read each time it crosses
-//! into a new page. These are exactly the sequential-scan semantics assumed
-//! by Theorem 3's `O(n/b)` analysis.
+//! A [`SimFile`] is a sequence of byte pages, each holding at most
+//! `page_size` payload bytes of fixed-size records back to back, plus an
+//! out-of-band [`PageHeader`] (magic, format version, record count,
+//! CRC-32). [`SeqWriter`] charges one page write each time an output
+//! buffer fills (plus one for the final partial page); [`SeqReader`]
+//! charges one page read each time it crosses into a new page, and
+//! verifies each page's header before yielding records from it. These
+//! are exactly the sequential-scan semantics assumed by Theorem 3's
+//! `O(n/b)` analysis — the header lives outside the payload, so the
+//! per-page record capacity `b` (and every I/O count built on it) is
+//! identical to the unchecked layout.
 
 use crate::buffer::{BufferPool, PageLease};
 use crate::counter::IoCounter;
 use crate::error::StorageError;
-use crate::page::PageConfig;
+use crate::fault;
+use crate::page::{PageConfig, PageHeader};
 use crate::record::FixedCodec;
 
-/// An in-memory simulated file: a vector of byte pages.
+/// One stored page: integrity header plus payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Page {
+    header: PageHeader,
+    payload: Box<[u8]>,
+}
+
+/// An in-memory simulated file: a vector of checksummed byte pages.
 ///
 /// ```
 /// use anatomy_storage::{
@@ -28,9 +41,9 @@ use crate::record::FixedCodec;
 /// let mut file = SimFile::new();
 /// let mut w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone())?;
 /// for i in 0..1000u32 {
-///     w.push(&vec![i, i * 2, i * 3]);
+///     w.push(&vec![i, i * 2, i * 3])?;
 /// }
-/// w.finish();
+/// w.finish()?;
 /// // 341 twelve-byte records per 4096-byte page -> 3 pages written.
 /// assert_eq!(counter.stats().page_writes, 3);
 ///
@@ -41,7 +54,7 @@ use crate::record::FixedCodec;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimFile {
-    pages: Vec<Box<[u8]>>,
+    pages: Vec<Page>,
     record_count: usize,
 }
 
@@ -66,29 +79,37 @@ impl SimFile {
         self.record_count == 0
     }
 
-    /// Total bytes stored (sum of used page bytes).
+    /// Total payload bytes stored (sum of used page bytes, headers
+    /// excluded).
     pub fn byte_len(&self) -> usize {
-        self.pages.iter().map(|p| p.len()).sum()
+        self.pages.iter().map(|p| p.payload.len()).sum()
     }
 }
 
 /// Sequential writer that packs fixed-size records into pages.
 ///
 /// Holds one buffer page leased from the pool for the duration of the
-/// write. Call [`SeqWriter::finish`] to flush the final partial page; it is
-/// also flushed on drop, but `finish` lets the caller observe the file.
+/// write. Each flushed page gets a [`PageHeader`] computed over the
+/// payload the writer intends to store, so later readers can prove the
+/// bytes survived intact. [`SeqWriter::push`] and [`SeqWriter::finish`]
+/// are fallible — the simulated device can reject a write
+/// ([`StorageError::DiskFull`] under fault injection) — and dropping an
+/// unfinished writer flushes best-effort, ignoring errors; pipelines
+/// that care call `finish()` explicitly.
 pub struct SeqWriter<'a, C: FixedCodec> {
     codec: C,
     cfg: PageConfig,
     counter: IoCounter,
     file: &'a mut SimFile,
     buf: Vec<u8>,
+    buf_records: u32,
     _lease: PageLease,
 }
 
 impl<'a, C: FixedCodec> SeqWriter<'a, C> {
     /// Open a writer appending to `file`, leasing one buffer page from
-    /// `pool`.
+    /// `pool`. Errors with [`StorageError::RecordTooLarge`] when no
+    /// record of this codec fits a page.
     pub fn open(
         file: &'a mut SimFile,
         codec: C,
@@ -96,12 +117,7 @@ impl<'a, C: FixedCodec> SeqWriter<'a, C> {
         pool: &BufferPool,
         counter: IoCounter,
     ) -> Result<Self, StorageError> {
-        if codec.record_len() > cfg.page_size {
-            return Err(StorageError::RecordLargerThanPage {
-                record_len: codec.record_len(),
-                page_size: cfg.page_size,
-            });
-        }
+        cfg.records_per_page(codec.record_len())?;
         let lease = pool.try_lease(1)?;
         Ok(SeqWriter {
             codec,
@@ -109,50 +125,78 @@ impl<'a, C: FixedCodec> SeqWriter<'a, C> {
             counter,
             file,
             buf: Vec::with_capacity(cfg.page_size),
+            buf_records: 0,
             _lease: lease,
         })
     }
 
-    /// Append one record.
-    pub fn push(&mut self, record: &C::Record) {
+    /// Append one record, flushing the buffered page first if the record
+    /// would not fit.
+    pub fn push(&mut self, record: &C::Record) -> Result<(), StorageError> {
         if self.buf.len() + self.codec.record_len() > self.cfg.page_size {
-            self.flush_page();
+            self.flush_page()?;
         }
         self.codec.encode(record, &mut self.buf);
+        self.buf_records += 1;
         self.file.record_count += 1;
+        Ok(())
     }
 
-    fn flush_page(&mut self) {
-        if !self.buf.is_empty() {
-            let page = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cfg.page_size));
-            self.file.pages.push(page.into_boxed_slice());
-            self.counter.add_writes(1);
+    fn flush_page(&mut self) -> Result<(), StorageError> {
+        if self.buf.is_empty() {
+            return Ok(());
         }
+        let mut payload = std::mem::replace(&mut self.buf, Vec::with_capacity(self.cfg.page_size));
+        let records = std::mem::take(&mut self.buf_records);
+        // The header describes the payload the writer *meant* to store;
+        // anything the (possibly faulty) device does to the bytes after
+        // this point is caught at read time.
+        let header = PageHeader::for_payload(&payload, records);
+        let page_idx = self.file.pages.len();
+        fault::on_write(&mut payload, page_idx)?;
+        self.file.pages.push(Page {
+            header,
+            payload: payload.into_boxed_slice(),
+        });
+        self.counter.add_writes(1);
+        Ok(())
     }
 
     /// Flush the final partial page and release the buffer.
-    pub fn finish(mut self) {
-        self.flush_page();
+    pub fn finish(mut self) -> Result<(), StorageError> {
+        self.flush_page()
+        // Drop runs next, but the buffer is now empty (flush_page takes
+        // it even on error), so its flush is a no-op either way.
     }
 }
 
 impl<C: FixedCodec> Drop for SeqWriter<'_, C> {
     fn drop(&mut self) {
-        self.flush_page();
+        let _ = self.flush_page();
     }
 }
 
 /// Sequential reader over a [`SimFile`].
 ///
 /// Holds one buffer page leased from the pool. Implements `Iterator`,
-/// yielding decoded records; a page read is charged lazily when the cursor
-/// first touches each page.
+/// yielding decoded records; a page read is charged lazily when the
+/// cursor first touches each page. On first touch the payload is copied
+/// into the reader's buffer and its header is verified (magic, format
+/// version, length, checksum), so damaged pages surface as one typed
+/// [`StorageError`] instead of garbage records. The reader yields
+/// exactly [`SimFile::record_count`] records or an error: a file whose
+/// pages end early produces [`StorageError::Truncated`]. After the first
+/// error the iterator is fused and returns `None`.
 pub struct SeqReader<'a, C: FixedCodec> {
     codec: C,
     counter: IoCounter,
     file: &'a SimFile,
     page_idx: usize,
     offset: usize,
+    buf: Vec<u8>,
+    loaded: bool,
+    yielded: usize,
+    failed: bool,
     _lease: PageLease,
 }
 
@@ -171,8 +215,17 @@ impl<'a, C: FixedCodec> SeqReader<'a, C> {
             file,
             page_idx: 0,
             offset: 0,
+            buf: Vec::new(),
+            loaded: false,
+            yielded: 0,
+            failed: false,
             _lease: lease,
         })
+    }
+
+    fn fail(&mut self, e: StorageError) -> Option<Result<C::Record, StorageError>> {
+        self.failed = true;
+        Some(Err(e))
     }
 }
 
@@ -180,21 +233,51 @@ impl<C: FixedCodec> Iterator for SeqReader<'_, C> {
     type Item = Result<C::Record, StorageError>;
 
     fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
         loop {
-            let page = self.file.pages.get(self.page_idx)?;
-            if self.offset == 0 {
-                // first touch of this page
+            if !self.loaded {
+                let Some(page) = self.file.pages.get(self.page_idx) else {
+                    // End of pages: the file's own metadata says how many
+                    // records there should have been.
+                    if self.yielded < self.file.record_count {
+                        let (expected, found, page) =
+                            (self.file.record_count, self.yielded, self.page_idx);
+                        return self.fail(StorageError::Truncated {
+                            page,
+                            expected,
+                            found,
+                        });
+                    }
+                    return None;
+                };
+                // First touch of this page: charge the read, take a
+                // private copy (read faults apply to the copy, never the
+                // stored bytes), and verify the header against it.
                 self.counter.add_reads(1);
+                let mut buf = page.payload.to_vec();
+                fault::on_read(&mut buf);
+                if let Err(e) = page
+                    .header
+                    .verify(&buf, self.codec.record_len(), self.page_idx)
+                {
+                    return self.fail(e);
+                }
+                self.buf = buf;
+                self.offset = 0;
+                self.loaded = true;
             }
-            if self.offset + self.codec.record_len() <= page.len() {
-                let mut slice = &page[self.offset..];
+            if self.offset + self.codec.record_len() <= self.buf.len() {
+                let mut slice = &self.buf[self.offset..];
                 let rec = self.codec.decode(&mut slice);
                 self.offset += self.codec.record_len();
+                self.yielded += 1;
                 return Some(rec);
             }
             // move to next page
             self.page_idx += 1;
-            self.offset = 0;
+            self.loaded = false;
         }
     }
 }
@@ -202,6 +285,7 @@ impl<C: FixedCodec> Iterator for SeqReader<'_, C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultScope};
     use crate::record::U32RowCodec;
 
     fn setup() -> (PageConfig, BufferPool, IoCounter) {
@@ -213,16 +297,22 @@ mod tests {
         )
     }
 
+    fn write_ten(cfg: PageConfig, pool: &BufferPool, counter: &IoCounter) -> SimFile {
+        let mut file = SimFile::new();
+        let codec = U32RowCodec::new(2);
+        let mut w = SeqWriter::open(&mut file, codec, cfg, pool, counter.clone()).unwrap();
+        for i in 0..10u32 {
+            w.push(&vec![i, i * 10]).unwrap();
+        }
+        w.finish().unwrap();
+        file
+    }
+
     #[test]
     fn write_read_round_trip() {
         let (cfg, pool, counter) = setup();
-        let mut file = SimFile::new();
+        let file = write_ten(cfg, &pool, &counter);
         let codec = U32RowCodec::new(2);
-        let mut w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
-        for i in 0..10u32 {
-            w.push(&vec![i, i * 10]);
-        }
-        w.finish();
 
         assert_eq!(file.record_count(), 10);
         // 3 records per page -> ceil(10/3) = 4 pages
@@ -246,10 +336,10 @@ mod tests {
         let mut w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
         let n = 1000usize;
         for i in 0..n {
-            w.push(&vec![i as u32; 8]);
+            w.push(&vec![i as u32; 8]).unwrap();
         }
-        w.finish();
-        let expected_pages = cfg.pages_for(n, codec.record_len());
+        w.finish().unwrap();
+        let expected_pages = cfg.pages_for(n, codec.record_len()).unwrap();
         assert_eq!(expected_pages, 8); // ceil(1000/128)
         assert_eq!(file.page_count(), expected_pages);
         assert_eq!(counter.stats().page_writes, expected_pages as u64);
@@ -261,7 +351,7 @@ mod tests {
         let mut file = SimFile::new();
         let codec = U32RowCodec::new(2);
         let w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
-        w.finish();
+        w.finish().unwrap();
         assert!(file.is_empty());
         assert_eq!(file.page_count(), 0);
 
@@ -309,7 +399,7 @@ mod tests {
         let mut file = SimFile::new();
         assert!(matches!(
             SeqWriter::open(&mut file, U32RowCodec::new(2), cfg, &pool, counter),
-            Err(StorageError::RecordLargerThanPage {
+            Err(StorageError::RecordTooLarge {
                 record_len: 8,
                 page_size: 4
             })
@@ -323,11 +413,112 @@ mod tests {
         let codec = U32RowCodec::new(2);
         {
             let mut w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
-            w.push(&vec![1, 2]);
+            w.push(&vec![1, 2]).unwrap();
             // dropped without finish()
         }
         assert_eq!(file.record_count(), 1);
         assert_eq!(file.page_count(), 1);
+    }
+
+    fn first_error(file: &SimFile, pool: &BufferPool) -> StorageError {
+        let codec = U32RowCodec::new(2);
+        let mut r = SeqReader::open(file, codec, pool, IoCounter::new()).unwrap();
+        let e = r
+            .by_ref()
+            .find_map(|x| x.err())
+            .expect("reader must surface an error");
+        // After an error the iterator is fused.
+        assert!(r.next().is_none());
+        e
+    }
+
+    #[test]
+    fn short_write_surfaces_as_truncated_page() {
+        let (cfg, pool, counter) = setup();
+        let file = {
+            let _scope = FaultScope::install(FaultConfig::new().short_write(1, 3));
+            write_ten(cfg, &pool, &counter)
+        };
+        assert!(matches!(
+            first_error(&file, &pool),
+            StorageError::Truncated {
+                page: 1,
+                expected: 24,
+                found: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn bit_flips_surface_as_checksum_mismatch() {
+        let (cfg, pool, counter) = setup();
+        let flipped_on_write = {
+            let _scope = FaultScope::install(FaultConfig::new().bit_flip_write(2, 40));
+            write_ten(cfg, &pool, &counter)
+        };
+        assert!(matches!(
+            first_error(&flipped_on_write, &pool),
+            StorageError::ChecksumMismatch { page: 2, .. }
+        ));
+
+        let clean = write_ten(cfg, &pool, &counter);
+        let _scope = FaultScope::install(FaultConfig::new().bit_flip_read(0, 7));
+        assert!(matches!(
+            first_error(&clean, &pool),
+            StorageError::ChecksumMismatch { page: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn short_read_surfaces_as_truncated_page() {
+        let (cfg, pool, counter) = setup();
+        let clean = write_ten(cfg, &pool, &counter);
+        let _scope = FaultScope::install(FaultConfig::new().short_read(3, 2));
+        assert!(matches!(
+            first_error(&clean, &pool),
+            StorageError::Truncated {
+                page: 3,
+                expected: 8, // the last page holds the one leftover record
+                found: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn disk_full_fails_the_write_and_reads_see_truncation() {
+        let (cfg, pool, counter) = setup();
+        let mut file = SimFile::new();
+        let codec = U32RowCodec::new(2);
+        let err = {
+            let _scope = FaultScope::install(FaultConfig::new().disk_full(1));
+            let mut w = SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
+            let mut err = None;
+            for i in 0..10u32 {
+                if let Err(e) = w.push(&vec![i, i]) {
+                    err = Some(e);
+                    break;
+                }
+            }
+            err.or_else(|| w.finish().err())
+        };
+        assert!(matches!(err, Some(StorageError::DiskFull { page: 1 })));
+        // The rejected page is gone; metadata still promises its records,
+        // so a later read reports the shortfall instead of inventing data.
+        assert_eq!(file.page_count(), 1);
+        assert!(matches!(
+            first_error(&file, &pool),
+            StorageError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn faultless_scope_changes_nothing() {
+        let (cfg, pool, counter) = setup();
+        let _scope = FaultScope::install(FaultConfig::new());
+        let file = write_ten(cfg, &pool, &counter);
+        let codec = U32RowCodec::new(2);
+        let r = SeqReader::open(&file, codec, &pool, counter.clone()).unwrap();
+        assert_eq!(r.map(|x| x.unwrap()).count(), 10);
     }
 
     mod properties {
@@ -336,8 +527,9 @@ mod tests {
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(32))]
-            /// Any record batch round-trips through a SimFile, and the
-            /// I/O bill matches the page arithmetic exactly.
+            /// Any record batch round-trips through a SimFile (checksums
+            /// verified on every page), and the I/O bill matches the page
+            /// arithmetic exactly.
             #[test]
             fn write_read_round_trip(
                 records in proptest::collection::vec(
@@ -353,10 +545,10 @@ mod tests {
                 let mut w =
                     SeqWriter::open(&mut file, codec, cfg, &pool, counter.clone()).unwrap();
                 for r in &records {
-                    w.push(r);
+                    w.push(r).unwrap();
                 }
-                w.finish();
-                let expected_pages = cfg.pages_for(records.len(), codec.record_len());
+                w.finish().unwrap();
+                let expected_pages = cfg.pages_for(records.len(), codec.record_len()).unwrap();
                 prop_assert_eq!(file.page_count(), expected_pages);
                 prop_assert_eq!(counter.stats().page_writes, expected_pages as u64);
 
@@ -364,6 +556,43 @@ mod tests {
                 let back: Vec<Vec<u32>> = r.map(|x| x.unwrap()).collect();
                 prop_assert_eq!(back, records);
                 prop_assert_eq!(counter.stats().page_reads, expected_pages as u64);
+            }
+
+            /// A single seeded fault anywhere in the schedule never makes
+            /// the pipeline panic or silently corrupt: the round trip
+            /// either reproduces the input exactly or reports a typed
+            /// error.
+            #[test]
+            fn seeded_fault_is_loud_or_harmless(seed in 0u64..1024) {
+                let cfg = PageConfig::with_page_size(16);
+                let codec = U32RowCodec::new(2);
+                let pool = BufferPool::unbounded();
+                let records: Vec<Vec<u32>> = (0..20u32).map(|i| vec![i, i * 3]).collect();
+                let _scope = FaultScope::install(FaultConfig::seeded(seed));
+                let mut file = SimFile::new();
+                let mut w =
+                    SeqWriter::open(&mut file, codec, cfg, &pool, IoCounter::new()).unwrap();
+                let mut write_err = None;
+                for r in &records {
+                    if let Err(e) = w.push(r) {
+                        write_err = Some(e);
+                        break;
+                    }
+                }
+                let write_err = if write_err.is_none() {
+                    w.finish().err()
+                } else {
+                    drop(w);
+                    write_err
+                };
+                if write_err.is_none() {
+                    let r = SeqReader::open(&file, codec, &pool, IoCounter::new()).unwrap();
+                    let back: Result<Vec<Vec<u32>>, StorageError> = r.collect();
+                    match back {
+                        Ok(rows) => prop_assert_eq!(rows, records),
+                        Err(_) => {} // loud failure is acceptable
+                    }
+                }
             }
         }
     }

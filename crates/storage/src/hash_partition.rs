@@ -74,9 +74,13 @@ fn write_pass(
                     "record key {k} outside partition range [{lo}, {hi})"
                 )));
             }
-            writers[bucket_of(k)].push(&rec);
+            writers[bucket_of(k)].push(&rec)?;
         }
-        // Writers drop here, flushing their partial pages.
+        // Finish explicitly so a failed flush of a partial page (e.g. a
+        // full device) propagates instead of vanishing in a drop.
+        for w in writers {
+            w.finish()?;
+        }
     }
     Ok(outputs)
 }
@@ -169,9 +173,9 @@ mod tests {
         let mut f = SimFile::new();
         let mut w = SeqWriter::open(&mut f, codec, cfg, pool, counter).unwrap();
         for (i, &k) in keys.iter().enumerate() {
-            w.push(&vec![k, i as u32]);
+            w.push(&vec![k, i as u32]).unwrap();
         }
-        w.finish();
+        w.finish().unwrap();
         f
     }
 

@@ -25,10 +25,16 @@
 //! * [`hash_partition`] — external hash partitioning (the first phase of
 //!   `Anatomize`), with recursive multi-pass splitting when the fan-out
 //!   exceeds the buffer budget.
+//!
+//! Every stored page carries a [`PageHeader`] (magic, format version,
+//! record count, CRC-32) verified on read, and the [`fault`] module can
+//! inject short reads/writes, bit flips, and ENOSPC on a seeded schedule
+//! so error paths are tested, not assumed.
 
 pub mod buffer;
 pub mod counter;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod hash_partition;
 pub mod page;
@@ -37,9 +43,13 @@ pub mod record;
 pub use buffer::{BufferPool, PageLease};
 pub use counter::{IoCounter, IoStats};
 pub use error::StorageError;
+pub use fault::{FaultConfig, FaultKind, FaultScope};
 pub use file::{SeqReader, SeqWriter, SimFile};
 pub use hash_partition::hash_partition;
-pub use page::{PageConfig, DEFAULT_PAGE_SIZE, PAPER_MEMORY_PAGES};
+pub use page::{
+    crc32, PageConfig, PageHeader, DEFAULT_PAGE_SIZE, PAGE_FORMAT_VERSION, PAGE_MAGIC,
+    PAPER_MEMORY_PAGES,
+};
 pub use record::{FixedCodec, U32RowCodec};
 
 /// Convenience result alias for this crate.

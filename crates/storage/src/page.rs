@@ -1,4 +1,6 @@
-//! Page-size configuration.
+//! Page-size configuration and the on-page integrity header.
+
+use crate::error::StorageError;
 
 /// The paper's page size: "with the page size set to 4096 bytes"
 /// (Section 6.2).
@@ -8,7 +10,18 @@ pub const DEFAULT_PAGE_SIZE: usize = 4096;
 /// (Section 6.2).
 pub const PAPER_MEMORY_PAGES: usize = 50;
 
+/// Magic number opening every page header: `b"ANAT"` read little-endian.
+pub const PAGE_MAGIC: u32 = u32::from_le_bytes(*b"ANAT");
+
+/// Current page-format version. Readers reject anything else.
+pub const PAGE_FORMAT_VERSION: u16 = 1;
+
 /// Page-size configuration shared by files and pools of one experiment.
+///
+/// `page_size` is the *payload* capacity of a page; the integrity header
+/// ([`PageHeader`]) is carried out of band, so record arithmetic — and
+/// with it every `O(n/b)` I/O count in Figures 8-9 — is unchanged by
+/// checksumming.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageConfig {
     /// Page size in bytes. Must be positive.
@@ -31,22 +44,30 @@ impl PageConfig {
     }
 
     /// Records of `record_len` bytes that fit in one page (`b` in the
-    /// paper's `O(n/b)` bounds). Zero when the record is larger than the
-    /// page.
-    pub fn records_per_page(&self, record_len: usize) -> usize {
-        // Zero-length records are degenerate; treat a page as holding one
-        // so loops still terminate.
-        self.page_size.checked_div(record_len).unwrap_or(1)
+    /// paper's `O(n/b)` bounds).
+    ///
+    /// Errors with [`StorageError::RecordTooLarge`] when no record fits a
+    /// page, and [`StorageError::InvalidArgument`] for zero-length
+    /// records (a page would hold infinitely many).
+    pub fn records_per_page(&self, record_len: usize) -> Result<usize, StorageError> {
+        if record_len == 0 {
+            return Err(StorageError::InvalidArgument(
+                "zero-length records have no page capacity".to_string(),
+            ));
+        }
+        let per = self.page_size / record_len;
+        if per == 0 {
+            return Err(StorageError::RecordTooLarge {
+                record_len,
+                page_size: self.page_size,
+            });
+        }
+        Ok(per)
     }
 
     /// Pages needed to store `records` records of `record_len` bytes.
-    pub fn pages_for(&self, records: usize, record_len: usize) -> usize {
-        let per = self.records_per_page(record_len);
-        if per == 0 {
-            usize::MAX // unstorable; callers validate via RecordLargerThanPage
-        } else {
-            records.div_ceil(per)
-        }
+    pub fn pages_for(&self, records: usize, record_len: usize) -> Result<usize, StorageError> {
+        Ok(records.div_ceil(self.records_per_page(record_len)?))
     }
 }
 
@@ -54,6 +75,114 @@ impl Default for PageConfig {
     fn default() -> Self {
         PageConfig::paper()
     }
+}
+
+/// Integrity header attached to every stored page.
+///
+/// Computed by [`SeqWriter`](crate::SeqWriter) over the payload it
+/// *intends* to store, and verified by [`SeqReader`](crate::SeqReader)
+/// against the bytes it actually gets back, so any damage in between — a
+/// short write, a flipped bit, a foreign page — surfaces as a typed
+/// [`StorageError`] instead of silently corrupt records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageHeader {
+    /// [`PAGE_MAGIC`], always.
+    pub magic: u32,
+    /// [`PAGE_FORMAT_VERSION`], always.
+    pub version: u16,
+    /// Records encoded in this page's payload.
+    pub record_count: u32,
+    /// CRC-32 (IEEE) of the payload bytes.
+    pub checksum: u32,
+}
+
+impl PageHeader {
+    /// Header for a payload holding `record_count` records.
+    pub fn for_payload(payload: &[u8], record_count: u32) -> PageHeader {
+        PageHeader {
+            magic: PAGE_MAGIC,
+            version: PAGE_FORMAT_VERSION,
+            record_count,
+            checksum: crc32(payload),
+        }
+    }
+
+    /// Verify `payload` (as read back from page `page`) against this
+    /// header, for records of `record_len` bytes.
+    ///
+    /// Checks run in a fixed order — magic, version, length, checksum —
+    /// so each physical fault maps to one deterministic error: a short
+    /// read/write is reported as [`StorageError::Truncated`] (the length
+    /// check fires before the checksum one), a bit flip as
+    /// [`StorageError::ChecksumMismatch`].
+    pub fn verify(
+        &self,
+        payload: &[u8],
+        record_len: usize,
+        page: usize,
+    ) -> Result<(), StorageError> {
+        if self.magic != PAGE_MAGIC {
+            return Err(StorageError::BadMagic {
+                page,
+                found: self.magic,
+            });
+        }
+        if self.version != PAGE_FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion {
+                page,
+                found: self.version,
+            });
+        }
+        let expected = (self.record_count as usize).saturating_mul(record_len);
+        if payload.len() != expected {
+            return Err(StorageError::Truncated {
+                page,
+                expected,
+                found: payload.len(),
+            });
+        }
+        let found = crc32(payload);
+        if found != self.checksum {
+            return Err(StorageError::ChecksumMismatch {
+                page,
+                expected: self.checksum,
+                found,
+            });
+        }
+        Ok(())
+    }
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` variant) of
+/// `bytes`. Table-driven and dependency-free; this is the page checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
 }
 
 #[cfg(test)]
@@ -71,23 +200,100 @@ mod tests {
     #[test]
     fn records_per_page_floor() {
         let cfg = PageConfig::with_page_size(100);
-        assert_eq!(cfg.records_per_page(30), 3);
-        assert_eq!(cfg.records_per_page(100), 1);
-        assert_eq!(cfg.records_per_page(101), 0);
+        assert_eq!(cfg.records_per_page(30).unwrap(), 3);
+        assert_eq!(cfg.records_per_page(100).unwrap(), 1);
+    }
+
+    #[test]
+    fn oversized_and_degenerate_records_are_typed_errors() {
+        // Regression: these used to report capacity 0 / usize::MAX and
+        // let callers divide by zero downstream.
+        let cfg = PageConfig::with_page_size(100);
+        assert_eq!(
+            cfg.records_per_page(101),
+            Err(StorageError::RecordTooLarge {
+                record_len: 101,
+                page_size: 100
+            })
+        );
+        assert_eq!(
+            cfg.pages_for(5, 101),
+            Err(StorageError::RecordTooLarge {
+                record_len: 101,
+                page_size: 100
+            })
+        );
+        assert!(matches!(
+            cfg.records_per_page(0),
+            Err(StorageError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            cfg.pages_for(10, 0),
+            Err(StorageError::InvalidArgument(_))
+        ));
     }
 
     #[test]
     fn pages_for_rounds_up() {
         let cfg = PageConfig::with_page_size(100);
-        assert_eq!(cfg.pages_for(0, 30), 0);
-        assert_eq!(cfg.pages_for(3, 30), 1);
-        assert_eq!(cfg.pages_for(4, 30), 2);
-        assert_eq!(cfg.pages_for(301, 10), 31);
+        assert_eq!(cfg.pages_for(0, 30).unwrap(), 0);
+        assert_eq!(cfg.pages_for(3, 30).unwrap(), 1);
+        assert_eq!(cfg.pages_for(4, 30).unwrap(), 2);
+        assert_eq!(cfg.pages_for(301, 10).unwrap(), 31);
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_page_size_rejected() {
         let _ = PageConfig::with_page_size(0);
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn header_verifies_intact_payload_and_catches_damage() {
+        let payload = vec![7u8; 24];
+        let h = PageHeader::for_payload(&payload, 3);
+        assert_eq!(h.magic, PAGE_MAGIC);
+        assert_eq!(h.version, PAGE_FORMAT_VERSION);
+        h.verify(&payload, 8, 0).unwrap();
+
+        // Single bit flip -> checksum mismatch.
+        let mut flipped = payload.clone();
+        flipped[5] ^= 0x10;
+        assert!(matches!(
+            h.verify(&flipped, 8, 4),
+            Err(StorageError::ChecksumMismatch { page: 4, .. })
+        ));
+
+        // Lost tail -> truncation, reported before the checksum check.
+        assert!(matches!(
+            h.verify(&payload[..16], 8, 2),
+            Err(StorageError::Truncated {
+                page: 2,
+                expected: 24,
+                found: 16
+            })
+        ));
+
+        // Foreign bytes -> bad magic wins over everything else.
+        let alien = PageHeader {
+            magic: 0x1234_5678,
+            ..h
+        };
+        assert!(matches!(
+            alien.verify(&flipped, 8, 1),
+            Err(StorageError::BadMagic { page: 1, .. })
+        ));
+        let future = PageHeader { version: 2, ..h };
+        assert!(matches!(
+            future.verify(&payload, 8, 1),
+            Err(StorageError::UnsupportedVersion { page: 1, found: 2 })
+        ));
     }
 }

@@ -30,6 +30,8 @@ pub enum Error {
     Generalization(anatomy_generalization::GenError),
     /// From query evaluation (`anatomy-query`).
     Query(anatomy_query::QueryError),
+    /// A release failed its integrity audit (`anatomy-audit`).
+    Audit(anatomy_audit::AuditFailure),
     /// A caller-supplied frame wrapping a deeper cause (or standing
     /// alone, e.g. for usage errors that originate at the top).
     Context {
@@ -66,6 +68,7 @@ impl fmt::Display for Error {
             Error::Core(e) => write!(f, "core error: {e}"),
             Error::Generalization(e) => write!(f, "generalization error: {e}"),
             Error::Query(e) => write!(f, "query error: {e}"),
+            Error::Audit(e) => write!(f, "audit error: {e}"),
             Error::Context { message, .. } => write!(f, "{message}"),
         }
     }
@@ -79,6 +82,7 @@ impl StdError for Error {
             Error::Core(e) => Some(e),
             Error::Generalization(e) => Some(e),
             Error::Query(e) => Some(e),
+            Error::Audit(e) => Some(e),
             Error::Context { source, .. } => {
                 source.as_deref().map(|e| e as &(dyn StdError + 'static))
             }
@@ -113,6 +117,12 @@ impl From<anatomy_generalization::GenError> for Error {
 impl From<anatomy_query::QueryError> for Error {
     fn from(e: anatomy_query::QueryError) -> Self {
         Error::Query(e)
+    }
+}
+
+impl From<anatomy_audit::AuditFailure> for Error {
+    fn from(e: anatomy_audit::AuditFailure) -> Self {
+        Error::Audit(e)
     }
 }
 

@@ -29,6 +29,10 @@
 //! * [`query`] — COUNT queries, workload generation, exact evaluation,
 //!   and the two estimators of the paper's Section 6 (unified under the
 //!   [`Estimator`](query::Estimator) trait);
+//! * [`audit`] — the release-integrity auditor: re-verifies every paper
+//!   invariant (Definitions 1–3, Properties 1–3, Theorem 2) from the
+//!   published pair alone, as [`Publish::audit`] and `anatomy verify`
+//!   do;
 //! * [`pool`] — the persistent worker pool batch evaluation runs on;
 //! * [`obs`] — the zero-dependency observability layer: counters,
 //!   histograms, phase spans, and the `RunManifest` JSON every
@@ -40,6 +44,7 @@
 //! `anatomy` binary (crate `anatomy-cli`) publishes, audits, and queries
 //! releases from the command line.
 
+pub use anatomy_audit as audit;
 pub use anatomy_core as core;
 pub use anatomy_data as data;
 pub use anatomy_generalization as generalization;

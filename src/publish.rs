@@ -27,11 +27,12 @@
 //! and capturing the manifest.
 
 use crate::error::Error;
+use anatomy_audit::{audit_release, AuditReport};
 use anatomy_core::anatomize_io::{anatomize_external, recommended_pool};
 use anatomy_core::{
     anatomize, anatomize_reference, AnatomizeConfig, AnatomizedTables, BucketStrategy, Partition,
 };
-use anatomy_obs::RunManifest;
+use anatomy_obs::{AuditSummary, RunManifest};
 use anatomy_storage::{IoCounter, IoStats, PageConfig};
 use anatomy_tables::Microdata;
 
@@ -53,6 +54,10 @@ pub struct Release {
     /// Phase timings, counters, and parameters of this run, captured as
     /// a delta over the process-wide registry.
     pub manifest: RunManifest,
+    /// The integrity audit's full report; `None` unless the run asked
+    /// for auditing via [`Publish::audit`]. A `Some` here always has
+    /// `passed() == true` — a failed audit aborts [`Publish::run`].
+    pub audit: Option<AuditReport>,
     /// The diversity parameter the run enforced.
     pub l: usize,
     /// The seed the run used (ignored by the deterministic external
@@ -72,6 +77,7 @@ pub struct Publish<'a> {
     config: AnatomizeConfig,
     reference: bool,
     external: Option<PageConfig>,
+    audit: bool,
     name: String,
 }
 
@@ -83,6 +89,7 @@ impl<'a> Publish<'a> {
             config: AnatomizeConfig::new(2),
             reference: false,
             external: None,
+            audit: false,
             name: "publish".to_string(),
         }
     }
@@ -120,6 +127,17 @@ impl<'a> Publish<'a> {
     /// deterministic, so `seed` and `strategy` do not apply.
     pub fn external(mut self, cfg: PageConfig) -> Self {
         self.external = Some(cfg);
+        self
+    }
+
+    /// Audit the release before returning it: re-verify every paper
+    /// invariant (Definitions 1–3, Properties 1–3, Theorem 2, and
+    /// query-layer agreement) from the published pair alone. A failed
+    /// audit turns into [`Error::Audit`] and the release is withheld;
+    /// a passed audit is recorded in the manifest's `audit` block and
+    /// in [`Release::audit`].
+    pub fn audit(mut self) -> Self {
+        self.audit = true;
         self
     }
 
@@ -197,11 +215,24 @@ impl<'a> Publish<'a> {
             manifest = manifest.with_io(stats.page_reads, stats.page_writes);
         }
 
+        let audit = if self.audit {
+            let report = audit_release(&tables, l);
+            let (passed, checks) = report.summary();
+            manifest = manifest.with_audit(AuditSummary { passed, checks });
+            if let Some(failure) = report.clone().into_failure() {
+                return Err(Error::Audit(failure));
+            }
+            Some(report)
+        } else {
+            None
+        };
+
         Ok(Release {
             tables,
             partition,
             io,
             manifest,
+            audit,
             l,
             seed,
         })
@@ -276,6 +307,33 @@ mod tests {
             Some(stats.page_writes)
         );
         assert_eq!(io.get("total").unwrap().as_u64(), Some(stats.total()));
+    }
+
+    #[test]
+    fn audited_runs_attach_a_clean_report_and_manifest_block() {
+        let md = md(280);
+        for release in [
+            Publish::new(&md).l(4).audit().run().unwrap(),
+            Publish::new(&md)
+                .l(4)
+                .external(PageConfig::with_page_size(64))
+                .audit()
+                .run()
+                .unwrap(),
+        ] {
+            let report = release.audit.expect("audited run carries a report");
+            assert!(report.passed());
+            assert_eq!(report.checks.len(), 6);
+            assert_eq!(report.n, md.len());
+            let json = release.manifest.to_json();
+            let summary = anatomy_obs::validate_manifest_json(&json).unwrap();
+            assert_eq!(summary.audit_passed, Some(true));
+        }
+        // Unaudited runs carry neither.
+        let plain = Publish::new(&md).l(4).run().unwrap();
+        assert!(plain.audit.is_none());
+        let summary = anatomy_obs::validate_manifest_json(&plain.manifest.to_json()).unwrap();
+        assert_eq!(summary.audit_passed, None);
     }
 
     #[test]
