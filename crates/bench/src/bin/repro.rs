@@ -19,6 +19,9 @@
 //!   --metrics PATH   enable observability and write the run's
 //!                    `RunManifest` JSON (phase tree, counters, I/O
 //!                    mirrors) to PATH
+//!   --trace PATH     enable the trace journal and write the run's
+//!                    execution trace to PATH (`.jsonl` for JSONL,
+//!                    anything else for Chrome trace-event JSON)
 //! ```
 
 use anatomy_bench::figures::{
@@ -33,7 +36,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1..table7|fig1|fig2|fig4..fig9|rce|encoding|uniform|tradeoff|memory|all> [--full] [--n N] [--queries Q] [--seed S] [--metrics PATH]"
+        "usage: repro <table1..table7|fig1|fig2|fig4..fig9|rce|encoding|uniform|tradeoff|memory|all> [--full] [--n N] [--queries Q] [--seed S] [--metrics PATH] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -59,7 +62,7 @@ fn parse_scale(args: &[String]) -> Scale {
                 let v = it.next().unwrap_or_else(|| usage());
                 scale.seed = v.parse().unwrap_or_else(|_| usage());
             }
-            "--metrics" => {
+            "--metrics" | "--trace" => {
                 // Consumed in `main`; skip the value here.
                 it.next().unwrap_or_else(|| usage());
             }
@@ -116,6 +119,12 @@ fn metrics_path(args: &[String]) -> Option<String> {
         .map(|w| w[1].clone())
 }
 
+fn trace_path(args: &[String]) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == "--trace")
+        .map(|w| w[1].clone())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match args.first() {
@@ -124,8 +133,13 @@ fn main() -> ExitCode {
     };
     let scale = parse_scale(&args[1..]);
     let metrics = metrics_path(&args[1..]);
+    let trace = trace_path(&args[1..]);
     if metrics.is_some() {
         anatomy_obs::global().set_enabled(true);
+    }
+    let mark = anatomy_obs::tracer().mark();
+    if trace.is_some() {
+        anatomy_obs::tracer().set_enabled(true);
     }
     let before = anatomy_obs::global().snapshot();
     eprintln!(
@@ -155,6 +169,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 eprintln!("# metrics -> {path}");
+            }
+            if let Some(path) = trace {
+                let snapshot = anatomy_obs::tracer().snapshot_since(&mark);
+                if let Err(e) = snapshot.write_to(&path) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("# trace -> {path}");
             }
             ExitCode::SUCCESS
         }

@@ -17,7 +17,7 @@ pub enum Command {
         sensitive: String,
     },
     /// `anatomy publish --data F --schema F --sensitive NAME --l N
-    ///  --qit F --st F [--seed N] [--metrics F]`
+    ///  --qit F --st F [--seed N] [--metrics F] [--trace F]`
     Publish {
         /// Microdata CSV path.
         data: String,
@@ -35,6 +35,9 @@ pub enum Command {
         seed: u64,
         /// Write the run's `RunManifest` JSON here.
         metrics: Option<String>,
+        /// Write an execution trace here (`.jsonl` for JSONL, anything
+        /// else for Chrome trace-event JSON).
+        trace: Option<String>,
     },
     /// `anatomy audit --qit F --st F --schema F --sensitive NAME --l N`
     Audit {
@@ -68,7 +71,7 @@ pub enum Command {
         l: usize,
     },
     /// `anatomy query --qit F --st F --schema F --sensitive NAME --l N
-    ///  --query SPEC [--indexed] [--metrics F]`
+    ///  --query SPEC [--indexed] [--metrics F] [--trace F]`
     Query {
         /// QIT CSV path.
         qit: String,
@@ -87,6 +90,9 @@ pub enum Command {
         indexed: bool,
         /// Write the run's `RunManifest` JSON here.
         metrics: Option<String>,
+        /// Write an execution trace here (`.jsonl` for JSONL, anything
+        /// else for Chrome trace-event JSON).
+        trace: Option<String>,
     },
 }
 
@@ -94,10 +100,10 @@ pub enum Command {
 pub const USAGE: &str = "\
 usage:
   anatomy stats   --data F --schema F --sensitive NAME
-  anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N] [--metrics F]
+  anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N] [--metrics F] [--trace F]
   anatomy audit   --qit F --st F --schema F --sensitive NAME --l N
   anatomy verify  --qit F --st F --schema F --sensitive NAME --l N
-  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed] [--metrics F]";
+  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed] [--metrics F] [--trace F]";
 
 /// Flags that take no value; their presence alone means "true".
 const BOOLEAN_FLAGS: &[&str] = &["indexed"];
@@ -160,6 +166,7 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
                 .transpose()?
                 .unwrap_or(0xA7A7),
             metrics: map.remove("metrics"),
+            trace: map.remove("trace"),
         },
         "audit" => Command::Audit {
             qit: take(&mut map, "qit")?,
@@ -190,6 +197,7 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
             query: take(&mut map, "query")?,
             indexed: map.remove("indexed").is_some(),
             metrics: map.remove("metrics"),
+            trace: map.remove("trace"),
         },
         other => return Err(Error::msg(format!("unknown command `{other}`\n{USAGE}"))),
     };
@@ -222,8 +230,29 @@ mod tests {
                 st: "t.csv".into(),
                 seed: 9,
                 metrics: None,
+                trace: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_trace_flag() {
+        let c = parse_args(&argv(
+            "publish --data d --schema s --sensitive X --l 2 --qit q --st t --trace t.json",
+        ))
+        .unwrap();
+        match c {
+            Command::Publish { trace, .. } => assert_eq!(trace.as_deref(), Some("t.json")),
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&argv(
+            "query --qit q --st t --schema s --sensitive X --l 3 --query qi0=1;s=0 --trace t.jsonl",
+        ))
+        .unwrap();
+        match c {
+            Command::Query { trace, .. } => assert_eq!(trace.as_deref(), Some("t.jsonl")),
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]

@@ -44,6 +44,42 @@ fn write_metrics(path: &str, manifest: &RunManifest) -> CliResult<()> {
     fs::write(path, manifest.to_json()).map_err(|e| Error::msg(format!("cannot write {path}: {e}")))
 }
 
+/// Turns the trace journal on for a `--trace` run, remembers where the
+/// journals stood, and restores the previous tracer state on drop. Like
+/// [`MetricsScope`], error paths leave no lasting flag change; the trace
+/// file itself is only written by an explicit [`TraceScope::write`] on
+/// the success path.
+struct TraceScope {
+    prev: bool,
+    mark: anatomy_obs::TraceMark,
+}
+
+impl TraceScope {
+    fn begin() -> TraceScope {
+        let tracer = anatomy_obs::tracer();
+        let prev = tracer.enabled();
+        let mark = tracer.mark();
+        tracer.set_enabled(true);
+        TraceScope { prev, mark }
+    }
+
+    /// Export everything journaled since [`TraceScope::begin`] to
+    /// `path` (JSONL iff the path ends in `.jsonl`, Chrome trace-event
+    /// JSON otherwise).
+    fn write(&self, path: &str) -> CliResult<()> {
+        anatomy_obs::tracer()
+            .snapshot_since(&self.mark)
+            .write_to(path)
+            .map_err(|e| Error::msg(format!("cannot write {path}: {e}")))
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        anatomy_obs::tracer().set_enabled(self.prev);
+    }
+}
+
 /// Execute a parsed command, returning the report to print.
 pub fn run(cmd: &Command) -> CliResult<String> {
     match cmd {
@@ -61,6 +97,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             st,
             seed,
             metrics,
+            trace,
         } => publish(
             data,
             schema,
@@ -70,6 +107,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             st,
             *seed,
             metrics.as_deref(),
+            trace.as_deref(),
         ),
         Command::Audit {
             qit,
@@ -94,6 +132,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             query,
             indexed,
             metrics,
+            trace,
         } => query_cmd(
             qit,
             st,
@@ -103,6 +142,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             query,
             *indexed,
             metrics.as_deref(),
+            trace.as_deref(),
         ),
     }
 }
@@ -191,10 +231,12 @@ fn publish(
     st_path: &str,
     seed: u64,
     metrics: Option<&str>,
+    trace: Option<&str>,
 ) -> CliResult<String> {
     let schema = load_schema(schema_path)?;
     let md = load_microdata(data, &schema, sensitive)?;
     let _scope = MetricsScope::new(metrics.is_some());
+    let trace_scope = trace.map(|_| TraceScope::begin());
     let release = Publish::new(&md)
         .l(l)
         .seed(seed)
@@ -214,6 +256,10 @@ fn publish(
     if let Some(path) = metrics {
         write_metrics(path, &release.manifest)?;
         let _ = writeln!(out, "metrics -> {path}");
+    }
+    if let (Some(path), Some(scope)) = (trace, &trace_scope) {
+        scope.write(path)?;
+        let _ = writeln!(out, "trace -> {path}");
     }
     Ok(out)
 }
@@ -313,6 +359,7 @@ fn query_cmd(
     query: &str,
     indexed: bool,
     metrics: Option<&str>,
+    trace: Option<&str>,
 ) -> CliResult<String> {
     let (schema, tables) = load_release(qit_path, st_path, schema_path, sensitive, l)?;
     let (qi, s_col) = designate(&schema, sensitive)?;
@@ -324,6 +371,7 @@ fn query_cmd(
         return Err(Error::msg("no query given"));
     }
     let _scope = MetricsScope::new(metrics.is_some());
+    let trace_scope = trace.map(|_| TraceScope::begin());
     let before = anatomy_obs::global().snapshot();
     // The index gives identical estimates; build it once for the batch and
     // evaluate the whole workload on the persistent pool. The scalar path
@@ -349,6 +397,10 @@ fn query_cmd(
             .with_param("indexed", indexed);
         write_metrics(path, &manifest)?;
         let _ = writeln!(out, "metrics -> {path}");
+    }
+    if let (Some(path), Some(scope)) = (trace, &trace_scope) {
+        scope.write(path)?;
+        let _ = writeln!(out, "trace -> {path}");
     }
     Ok(out)
 }
@@ -419,6 +471,7 @@ mod tests {
             st: st.clone(),
             seed: 3,
             metrics: None,
+            trace: None,
         })
         .unwrap();
         assert!(report.contains("40 tuples"));
@@ -455,6 +508,7 @@ mod tests {
             query: "s=0".into(),
             indexed: false,
             metrics: None,
+            trace: None,
         })
         .unwrap();
         assert!(report.contains("estimate: 8.000"), "{report}");
@@ -470,6 +524,7 @@ mod tests {
                 query: query.into(),
                 indexed: false,
                 metrics: None,
+                trace: None,
             })
             .unwrap();
             let indexed = run(&Command::Query {
@@ -481,10 +536,37 @@ mod tests {
                 query: query.into(),
                 indexed: true,
                 metrics: None,
+                trace: None,
             })
             .unwrap();
             assert_eq!(scalar, indexed, "query {query}");
         }
+    }
+
+    #[test]
+    fn publish_writes_a_validating_trace() {
+        let dir = scratch("trace");
+        let data = write(&dir, "d.csv", &demo_data());
+        let schema = write(&dir, "s.txt", SCHEMA);
+        let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+        let st = dir.join("st.csv").to_string_lossy().into_owned();
+        let trace = dir.join("t.json").to_string_lossy().into_owned();
+        let report = run(&Command::Publish {
+            data,
+            schema,
+            sensitive: "Disease".into(),
+            l: 4,
+            qit,
+            st,
+            seed: 3,
+            metrics: None,
+            trace: Some(trace.clone()),
+        })
+        .unwrap();
+        assert!(report.contains("trace -> "), "{report}");
+        let summary = anatomy_obs::validate_trace(&fs::read_to_string(&trace).unwrap()).unwrap();
+        assert!(summary.events > 0, "trace captured no events");
+        assert!(summary.spans > 0, "trace captured no spans");
     }
 
     #[test]
@@ -503,6 +585,7 @@ mod tests {
             st: st.clone(),
             seed: 3,
             metrics: None,
+            trace: None,
         })
         .unwrap();
         let verify = |qit: &str, st: &str| {

@@ -35,8 +35,8 @@ fn main() -> ExitCode {
                     None => String::new(),
                 };
                 println!(
-                    "ok: {file} (name {:?}, {} counters, {} phases{io})",
-                    s.name, s.counters, s.phases
+                    "ok: {file} (name {:?}, {} counters, {} phases, {} latency entries{io})",
+                    s.name, s.counters, s.phases, s.latency
                 );
             }
             Err(e) => {

@@ -1,0 +1,50 @@
+//! `check_trace` — validate execution traces emitted by the CLI's
+//! `--trace` flag or `Publish::trace`.
+//!
+//! ```text
+//! check_trace FILE [FILE ...]
+//! ```
+//!
+//! Accepts both Chrome trace-event JSON and JSONL (auto-detected).
+//! Prints one line per file; exits non-zero if any file is missing or
+//! violates the trace contract — balanced span nesting, causal parent
+//! ids, monotonic per-thread timestamps (see
+//! `anatomy_obs::validate_trace`). CI runs this after the end-to-end
+//! trace smoke commands.
+
+use anatomy_obs::validate_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_trace FILE [FILE ...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("invalid: {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_trace(&text) {
+            Ok(s) => println!(
+                "ok: {file} ({} events, {} threads, {} spans, {} unclosed, {} instants)",
+                s.events, s.threads, s.spans, s.unclosed, s.instants
+            ),
+            Err(e) => {
+                eprintln!("invalid: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -49,7 +49,7 @@ impl Default for HistCell {
 }
 
 impl HistCell {
-    fn record(&self, v: u64) {
+    pub(crate) fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
@@ -151,12 +151,24 @@ impl HistSnapshot {
 
     /// Counts accumulated since `earlier` (same histogram, earlier
     /// snapshot). `max` is taken from `self`.
+    ///
+    /// Registry-produced snapshots always have [`BUCKETS`] buckets;
+    /// mismatched lengths (possible with a deserialized or hand-built
+    /// snapshot) are a debug assertion, and release builds pad the
+    /// shorter side with zeros rather than silently truncating.
     pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
-        let buckets = self
-            .buckets
-            .iter()
-            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
-            .map(|(now, then)| now.saturating_sub(*then))
+        debug_assert_eq!(
+            self.buckets.len(),
+            earlier.buckets.len(),
+            "HistSnapshot::since across mismatched bucket counts"
+        );
+        let n = self.buckets.len().max(earlier.buckets.len());
+        let buckets = (0..n)
+            .map(|i| {
+                let now = self.buckets.get(i).copied().unwrap_or(0);
+                let then = earlier.buckets.get(i).copied().unwrap_or(0);
+                now.saturating_sub(then)
+            })
             .collect();
         HistSnapshot {
             count: self.count.saturating_sub(earlier.count),
@@ -207,6 +219,43 @@ mod tests {
         // p100 caps at the observed max, not the bucket bound.
         assert_eq!(s.percentile(1.0), 1000);
         assert_eq!(HistSnapshot::default().percentile(0.9), 0);
+    }
+
+    fn short_snapshot() -> HistSnapshot {
+        // A hand-built (e.g. deserialized) snapshot with fewer buckets
+        // than the registry's fixed 65.
+        HistSnapshot {
+            count: 1,
+            sum: 2,
+            max: 2,
+            buckets: vec![0, 0, 1],
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "mismatched bucket counts")]
+    fn since_asserts_on_mismatched_lengths() {
+        let h = recording_hist();
+        h.record(2);
+        let _ = h.snapshot().since(&short_snapshot());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn since_pads_mismatched_lengths_symmetrically() {
+        let h = recording_hist();
+        h.record(2);
+        h.record(1000);
+        // Longer self vs shorter earlier: the tail survives untouched.
+        let d = h.snapshot().since(&short_snapshot());
+        assert_eq!(d.buckets.len(), BUCKETS);
+        assert_eq!(d.buckets[bucket_of(2)], 0);
+        assert_eq!(d.buckets[bucket_of(1000)], 1);
+        // Shorter self vs longer earlier: result spans the longer side.
+        let d = short_snapshot().since(&h.snapshot());
+        assert_eq!(d.buckets.len(), BUCKETS);
+        assert!(d.buckets.iter().all(|&c| c == 0));
     }
 
     #[test]

@@ -21,9 +21,23 @@
 //!   while another is live records under the path `outer/inner`, so a
 //!   whole `anatomize` call decomposes into its bucketize / group
 //!   creation / residue phases without any explicit plumbing.
-//! * [`RunManifest`] — one run's parameters, counters, phase tree, and
-//!   I/O stats, serializable to the same hand-rolled JSON style as the
-//!   `BENCH_*.json` artifacts (see [`RunManifest::to_json`]).
+//! * [`RunManifest`] — one run's parameters, counters, phase tree,
+//!   latency percentiles, and I/O stats, serializable to the same
+//!   hand-rolled JSON style as the `BENCH_*.json` artifacts (see
+//!   [`RunManifest::to_json`]).
+//!
+//! ## The trace journal
+//!
+//! Aggregates answer *how much*; the [`tracer`] answers *when*. Each
+//! thread owns a bounded write-once event journal recording typed
+//! [`EventKind`]s — span begin/end with causal parent ids, storage
+//! page ops tagged with the fault-schedule op index, pool dispatch and
+//! share completion, query batch boundaries — appended without locks
+//! (one relaxed atomic check when tracing is disabled).
+//! [`TraceSnapshot`] exports Chrome trace-event JSON (open it in
+//! Perfetto or `chrome://tracing`) or JSONL; [`validate_trace`] (and
+//! the `check_trace` binary) checks nesting balance, parent-id
+//! causality, and timestamp monotonicity.
 //!
 //! ## The enabled flag
 //!
@@ -53,6 +67,7 @@ mod manifest;
 mod registry;
 mod snapshot;
 mod span;
+mod trace;
 
 pub use hist::{HistSnapshot, Histogram};
 pub use json::Json;
@@ -63,6 +78,10 @@ pub use manifest::{
 pub use registry::{Counter, Gauge, GaugeStats, Registry};
 pub use snapshot::Snapshot;
 pub use span::{Span, SpanStats};
+pub use trace::{
+    tracer, validate_trace, EventKind, ThreadTrace, TraceEvent, TraceMark, TraceSnapshot,
+    TraceSummary, Tracer, DEFAULT_JOURNAL_CAPACITY,
+};
 
 use std::sync::OnceLock;
 

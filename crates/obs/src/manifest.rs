@@ -18,14 +18,28 @@
 //!                                      "mean": 11.4, "p50": 7, "p90": 15, "p99": 30 } },
 //!   "phases": [ { "name": "anatomize", "calls": 1, "total_ms": 1.5,
 //!                 "min_ms": 1.5, "max_ms": 1.5, "children": [ ... ] } ],
+//!   "latency": { "anatomize": { "count": 1, "p50_ns": 1500000, "p90_ns": 1500000,
+//!                               "p99_ns": 1500000, "max_ns": 1500000 },
+//!                "storage.page_write_ns": { ... } },
 //!   "io": { "page_reads": 120, "page_writes": 60, "total": 180 },
 //!   "audit": { "passed": true, "checks": { "l_diversity": true, ... } }
 //! }
 //! ```
 //!
-//! `io` and `audit` are optional: the first appears on external-memory
-//! runs, the second when the release was audited (`anatomy verify`, or
-//! `Publish` with auditing enabled).
+//! `io`, `audit`, and `latency` are optional: the first appears on
+//! external-memory runs, the second when the release was audited
+//! (`anatomy verify`, or `Publish` with auditing enabled), the third
+//! whenever the run recorded latency histograms. A `latency` entry
+//! exists for every phase span (histograms named `span_ns/<path>`,
+//! surfaced under the bare `<path>`) and every `*_ns` instrument
+//! histogram (per-page-op and pool-share latencies, surfaced under
+//! their full name). Percentiles come from
+//! [`HistSnapshot::percentile`](crate::HistSnapshot::percentile) over
+//! log₂ buckets, so each quantile is exact only to within **2×** —
+//! the granularity that answers "did this regress by an order of
+//! magnitude", not "did this regress by 10%". The internal
+//! `span_ns/`-prefixed histograms are folded into `latency` and kept
+//! out of the `histograms` block.
 //!
 //! The phase tree nests by span path: `"anatomize/bucketize"` becomes a
 //! child of `"anatomize"`. [`validate_manifest_json`] checks all of the
@@ -236,10 +250,33 @@ impl RunManifest {
                 )
             })
             .collect();
+        let latency: Vec<(String, Json)> = self
+            .snapshot
+            .hists
+            .iter()
+            .filter_map(|(k, h)| {
+                let label = match k.strip_prefix("span_ns/") {
+                    Some(path) => path.to_string(),
+                    None if k.ends_with("_ns") => k.clone(),
+                    None => return None,
+                };
+                Some((
+                    label,
+                    Json::Obj(vec![
+                        ("count".into(), Json::Num(h.count as f64)),
+                        ("p50_ns".into(), Json::Num(h.percentile(0.50) as f64)),
+                        ("p90_ns".into(), Json::Num(h.percentile(0.90) as f64)),
+                        ("p99_ns".into(), Json::Num(h.percentile(0.99) as f64)),
+                        ("max_ns".into(), Json::Num(h.max as f64)),
+                    ]),
+                ))
+            })
+            .collect();
         let histograms = self
             .snapshot
             .hists
             .iter()
+            .filter(|(k, _)| !k.starts_with("span_ns/"))
             .map(|(k, h)| {
                 (
                     k.clone(),
@@ -269,6 +306,9 @@ impl RunManifest {
             ("histograms".to_string(), Json::Obj(histograms)),
             ("phases".to_string(), phases),
         ];
+        if !latency.is_empty() {
+            members.push(("latency".to_string(), Json::Obj(latency)));
+        }
         if let Some(io) = &self.io {
             members.push((
                 "io".to_string(),
@@ -377,6 +417,8 @@ pub struct ManifestSummary {
     pub counters: usize,
     /// Total phase-tree nodes.
     pub phases: usize,
+    /// Entries in the `latency` block (0 when absent).
+    pub latency: usize,
     /// `io.total` when the manifest carries I/O stats.
     pub io_total: Option<u64>,
     /// `audit.passed` when the manifest carries an audit outcome.
@@ -459,6 +501,33 @@ pub fn validate_manifest_json(text: &str) -> Result<ManifestSummary, String> {
     for node in phases {
         validate_phase(node, &mut phase_count)?;
     }
+    let latency = match doc.get("latency") {
+        None => 0,
+        Some(lat) => {
+            let entries = lat.as_obj().ok_or("latency is not an object")?;
+            for (k, v) in entries {
+                if k.is_empty() {
+                    return Err("latency entry with empty name".into());
+                }
+                let mut fields = [0u64; 5];
+                for (slot, field) in fields
+                    .iter_mut()
+                    .zip(["count", "p50_ns", "p90_ns", "p99_ns", "max_ns"])
+                {
+                    *slot = v.get(field).and_then(Json::as_u64).ok_or_else(|| {
+                        format!("latency {k:?} missing non-negative integer {field}")
+                    })?;
+                }
+                let [_, p50, p90, p99, max] = fields;
+                if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+                    return Err(format!(
+                        "latency {k:?} percentiles not monotone: p50 {p50} ≤ p90 {p90} ≤ p99 {p99} ≤ max {max} violated"
+                    ));
+                }
+            }
+            entries.len()
+        }
+    };
     let io_total = match doc.get("io") {
         None => None,
         Some(io) => {
@@ -515,6 +584,7 @@ pub fn validate_manifest_json(text: &str) -> Result<ManifestSummary, String> {
         name: name.to_string(),
         counters: counters.len(),
         phases: phase_count,
+        latency,
         io_total,
         audit_passed,
     })
@@ -583,6 +653,36 @@ mod tests {
             assert_eq!(summary.phases, 2);
             assert_eq!(summary.io_total, Some(180));
         }
+    }
+
+    #[test]
+    fn latency_block_surfaces_spans_and_ns_hists() {
+        let r = busy_registry();
+        r.histogram("storage.page_write_ns").record(4096);
+        let m = RunManifest::capture("publish", &r);
+        let text = m.to_json();
+        let summary = validate_manifest_json(&text).expect("latency manifest should validate");
+        // Two span paths (anatomize, anatomize/bucketize) + one *_ns
+        // instrument histogram; "lat" is neither and stays out.
+        assert_eq!(summary.latency, 3);
+        let doc = Json::parse(&text).unwrap();
+        let lat = doc.get("latency").unwrap();
+        assert!(lat.get("anatomize").is_some());
+        assert!(lat.get("anatomize/bucketize").is_some());
+        assert!(lat.get("storage.page_write_ns").is_some());
+        assert!(lat.get("lat").is_none());
+        // The span_ns/ internals are folded into latency, not shown raw.
+        let hists = doc.get("histograms").unwrap();
+        assert!(hists.get("lat").is_some());
+        assert!(hists.get("span_ns/anatomize").is_none());
+        let pw = lat.get("storage.page_write_ns").unwrap();
+        assert_eq!(pw.get("max_ns").and_then(Json::as_u64), Some(4096));
+        // Missing fields and non-monotone percentiles are rejected.
+        let missing = text.replace("\"p50_ns\"", "\"p50_nope\"");
+        assert!(validate_manifest_json(&missing).is_err());
+        let lying = text.replace("\"max_ns\": 4096", "\"max_ns\": 0");
+        let err = validate_manifest_json(&lying).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
     }
 
     #[test]

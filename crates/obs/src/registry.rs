@@ -2,7 +2,7 @@
 
 use crate::hist::{HistCell, Histogram};
 use crate::snapshot::Snapshot;
-use crate::span::{Span, SpanStats};
+use crate::span::{Span, SpanSink, SpanStats};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -26,7 +26,7 @@ pub struct Registry {
     enabled: Arc<AtomicBool>,
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
-    hists: Mutex<BTreeMap<String, Arc<HistCell>>>,
+    hists: Arc<Mutex<BTreeMap<String, Arc<HistCell>>>>,
     spans: Arc<Mutex<BTreeMap<String, SpanStats>>>,
 }
 
@@ -85,16 +85,27 @@ impl Registry {
 
     /// Open a phase span. While the returned guard lives, further spans
     /// on the same thread nest under it (path `outer/inner`); dropping
-    /// it records the elapsed time under the full path.
+    /// it records the elapsed time under the full path — both as
+    /// [`SpanStats`] and into a `span_ns/<path>` histogram that feeds
+    /// the manifest's latency percentiles. When the process
+    /// [`tracer`](crate::tracer) is enabled the span also journals
+    /// `SpanBegin`/`SpanEnd` events with causal parent ids.
     ///
-    /// When the registry is disabled this reads one atomic and returns
-    /// an inert guard — no clock, no thread-local, no allocation.
+    /// When both the registry and the tracer are disabled this reads
+    /// two relaxed atomics and returns an inert guard — no clock, no
+    /// thread-local, no allocation.
     #[must_use = "a span records on drop; binding it to _ closes it immediately"]
     pub fn span(&self, name: &'static str) -> Span {
-        if !self.enabled() {
+        let metrics = self.enabled();
+        let traced = crate::trace::tracer().enabled();
+        if !metrics && !traced {
             return Span::inert();
         }
-        Span::open(name, Arc::clone(&self.spans))
+        let sink = metrics.then(|| SpanSink {
+            spans: Arc::clone(&self.spans),
+            hists: Arc::clone(&self.hists),
+        });
+        Span::open(name, sink, traced)
     }
 
     /// Capture every instrument's current value.

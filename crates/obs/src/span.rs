@@ -4,21 +4,42 @@
 //! a `/`-joined path built from the spans currently live on the same
 //! thread: opening `"group_creation"` while `"anatomize"` is live
 //! records under `"anatomize/group_creation"`. The path stack is a
-//! thread-local of `&'static str` names, so opening a span allocates
-//! only the joined path string, and only while the registry is enabled.
+//! thread-local of frames, so opening a span allocates only the joined
+//! path string, and only while the registry is enabled.
 //!
 //! Spans on *different* threads are independent roots: work shipped to
 //! the pool shows up as its own top-level phase, which is exactly how
 //! the bench harness wants worker time attributed.
+//!
+//! When the [`tracer`](crate::tracer) is enabled, every span also emits
+//! `SpanBegin`/`SpanEnd` events carrying a process-unique span id and
+//! the id of the enclosing span on the same thread (causal parent; `0`
+//! for roots). Metrics and tracing are independent: a span can record
+//! aggregate stats, journal events, both, or — when everything is off —
+//! cost two relaxed atomic loads and nothing else.
+//!
+//! A span must drop on the thread that opened it; dropping elsewhere
+//! would misattribute its time to the wrong stack. Debug builds make
+//! that loud (see the drop assertion and the cross-thread test).
 
+use crate::hist::HistCell;
 use crate::registry::lock;
+use crate::trace::{tracer, EventKind};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// One live span on a thread's stack: the static name and, when the
+/// span is traced, its journal id (`0` = untraced).
+#[derive(Clone, Copy)]
+struct Frame {
+    name: &'static str,
+    trace_id: u64,
+}
+
 thread_local! {
-    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Aggregate timing of one span path.
@@ -59,9 +80,20 @@ impl SpanStats {
     }
 }
 
+/// Where a metrics-recording span deposits its timing on drop: the
+/// registry's span-stats map plus its histogram map (per-path `span_ns/`
+/// histograms feed the manifest's latency percentiles).
+pub(crate) struct SpanSink {
+    pub(crate) spans: Arc<Mutex<BTreeMap<String, SpanStats>>>,
+    pub(crate) hists: Arc<Mutex<BTreeMap<String, Arc<HistCell>>>>,
+}
+
 struct SpanRec {
-    sink: Arc<Mutex<BTreeMap<String, SpanStats>>>,
-    path: String,
+    name: &'static str,
+    trace_id: u64,
+    /// `Some` when the registry was enabled at open: the sink plus the
+    /// precomputed `/`-joined path to record under.
+    metrics: Option<(SpanSink, String)>,
     start: Instant,
 }
 
@@ -73,21 +105,34 @@ pub struct Span {
 }
 
 impl Span {
-    /// The guard handed out while the registry is disabled.
+    /// The guard handed out while both metrics and tracing are off.
     pub(crate) fn inert() -> Span {
         Span { rec: None }
     }
 
-    pub(crate) fn open(name: &'static str, sink: Arc<Mutex<BTreeMap<String, SpanStats>>>) -> Span {
-        let path = STACK.with(|s| {
+    pub(crate) fn open(name: &'static str, sink: Option<SpanSink>, traced: bool) -> Span {
+        let trace_id = if traced { tracer().next_span_id() } else { 0 };
+        let (parent, path) = STACK.with(|s| {
             let mut s = s.borrow_mut();
-            s.push(name);
-            s.join("/")
+            let parent = s.last().map(|f| f.trace_id).unwrap_or(0);
+            s.push(Frame { name, trace_id });
+            let path = sink
+                .is_some()
+                .then(|| s.iter().map(|f| f.name).collect::<Vec<_>>().join("/"));
+            (parent, path)
         });
+        if trace_id != 0 {
+            tracer().emit_always(EventKind::SpanBegin {
+                id: trace_id,
+                parent,
+                name,
+            });
+        }
         Span {
             rec: Some(SpanRec {
-                sink,
-                path,
+                name,
+                trace_id,
+                metrics: sink.zip(path),
                 start: Instant::now(),
             }),
         }
@@ -101,11 +146,34 @@ impl Drop for Span {
             STACK.with(|s| {
                 let popped = s.borrow_mut().pop();
                 // RAII scoping means spans close innermost-first; a
-                // mismatch would indicate a span smuggled across
-                // threads or leaked past its scope.
-                debug_assert!(popped.is_some(), "span stack underflow");
+                // mismatched *name* (not just an empty stack) indicates
+                // a span smuggled across threads or leaked past its
+                // scope, which misattributes nested timings.
+                debug_assert_eq!(
+                    popped.map(|f| f.name),
+                    Some(rec.name),
+                    "span stack mismatch: dropped {:?} out of order (crossed threads?)",
+                    rec.name
+                );
             });
-            lock(&rec.sink).entry(rec.path).or_default().record(ns);
+            if rec.trace_id != 0 {
+                // Bypass the enabled gate: a span that journaled its
+                // begin must journal its end, or nesting goes unbalanced
+                // when tracing is toggled mid-span.
+                tracer().emit_always(EventKind::SpanEnd {
+                    id: rec.trace_id,
+                    name: rec.name,
+                });
+            }
+            if let Some((sink, path)) = rec.metrics {
+                let cell = Arc::clone(
+                    lock(&sink.hists)
+                        .entry(format!("span_ns/{path}"))
+                        .or_default(),
+                );
+                cell.record(ns);
+                lock(&sink.spans).entry(path).or_default().record(ns);
+            }
         }
     }
 }
@@ -175,5 +243,39 @@ mod tests {
             r.set_enabled(true);
         }
         assert!(r.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn spans_feed_latency_histograms() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        {
+            let _outer = r.span("phase");
+            let _inner = r.span("step");
+        }
+        let s = r.snapshot();
+        assert_eq!(s.hists["span_ns/phase"].count, 1);
+        assert_eq!(s.hists["span_ns/phase/step"].count, 1);
+        assert!(s.hists["span_ns/phase"].percentile(0.99) >= s.spans["phase"].min_ns / 2);
+    }
+
+    /// A `Span` must drop on the thread that opened it. Dropping it on
+    /// another thread pops *that* thread's stack (or nothing), which
+    /// debug builds turn into a panic rather than silent
+    /// misattribution. Release builds record under the open-thread path
+    /// computed at open time, so aggregate data is still attributed to
+    /// the opening stack — only the foreign thread's nesting is at risk,
+    /// which is exactly what the assertion documents.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn cross_thread_drop_is_loud_in_debug() {
+        let r = Registry::new();
+        r.set_enabled(true);
+        let span = r.span("crosses_threads");
+        let joined = std::thread::spawn(move || drop(span)).join();
+        assert!(
+            joined.is_err(),
+            "dropping a span on a foreign thread must panic in debug builds"
+        );
     }
 }

@@ -84,7 +84,9 @@ impl ItemCost {
 /// reaches zero, and every share bumps `pending` until it has run.
 struct Share {
     state: *const (),
-    run: unsafe fn(*const (), &PoolInner),
+    /// The `bool` marks the lane: `true` when a *waiting caller* ran the
+    /// share while help-draining, `false` for a dedicated worker.
+    run: unsafe fn(*const (), &PoolInner, bool),
 }
 
 // SAFETY: the pointed-to BatchState is Sync (it only hands out work
@@ -218,6 +220,13 @@ impl Pool {
             cursor: AtomicUsize::new(0),
             pending: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            // A nonzero batch id (drawn from the tracer's span-id space,
+            // so it is process-unique) marks this batch for the journal.
+            trace_batch: if anatomy_obs::tracer().enabled() {
+                anatomy_obs::tracer().next_span_id()
+            } else {
+                0
+            },
             f: &f as *const _ as *const (),
             marker: std::marker::PhantomData,
         };
@@ -237,6 +246,12 @@ impl Pool {
             drop(queue);
             self.inner.obs.batches.incr();
             self.inner.obs.queue_depth.add(shares as i64);
+            if state.trace_batch != 0 {
+                anatomy_obs::tracer().emit(anatomy_obs::EventKind::PoolDispatch {
+                    batch: state.trace_batch,
+                    shares: shares as u64,
+                });
+            }
             self.inner.activity.notify_all();
         }
 
@@ -282,7 +297,7 @@ impl Pool {
                 self.inner.obs.help_drained.incr();
                 // SAFETY: shares in the queue point at live batch states
                 // (their owners are blocked right here until they run).
-                unsafe { (share.run)(share.state, &self.inner) };
+                unsafe { (share.run)(share.state, &self.inner, true) };
                 continue;
             }
             if pending.load(Ordering::Acquire) == 0 {
@@ -313,6 +328,9 @@ struct BatchState<T, R, F> {
     /// Queued shares that have not finished yet.
     pending: AtomicUsize,
     panicked: AtomicBool,
+    /// Journal id for this batch's dispatch/share-done events, `0` when
+    /// tracing was off at dispatch.
+    trace_batch: u64,
     f: *const (),
     marker: std::marker::PhantomData<fn(&F, &T) -> R>,
 }
@@ -350,6 +368,7 @@ impl<T: Sync, R: Send, F: Fn(&T) -> R + Sync> BatchState<T, R, F> {
 unsafe fn run_batch_share<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
     ptr: *const (),
     inner: &PoolInner,
+    helped: bool,
 ) {
     let state = unsafe { &*(ptr as *const BatchState<T, R, F>) };
     // Only read the clock when the registry records; the histogram's own
@@ -365,6 +384,12 @@ unsafe fn run_batch_share<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
             .obs
             .share_ns
             .record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    if state.trace_batch != 0 {
+        anatomy_obs::tracer().emit(anatomy_obs::EventKind::PoolShareDone {
+            batch: state.trace_batch,
+            helped,
+        });
     }
     let guard = inner.queue.lock().expect("pool lock");
     state.pending.fetch_sub(1, Ordering::Release);
@@ -389,7 +414,7 @@ fn worker_loop(inner: &PoolInner) {
         inner.obs.queue_depth.add(-1);
         inner.obs.worker_shares.incr();
         // SAFETY: see Share.
-        unsafe { (share.run)(share.state, inner) };
+        unsafe { (share.run)(share.state, inner, false) };
     }
 }
 

@@ -32,6 +32,9 @@ pub fn evaluate_exact_batch(pool: &Pool, index: &QueryIndex, queries: &[CountQue
     let _span = obs.span("query.batch");
     obs.counter("query.batches").incr();
     obs.counter("query.batch_queries").add(queries.len() as u64);
+    anatomy_obs::tracer().emit(anatomy_obs::EventKind::QueryBatch {
+        queries: queries.len() as u64,
+    });
     pool.par_map_hinted(queries, ItemCost::Cheap, |q| {
         evaluate_exact_indexed(index, q)
     })

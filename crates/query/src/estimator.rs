@@ -50,6 +50,9 @@ pub trait Estimator: Sync {
         let _span = obs.span("query.batch");
         obs.counter("query.batches").incr();
         obs.counter("query.batch_queries").add(queries.len() as u64);
+        anatomy_obs::tracer().emit(anatomy_obs::EventKind::QueryBatch {
+            queries: queries.len() as u64,
+        });
         pool.par_map_hinted(queries, ItemCost::Cheap, |q| self.estimate(q))
     }
 }

@@ -38,7 +38,8 @@
 //! ```
 
 use crate::error::StorageError;
-use std::cell::RefCell;
+use anatomy_obs::EventKind;
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
 
 /// One scheduled fault.
@@ -178,6 +179,12 @@ struct FaultState {
 
 thread_local! {
     static ACTIVE: RefCell<Option<FaultState>> = const { RefCell::new(None) };
+    /// (writes, reads) on this thread while *no* fault scope is armed,
+    /// so trace events always carry a page-operation index. With a
+    /// scope armed the scope's own counters are authoritative — they
+    /// are the indices a [`FaultConfig`] schedule keys on, so a trace
+    /// pinpoints the exact op a fault fired at.
+    static FREE_OPS: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
 }
 
 /// RAII guard arming a [`FaultConfig`] for the current thread.
@@ -225,52 +232,115 @@ fn flip(payload: &mut [u8], bit: u64) {
 
 /// Write-path hook: called by `SeqWriter` with the payload it is about
 /// to store, after the page header has been computed. May truncate or
-/// corrupt `payload` in place, or veto the write entirely.
+/// corrupt `payload` in place, or veto the write entirely. Journals a
+/// `PageWrite` trace event (plus `FaultFired` when a schedule entry
+/// matched — emitted even when the fault vetoes the write, so the
+/// trace records exactly which op died).
 pub(crate) fn on_write(payload: &mut Vec<u8>, page: usize) -> Result<(), StorageError> {
-    ACTIVE.with(|a| {
+    let (op, fired, verdict) = ACTIVE.with(|a| {
         let mut a = a.borrow_mut();
-        let Some(state) = a.as_mut() else {
-            return Ok(());
-        };
-        let op = state.writes;
-        state.writes += 1;
-        for &(at, kind) in &state.cfg.on_write {
-            if at != op {
-                continue;
+        match a.as_mut() {
+            None => {
+                let op = FREE_OPS.with(|c| {
+                    let (w, r) = c.get();
+                    c.set((w + 1, r));
+                    w
+                });
+                (op, false, Ok(()))
             }
-            match kind {
-                FaultKind::ShortWrite { keep } => payload.truncate(keep),
-                FaultKind::BitFlipWrite { bit } => flip(payload, bit),
-                FaultKind::DiskFull => return Err(StorageError::DiskFull { page }),
-                _ => {}
+            Some(state) => {
+                let op = state.writes;
+                state.writes += 1;
+                let mut fired = false;
+                let mut verdict = Ok(());
+                for &(at, kind) in &state.cfg.on_write {
+                    if at != op {
+                        continue;
+                    }
+                    match kind {
+                        FaultKind::ShortWrite { keep } => {
+                            payload.truncate(keep);
+                            fired = true;
+                        }
+                        FaultKind::BitFlipWrite { bit } => {
+                            flip(payload, bit);
+                            fired = true;
+                        }
+                        FaultKind::DiskFull => {
+                            fired = true;
+                            verdict = Err(StorageError::DiskFull { page });
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                (op, fired, verdict)
             }
         }
-        Ok(())
-    })
+    });
+    let t = anatomy_obs::tracer();
+    if t.enabled() {
+        t.emit(EventKind::PageWrite {
+            op,
+            page: page as u64,
+        });
+        if fired {
+            t.emit(EventKind::FaultFired { op, write: true });
+        }
+    }
+    verdict
 }
 
 /// Read-path hook: called by `SeqReader` with its private copy of a
 /// page's payload, before header verification. May truncate or corrupt
-/// the copy in place (never the stored page).
-pub(crate) fn on_read(payload: &mut Vec<u8>) {
-    ACTIVE.with(|a| {
+/// the copy in place (never the stored page). Journals a `PageRead`
+/// trace event (plus `FaultFired` when a schedule entry matched).
+pub(crate) fn on_read(payload: &mut Vec<u8>, page: usize) {
+    let (op, fired) = ACTIVE.with(|a| {
         let mut a = a.borrow_mut();
-        let Some(state) = a.as_mut() else {
-            return;
-        };
-        let op = state.reads;
-        state.reads += 1;
-        for &(at, kind) in &state.cfg.on_read {
-            if at != op {
-                continue;
+        match a.as_mut() {
+            None => {
+                let op = FREE_OPS.with(|c| {
+                    let (w, r) = c.get();
+                    c.set((w, r + 1));
+                    r
+                });
+                (op, false)
             }
-            match kind {
-                FaultKind::ShortRead { keep } => payload.truncate(keep),
-                FaultKind::BitFlipRead { bit } => flip(payload, bit),
-                _ => {}
+            Some(state) => {
+                let op = state.reads;
+                state.reads += 1;
+                let mut fired = false;
+                for &(at, kind) in &state.cfg.on_read {
+                    if at != op {
+                        continue;
+                    }
+                    match kind {
+                        FaultKind::ShortRead { keep } => {
+                            payload.truncate(keep);
+                            fired = true;
+                        }
+                        FaultKind::BitFlipRead { bit } => {
+                            flip(payload, bit);
+                            fired = true;
+                        }
+                        _ => {}
+                    }
+                }
+                (op, fired)
             }
         }
     });
+    let t = anatomy_obs::tracer();
+    if t.enabled() {
+        t.emit(EventKind::PageRead {
+            op,
+            page: page as u64,
+        });
+        if fired {
+            t.emit(EventKind::FaultFired { op, write: false });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -311,13 +381,13 @@ mod tests {
         assert_eq!(w1, vec![0xAA, 0xAA]); // truncated
 
         let mut r0 = vec![0u8; 4];
-        on_read(&mut r0);
+        on_read(&mut r0, 0);
         assert_eq!(r0[0], 1 << 3); // bit 3 flipped
         let mut r1 = vec![0u8; 4];
-        on_read(&mut r1);
+        on_read(&mut r1, 1);
         assert_eq!(r1, vec![0u8; 4]); // untouched
         let mut r2 = vec![0u8; 4];
-        on_read(&mut r2);
+        on_read(&mut r2, 2);
         assert!(r2.is_empty()); // short read to zero bytes
     }
 

@@ -103,6 +103,7 @@ pub struct SeqWriter<'a, C: FixedCodec> {
     file: &'a mut SimFile,
     buf: Vec<u8>,
     buf_records: u32,
+    write_ns: anatomy_obs::Histogram,
     _lease: PageLease,
 }
 
@@ -126,6 +127,7 @@ impl<'a, C: FixedCodec> SeqWriter<'a, C> {
             file,
             buf: Vec::with_capacity(cfg.page_size),
             buf_records: 0,
+            write_ns: anatomy_obs::global().histogram("storage.page_write_ns"),
             _lease: lease,
         })
     }
@@ -153,12 +155,21 @@ impl<'a, C: FixedCodec> SeqWriter<'a, C> {
         // this point is caught at read time.
         let header = PageHeader::for_payload(&payload, records);
         let page_idx = self.file.pages.len();
+        // Clock reads only while the registry records (latency is
+        // telemetry; the exact IoCounter stays authoritative either way).
+        let t0 = anatomy_obs::global()
+            .enabled()
+            .then(std::time::Instant::now);
         fault::on_write(&mut payload, page_idx)?;
         self.file.pages.push(Page {
             header,
             payload: payload.into_boxed_slice(),
         });
         self.counter.add_writes(1);
+        if let Some(t0) = t0 {
+            self.write_ns
+                .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
         Ok(())
     }
 
@@ -197,6 +208,7 @@ pub struct SeqReader<'a, C: FixedCodec> {
     loaded: bool,
     yielded: usize,
     failed: bool,
+    read_ns: anatomy_obs::Histogram,
     _lease: PageLease,
 }
 
@@ -219,6 +231,7 @@ impl<'a, C: FixedCodec> SeqReader<'a, C> {
             loaded: false,
             yielded: 0,
             failed: false,
+            read_ns: anatomy_obs::global().histogram("storage.page_read_ns"),
             _lease: lease,
         })
     }
@@ -256,12 +269,19 @@ impl<C: FixedCodec> Iterator for SeqReader<'_, C> {
                 // private copy (read faults apply to the copy, never the
                 // stored bytes), and verify the header against it.
                 self.counter.add_reads(1);
+                let t0 = anatomy_obs::global()
+                    .enabled()
+                    .then(std::time::Instant::now);
                 let mut buf = page.payload.to_vec();
-                fault::on_read(&mut buf);
-                if let Err(e) = page
+                fault::on_read(&mut buf, self.page_idx);
+                let verified = page
                     .header
-                    .verify(&buf, self.codec.record_len(), self.page_idx)
-                {
+                    .verify(&buf, self.codec.record_len(), self.page_idx);
+                if let Some(t0) = t0 {
+                    self.read_ns
+                        .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                }
+                if let Err(e) = verified {
                     return self.fail(e);
                 }
                 self.buf = buf;

@@ -35,8 +35,10 @@
 //!   do;
 //! * [`pool`] — the persistent worker pool batch evaluation runs on;
 //! * [`obs`] — the zero-dependency observability layer: counters,
-//!   histograms, phase spans, and the `RunManifest` JSON every
-//!   instrumented binary can emit (`--metrics` on the CLI);
+//!   histograms, phase spans, the `RunManifest` JSON every instrumented
+//!   binary can emit (`--metrics` on the CLI), and the event-journal
+//!   tracer behind [`Publish::trace`] and `--trace` (Perfetto/JSONL
+//!   export, latency percentiles in the manifest);
 //! * [`data`] — the paper's worked example and the synthetic CENSUS.
 //!
 //! `DESIGN.md` maps the paper to the modules, and the `repro` binary

@@ -78,7 +78,52 @@ pub struct Publish<'a> {
     reference: bool,
     external: Option<PageConfig>,
     audit: bool,
+    trace: Option<String>,
     name: String,
+}
+
+/// RAII save/restore around a traced run: enables the registry and the
+/// tracer for the duration, marks the journal position, and restores
+/// both flags on drop (success *and* error paths).
+struct TraceScope {
+    path: String,
+    prev_metrics: bool,
+    prev_trace: bool,
+    mark: anatomy_obs::TraceMark,
+}
+
+impl TraceScope {
+    fn begin(path: String) -> TraceScope {
+        let obs = anatomy_obs::global();
+        let tracer = anatomy_obs::tracer();
+        let scope = TraceScope {
+            path,
+            prev_metrics: obs.enabled(),
+            prev_trace: tracer.enabled(),
+            mark: tracer.mark(),
+        };
+        obs.set_enabled(true);
+        tracer.set_enabled(true);
+        scope
+    }
+
+    /// Write everything journaled since the mark to `self.path` (JSONL
+    /// when the path ends in `.jsonl`, Chrome trace-event JSON
+    /// otherwise). Called on the success path only; flag restoration is
+    /// the drop's job.
+    fn finish(&self) -> Result<(), Error> {
+        anatomy_obs::tracer()
+            .snapshot_since(&self.mark)
+            .write_to(&self.path)
+            .map_err(|e| Error::msg(format!("writing trace {:?}: {e}", self.path)))
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        anatomy_obs::global().set_enabled(self.prev_metrics);
+        anatomy_obs::tracer().set_enabled(self.prev_trace);
+    }
 }
 
 impl<'a> Publish<'a> {
@@ -90,6 +135,7 @@ impl<'a> Publish<'a> {
             reference: false,
             external: None,
             audit: false,
+            trace: None,
             name: "publish".to_string(),
         }
     }
@@ -141,6 +187,18 @@ impl<'a> Publish<'a> {
         self
     }
 
+    /// Export an execution trace of this run to `path`: JSONL when the
+    /// path ends in `.jsonl`, Chrome trace-event JSON (loadable in
+    /// Perfetto / `chrome://tracing`) otherwise. Enables the registry
+    /// and the event tracer for the duration of [`Publish::run`] and
+    /// restores their previous state afterwards; the manifest then also
+    /// carries the `latency` percentile block. Tracing never changes
+    /// the published tables — traced and untraced runs are bit-identical.
+    pub fn trace(mut self, path: impl Into<String>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
     /// Name recorded in the manifest (default `"publish"`).
     pub fn name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -156,6 +214,9 @@ impl<'a> Publish<'a> {
     /// attribution holds whenever runs don't overlap).
     pub fn run(self) -> Result<Release, Error> {
         let obs = anatomy_obs::global();
+        // Install the trace scope before the baseline snapshot so the
+        // manifest delta sees the traced (enabled) registry state.
+        let trace_scope = self.trace.clone().map(TraceScope::begin);
         let before = obs.snapshot();
         let l = self.config.l;
         let seed = self.config.seed;
@@ -226,6 +287,10 @@ impl<'a> Publish<'a> {
         } else {
             None
         };
+
+        if let Some(scope) = &trace_scope {
+            scope.finish()?;
+        }
 
         Ok(Release {
             tables,

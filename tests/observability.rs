@@ -3,6 +3,11 @@
 //! tables, and query estimates must be bit-for-bit identical whether the
 //! global registry is enabled or disabled — and the manifest's I/O block
 //! must equal the run's `IoStats` exactly in both states.
+//!
+//! The same contract extends to the trace journal: a traced run must
+//! produce bit-identical tables, estimates, and `IoStats` to an untraced
+//! one, and every trace the suite exports must pass
+//! [`obs::validate_trace`] in both output formats.
 
 use anatomy::core::{anatomize, AnatomizeConfig, AnatomizedTables, BucketStrategy, CoreError};
 use anatomy::obs;
@@ -33,6 +38,27 @@ impl Enabled {
 impl Drop for Enabled {
     fn drop(&mut self) {
         obs::global().set_enabled(self.prev);
+    }
+}
+
+/// Like [`Enabled`], but for the trace journal's global flag. Also used
+/// under [`REGISTRY_LOCK`] — registry and tracer share the one lock so a
+/// test never sees the other's toggles.
+struct Traced {
+    prev: bool,
+}
+
+impl Traced {
+    fn set(on: bool) -> Traced {
+        let prev = obs::tracer().enabled();
+        obs::tracer().set_enabled(on);
+        Traced { prev }
+    }
+}
+
+impl Drop for Traced {
+    fn drop(&mut self) {
+        obs::tracer().set_enabled(self.prev);
     }
 }
 
@@ -125,6 +151,51 @@ proptest! {
             ),
         }
     }
+
+    /// Tracing on vs off (registry enabled in both arms): identical
+    /// partitions, QIT/ST, and estimates — and the trace the traced arm
+    /// journaled validates in both export formats.
+    #[test]
+    fn tracing_never_perturbs_results(
+        rows in rows_strategy(),
+        l in 2usize..5,
+        seed in 40u64..60,
+    ) {
+        let md = microdata(&rows);
+        let config = AnatomizeConfig::new(l).with_seed(seed);
+
+        let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _metrics = Enabled::set(true);
+        let untraced = {
+            let _state = Traced::set(false);
+            run_pipeline(&md, &config)
+        };
+        let mark = obs::tracer().mark();
+        let traced = {
+            let _state = Traced::set(true);
+            run_pipeline(&md, &config)
+        };
+        let snapshot = obs::tracer().snapshot_since(&mark);
+
+        match (untraced, traced) {
+            (Ok((t_off, e_off)), Ok((t_on, e_on))) => {
+                prop_assert_eq!(t_off, t_on);
+                prop_assert_eq!(e_off, e_on);
+                let chrome = obs::validate_trace(&snapshot.to_chrome_json());
+                prop_assert!(chrome.is_ok(), "chrome trace invalid: {:?}", chrome);
+                let jsonl = obs::validate_trace(&snapshot.to_jsonl());
+                prop_assert!(jsonl.is_ok(), "jsonl trace invalid: {:?}", jsonl);
+                prop_assert!(chrome.unwrap().spans > 0, "traced run journaled no spans");
+            }
+            (Err(off), Err(on)) => prop_assert_eq!(off, on),
+            (off, on) => prop_assert!(
+                false,
+                "tracer state changed the outcome: untraced={:?} traced={:?}",
+                off.map(|_| "ok"),
+                on.map(|_| "ok")
+            ),
+        }
+    }
 }
 
 /// The Figure 8–9 acceptance contract: an external run's manifest carries
@@ -200,4 +271,61 @@ fn disabled_registry_still_reports_exact_io() {
     assert_eq!(io.get("total").unwrap().as_u64(), Some(stats.total()));
     // No spans were recorded: a disabled registry is a true no-op.
     assert!(release.manifest.phases().is_empty());
+}
+
+/// `Publish::trace`: the traced run is bit-identical to the untraced one
+/// (tables AND `IoStats`), the exported file validates, and the traced
+/// manifest carries a latency block that `validate_manifest_json`
+/// accepts.
+#[test]
+fn traced_publish_is_bit_identical_and_trace_validates() {
+    let rows: Vec<(u32, u32)> = (0..500).map(|i| ((i * 3) % QI_DOM, i % S_DOM)).collect();
+    let md = microdata(&rows);
+    let dir = std::env::temp_dir().join(format!("anatomy-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _metrics = Enabled::set(false);
+    let _tracing = Traced::set(false);
+    let plain = Publish::new(&md)
+        .l(4)
+        .external(PageConfig::with_page_size(128))
+        .run()
+        .unwrap();
+
+    for name in ["t.json", "t.jsonl"] {
+        let path = dir.join(name).to_string_lossy().into_owned();
+        let traced = Publish::new(&md)
+            .l(4)
+            .external(PageConfig::with_page_size(128))
+            .trace(&path)
+            .run()
+            .unwrap();
+        assert_eq!(plain.tables, traced.tables, "tables diverge under {name}");
+        assert_eq!(plain.io, traced.io, "IoStats diverge under {name}");
+
+        let summary = obs::validate_trace(&std::fs::read_to_string(&path).unwrap())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(summary.events > 0, "{name}: empty trace");
+        assert!(summary.spans > 0, "{name}: no spans journaled");
+        assert!(
+            summary.instants > 0,
+            "{name}: no page-op instants journaled"
+        );
+
+        // The traced run's manifest surfaces latency percentiles, and the
+        // stricter-than-schema validator accepts them.
+        let json = traced.manifest.to_json();
+        obs::validate_manifest_json(&json).unwrap();
+        let v = obs::Json::parse(&json).unwrap();
+        let latency = v.get("latency").expect("traced manifest has latency");
+        assert!(
+            latency.get("anatomize_external").is_some(),
+            "latency block lacks the root phase: {json}"
+        );
+    }
+
+    // Tracing stayed scoped: both globals are back off.
+    assert!(!obs::tracer().enabled());
+    assert!(!obs::global().enabled());
 }
