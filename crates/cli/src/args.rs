@@ -94,6 +94,40 @@ pub enum Command {
         /// else for Chrome trace-event JSON).
         trace: Option<String>,
     },
+    /// `anatomy serve --qit F --st F --schema F --sensitive NAME --l N
+    ///  [--data F] [--listen ADDR] [--port-file F] [--name NAME]
+    ///  [--max-inflight N] [--max-batch N]`
+    ///
+    /// Loads one release, builds its query index once, and answers
+    /// query batches over a socket until a `SHUTDOWN` request arrives.
+    /// `--listen` takes `HOST:PORT` (port `0` picks a free one) or
+    /// `unix:PATH`; the bound address is printed on stdout and, with
+    /// `--port-file`, written to a file other processes can poll.
+    Serve {
+        /// QIT CSV path.
+        qit: String,
+        /// ST CSV path.
+        st: String,
+        /// Schema file path.
+        schema: String,
+        /// Sensitive attribute name.
+        sensitive: String,
+        /// Claimed diversity parameter.
+        l: usize,
+        /// Microdata CSV path; with it the release serves `exact`
+        /// queries too, without it only `estimate` mode is available.
+        data: Option<String>,
+        /// `HOST:PORT` or `unix:PATH` to listen on.
+        listen: String,
+        /// Write the bound address here once listening.
+        port_file: Option<String>,
+        /// Release name clients address batches to.
+        name: String,
+        /// Batches evaluated concurrently before `BUSY` responses.
+        max_inflight: usize,
+        /// Largest accepted batch, in queries.
+        max_batch: usize,
+    },
 }
 
 /// Usage text.
@@ -103,7 +137,8 @@ usage:
   anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N] [--metrics F] [--trace F]
   anatomy audit   --qit F --st F --schema F --sensitive NAME --l N
   anatomy verify  --qit F --st F --schema F --sensitive NAME --l N
-  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed] [--metrics F] [--trace F]";
+  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed] [--metrics F] [--trace F]
+  anatomy serve   --qit F --st F --schema F --sensitive NAME --l N [--data F] [--listen HOST:PORT|unix:PATH] [--port-file F] [--name NAME] [--max-inflight N] [--max-batch N]";
 
 /// Flags that take no value; their presence alone means "true".
 const BOOLEAN_FLAGS: &[&str] = &["indexed"];
@@ -118,9 +153,17 @@ fn flags(args: &[String]) -> CliResult<HashMap<String, String>> {
         let value = if BOOLEAN_FLAGS.contains(&key) {
             "true".to_string()
         } else {
-            it.next()
-                .ok_or_else(|| Error::msg(format!("--{key} needs a value")))?
-                .clone()
+            let v = it
+                .next()
+                .ok_or_else(|| Error::msg(format!("--{key} needs a value")))?;
+            // An empty value is always a quoting accident (`--trace ''`,
+            // `--seed "$UNSET_VAR"`); rejecting it here keeps the
+            // failure on the usage path (exit 2 + usage text) instead
+            // of a confusing runtime error from whatever consumed "".
+            if v.is_empty() {
+                return Err(Error::msg(format!("--{key} needs a non-empty value")));
+            }
+            v.clone()
         };
         if map.insert(key.to_string(), value).is_some() {
             return Err(Error::msg(format!("--{key} given twice")));
@@ -198,6 +241,37 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
             indexed: map.remove("indexed").is_some(),
             metrics: map.remove("metrics"),
             trace: map.remove("trace"),
+        },
+        "serve" => Command::Serve {
+            qit: take(&mut map, "qit")?,
+            st: take(&mut map, "st")?,
+            schema: take(&mut map, "schema")?,
+            sensitive: take(&mut map, "sensitive")?,
+            l: take(&mut map, "l")?
+                .parse()
+                .map_err(|_| "--l must be an integer")?,
+            data: map.remove("data"),
+            listen: map
+                .remove("listen")
+                .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+            port_file: map.remove("port-file"),
+            name: map.remove("name").unwrap_or_else(|| "default".to_string()),
+            max_inflight: map
+                .remove("max-inflight")
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| "--max-inflight must be an integer")
+                })
+                .transpose()?
+                .unwrap_or(4),
+            max_batch: map
+                .remove("max-batch")
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| "--max-batch must be an integer")
+                })
+                .transpose()?
+                .unwrap_or(65_536),
         },
         other => return Err(Error::msg(format!("unknown command `{other}`\n{USAGE}"))),
     };
@@ -279,6 +353,106 @@ mod tests {
         ))
         .is_err());
         assert!(parse_args(&argv("stats --data a --data b --schema s --sensitive X")).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_flag_values() {
+        // `argv()` can't express an empty token, so build argv by hand:
+        // the shell-quoting accidents `--trace ''` / `--seed "$UNSET"`.
+        let args: Vec<String> = [
+            "publish",
+            "--data",
+            "d",
+            "--schema",
+            "s",
+            "--sensitive",
+            "X",
+            "--l",
+            "2",
+            "--qit",
+            "q",
+            "--st",
+            "t",
+            "--trace",
+            "",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = parse_args(&args).unwrap_err();
+        assert!(
+            err.to_string().contains("--trace needs a non-empty value"),
+            "{err}"
+        );
+        let args: Vec<String> = ["stats", "--data", "", "--schema", "s", "--sensitive", "X"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn dangling_value_flags_error_for_every_command() {
+        // A value-taking flag as the last token must be a typed usage
+        // error, never a panic — for each command's tail flag.
+        for cmd in [
+            "stats --data d --schema s --sensitive",
+            "publish --data d --schema s --sensitive X --l 2 --qit q --st t --trace",
+            "audit --qit q --st t --schema s --sensitive X --l",
+            "query --qit q --st t --schema s --sensitive X --l 3 --query",
+            "serve --qit q --st t --schema s --sensitive X --l 3 --listen",
+        ] {
+            let err = parse_args(&argv(cmd)).unwrap_err();
+            assert!(err.to_string().contains("needs a value"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let c = parse_args(&argv("serve --qit q --st t --schema s --sensitive X --l 3")).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                qit: "q".into(),
+                st: "t".into(),
+                schema: "s".into(),
+                sensitive: "X".into(),
+                l: 3,
+                data: None,
+                listen: "127.0.0.1:0".into(),
+                port_file: None,
+                name: "default".into(),
+                max_inflight: 4,
+                max_batch: 65_536,
+            }
+        );
+        let c = parse_args(&argv(
+            "serve --qit q --st t --schema s --sensitive X --l 3 --data d \
+             --listen unix:/tmp/a.sock --port-file p --name census \
+             --max-inflight 2 --max-batch 100",
+        ))
+        .unwrap();
+        match c {
+            Command::Serve {
+                data,
+                listen,
+                name,
+                max_inflight,
+                max_batch,
+                ..
+            } => {
+                assert_eq!(data.as_deref(), Some("d"));
+                assert_eq!(listen, "unix:/tmp/a.sock");
+                assert_eq!(name, "census");
+                assert_eq!(max_inflight, 2);
+                assert_eq!(max_batch, 100);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&argv(
+            "serve --qit q --st t --schema s --sensitive X --l 3 --max-batch many"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use anatomy_core::AnatomizedTables;
 use anatomy_obs::RunManifest;
 use anatomy_pool::Pool;
 use anatomy_query::{estimate_anatomy, estimate_anatomy_batch, workload_from_text, QueryIndex};
+use anatomy_serve::{ServeConfig, ServedRelease, Server};
 use anatomy_tables::{csv, Microdata, Schema, Table, TableBuilder, Value};
 use std::fmt::Write as _;
 use std::fs;
@@ -143,6 +144,31 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             *indexed,
             metrics.as_deref(),
             trace.as_deref(),
+        ),
+        Command::Serve {
+            qit,
+            st,
+            schema,
+            sensitive,
+            l,
+            data,
+            listen,
+            port_file,
+            name,
+            max_inflight,
+            max_batch,
+        } => serve(
+            qit,
+            st,
+            schema,
+            sensitive,
+            *l,
+            data.as_deref(),
+            listen,
+            port_file.as_deref(),
+            name,
+            *max_inflight,
+            *max_batch,
         ),
     }
 }
@@ -407,6 +433,79 @@ fn query_cmd(
 
 fn empty_table(schema: &Schema) -> Table {
     TableBuilder::new(schema.clone()).finish()
+}
+
+/// Load a release (and optionally its microdata), build the query index
+/// once, and serve batches until a client sends `SHUTDOWN`.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    qit_path: &str,
+    st_path: &str,
+    schema_path: &str,
+    sensitive: &str,
+    l: usize,
+    data: Option<&str>,
+    listen: &str,
+    port_file: Option<&str>,
+    name: &str,
+    max_inflight: usize,
+    max_batch: usize,
+) -> CliResult<String> {
+    let (schema, tables) = load_release(qit_path, st_path, schema_path, sensitive, l)?;
+    let release = match data {
+        Some(data_path) => {
+            let md = load_microdata(data_path, &schema, sensitive)?;
+            ServedRelease::exact(name, md, tables)
+                .map_err(|e| Error::from(e).context("cannot build the query index"))?
+        }
+        None => {
+            let (qi, s_col) = designate(&schema, sensitive)?;
+            // No microdata: parse queries against the schema's domains
+            // and serve the anatomy estimator only.
+            let domains = Microdata::new(empty_table(&schema), qi, s_col).map_err(Error::from)?;
+            ServedRelease::estimate_only(name, domains, tables)
+        }
+    };
+    let exact = release.serves_exact();
+    let server = Server::bind(
+        ServeConfig {
+            listen: listen.to_string(),
+            max_inflight,
+            max_batch,
+        },
+        vec![release],
+    )
+    .map_err(|e| Error::msg(format!("cannot listen on {listen}: {e}")))?;
+    let addr = server.addr().to_string();
+    // Announce the bound address (and drop it in --port-file) before
+    // blocking in the accept loop, so scripts can discover an ephemeral
+    // port. Stdout is line-buffered, so this is visible immediately.
+    println!(
+        "serving release `{name}` ({}) on {addr}",
+        if exact {
+            "exact+estimate"
+        } else {
+            "estimate only"
+        }
+    );
+    if let Some(path) = port_file {
+        fs::write(path, &addr).map_err(|e| Error::msg(format!("cannot write {path}: {e}")))?;
+    }
+    let summary = server
+        .run()
+        .map_err(|e| Error::msg(format!("serve failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} batches ({} queries)",
+        summary.batches, summary.queries
+    );
+    let _ = writeln!(
+        out,
+        "overloaded {} protocol/query errors {}",
+        summary.overloaded, summary.errors
+    );
+    Ok(out)
 }
 
 #[cfg(test)]

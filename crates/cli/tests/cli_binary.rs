@@ -363,3 +363,179 @@ fn audit_failure_exits_1() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8(out.stderr).unwrap().contains("error"));
 }
+
+/// Kills a spawned server if a test assertion fails before SHUTDOWN.
+struct ChildGuard(Option<std::process::Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(mut c) = self.0.take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// The resident server end to end through the binary: publish, serve
+/// with `--port-file`, answer a batch bit-for-bit, emit validating
+/// stats, and exit 0 on SHUTDOWN.
+#[test]
+fn serve_answers_batches_and_shuts_down_cleanly() {
+    use anatomy_query::{evaluate_exact, workload_from_text};
+    use anatomy_serve::ServeClient;
+
+    let dir = scratch("serve");
+    let (data, schema) = demo(&dir);
+    let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+    let st = dir.join("st.csv").to_string_lossy().into_owned();
+    let publish = [
+        "publish",
+        "--data",
+        &data,
+        "--schema",
+        &schema,
+        "--sensitive",
+        "Disease",
+        "--l",
+        "4",
+        "--qit",
+        &qit,
+        "--st",
+        &st,
+    ];
+    assert!(bin().args(publish).status().unwrap().success());
+
+    let port_file = dir.join("serve.addr").to_string_lossy().into_owned();
+    let child = bin()
+        .args([
+            "serve",
+            "--qit",
+            &qit,
+            "--st",
+            &st,
+            "--schema",
+            &schema,
+            "--sensitive",
+            "Disease",
+            "--l",
+            "4",
+            "--data",
+            &data,
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file,
+            "--name",
+            "census",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut guard = ChildGuard(Some(child));
+
+    // The binary writes --port-file right after binding; poll for it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let addr = loop {
+        if let Ok(a) = fs::read_to_string(&port_file) {
+            if !a.is_empty() {
+                break a;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never wrote {port_file}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+
+    // The same microdata the binary loaded, rebuilt in-process as the
+    // oracle the served answers must match bit for bit.
+    let md = {
+        let schema_obj = anatomy_tables::Schema::new(vec![
+            anatomy_tables::Attribute::numerical("Age", 100),
+            anatomy_tables::Attribute::categorical("Sex", 2),
+            anatomy_tables::Attribute::categorical("Disease", 5),
+        ])
+        .unwrap();
+        let mut b = anatomy_tables::TableBuilder::new(schema_obj);
+        for i in 0..40u32 {
+            b.push_row(&[20 + i, i % 2, i % 5]).unwrap();
+        }
+        anatomy_tables::Microdata::with_leading_qi(b.finish(), 2).unwrap()
+    };
+    let queries =
+        workload_from_text(&md, "s=0\nqi0=25;s=0\nqi1=0;s=1\nqi0=20|21|22;s=0|1\n").unwrap();
+
+    let mut client = ServeClient::connect(addr.trim()).unwrap();
+    let got = client.batch_exact("census", &queries).unwrap();
+    for (q, &served) in queries.iter().zip(&got) {
+        assert_eq!(served, evaluate_exact(&md, q), "mismatch on {q}");
+    }
+
+    let stats = client.stats().unwrap();
+    let summary = anatomy_obs::validate_manifest_json(&stats).unwrap();
+    assert_eq!(summary.name, "serve");
+    assert!(stats.contains("\"serve.batch\""), "{stats}");
+
+    client.shutdown().unwrap();
+    let out = guard.0.take().unwrap().wait_with_output().unwrap();
+    assert!(out.status.success(), "serve exited {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("serving release `census`"), "{stdout}");
+    assert!(stdout.contains("served 1 batches (4 queries)"), "{stdout}");
+}
+
+/// A value-taking flag dangling at the end of argv, or given an empty
+/// value, is a usage error (exit 2 + usage text), not a silent default.
+#[test]
+fn dangling_and_empty_flag_values_exit_2() {
+    let out = bin()
+        .args([
+            "stats",
+            "--data",
+            "d.csv",
+            "--schema",
+            "s.txt",
+            "--sensitive",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "dangling --sensitive");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--sensitive"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let out = bin()
+        .args([
+            "stats",
+            "--data",
+            "",
+            "--schema",
+            "s.txt",
+            "--sensitive",
+            "X",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "empty --data value");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--data"), "{stderr}");
+    assert!(stderr.contains("non-empty"), "{stderr}");
+
+    let out = bin()
+        .args([
+            "serve",
+            "--qit",
+            "q",
+            "--st",
+            "t",
+            "--schema",
+            "s",
+            "--sensitive",
+            "X",
+            "--l",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "dangling --l on serve");
+}

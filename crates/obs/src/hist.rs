@@ -114,7 +114,8 @@ pub struct HistSnapshot {
     /// Sum of recorded values (wraps only past `u64::MAX` total).
     pub sum: u64,
     /// Largest recorded value (high-water over the cell's lifetime; a
-    /// delta keeps the later snapshot's max).
+    /// delta caps it by the window's highest occupied bucket, see
+    /// [`HistSnapshot::since`]).
     pub max: u64,
     /// One count per log₂ bucket, index `0..=64`.
     pub buckets: Vec<u64>,
@@ -134,6 +135,12 @@ impl HistSnapshot {
     /// (`0.0 ..= 1.0`), `0` when empty. A log₂ histogram answers
     /// percentiles to within 2×, which is the granularity that matters
     /// for "did this phase regress by an order of magnitude".
+    ///
+    /// Every percentile is capped at [`max`](HistSnapshot::max), so no
+    /// reported quantile can exceed the largest value actually seen
+    /// (`percentile(1.0) == max` exactly). `p <= 0.0` is well-defined
+    /// as rank 1 — the smallest recorded value's bucket upper bound —
+    /// and `p` outside `0.0..=1.0` is clamped into range.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -150,7 +157,13 @@ impl HistSnapshot {
     }
 
     /// Counts accumulated since `earlier` (same histogram, earlier
-    /// snapshot). `max` is taken from `self`.
+    /// snapshot). The cell only tracks a lifetime high-water `max`, so
+    /// the delta takes `self.max` *capped by the upper bound of the
+    /// window's highest occupied bucket* (`0` for an empty window):
+    /// without the cap, a delta whose largest value landed in a low
+    /// bucket would report the stale lifetime max, and percentiles —
+    /// which are themselves capped at `max` — would inherit bounds no
+    /// value in the window ever reached.
     ///
     /// Registry-produced snapshots always have [`BUCKETS`] buckets;
     /// mismatched lengths (possible with a deserialized or hand-built
@@ -163,17 +176,18 @@ impl HistSnapshot {
             "HistSnapshot::since across mismatched bucket counts"
         );
         let n = self.buckets.len().max(earlier.buckets.len());
-        let buckets = (0..n)
+        let buckets: Vec<u64> = (0..n)
             .map(|i| {
                 let now = self.buckets.get(i).copied().unwrap_or(0);
                 let then = earlier.buckets.get(i).copied().unwrap_or(0);
                 now.saturating_sub(then)
             })
             .collect();
+        let window_upper = buckets.iter().rposition(|&c| c > 0).map_or(0, bucket_upper);
         HistSnapshot {
             count: self.count.saturating_sub(earlier.count),
             sum: self.sum.saturating_sub(earlier.sum),
-            max: self.max,
+            max: self.max.min(window_upper),
             buckets,
         }
     }
@@ -256,6 +270,51 @@ mod tests {
         let d = short_snapshot().since(&h.snapshot());
         assert_eq!(d.buckets.len(), BUCKETS);
         assert!(d.buckets.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn percentile_zero_is_rank_one() {
+        let h = recording_hist();
+        for v in [5u64, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p=0.0 clamps to rank 1: the smallest value's bucket bound.
+        assert_eq!(s.percentile(0.0), 7); // 5 lands in [4,8)
+        assert_eq!(s.percentile(-3.0), 7); // clamped into range
+        assert_eq!(s.percentile(2.0), 1000); // clamped to p=1.0 → max
+    }
+
+    #[test]
+    fn percentiles_never_exceed_max() {
+        // A single value whose bucket bound exceeds it: every quantile
+        // must report the observed max, not the looser bucket bound.
+        let h = recording_hist();
+        h.record(1000); // bucket [512, 1024), upper bound 1023
+        let s = h.snapshot();
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.percentile(p), 1000, "p={p}");
+        }
+    }
+
+    #[test]
+    fn since_caps_max_to_the_window() {
+        let h = recording_hist();
+        h.record(1_000_000); // lifetime max, outside the window
+        let before = h.snapshot();
+        h.record(900);
+        h.record(1000);
+        let d = h.snapshot().since(&before);
+        assert_eq!(d.count, 2);
+        // The delta's max is bounded by its highest occupied bucket
+        // ([512,1024) → 1023), not the stale lifetime high-water.
+        assert_eq!(d.max, 1023);
+        assert!(d.percentile(0.5) <= d.max);
+        assert_eq!(d.percentile(1.0), 1023);
+        // An empty window reports zero, not the lifetime max.
+        let empty = h.snapshot().since(&h.snapshot());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0);
     }
 
     #[test]

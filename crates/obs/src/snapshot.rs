@@ -22,9 +22,11 @@ pub struct Snapshot {
 impl Snapshot {
     /// Activity between `earlier` and `self`, for attributing counts to
     /// one bench cell out of a longer process. Counters, histogram
-    /// buckets, and span calls/totals subtract; gauges and extrema
-    /// (`max`, `min_ns`/`max_ns`) keep the later snapshot's values.
-    /// Instruments absent from `earlier` pass through unchanged.
+    /// buckets, and span calls/totals subtract; gauges and span extrema
+    /// (`min_ns`/`max_ns`) keep the later snapshot's values, while a
+    /// histogram delta's `max` is additionally capped by the window's
+    /// highest occupied bucket ([`HistSnapshot::since`]). Instruments
+    /// absent from `earlier` pass through unchanged.
     pub fn since(&self, earlier: &Snapshot) -> Snapshot {
         let counters = self
             .counters

@@ -470,6 +470,73 @@ mod tests {
     }
 
     #[test]
+    fn saturated_nested_batches_complete_via_help_draining() {
+        // Many caller threads on a small pool, every outer item issuing
+        // a nested Heavy batch: the share queue saturates with shares
+        // from a dozen live batches while every lane is occupied. The
+        // blocked callers must help-drain their way out; a pool that
+        // parked waiters without draining would deadlock here. The
+        // watchdog turns that deadlock into a loud failure instead of a
+        // hung test binary.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let pool = Pool::new(3); // 2 workers, 6 concurrent callers
+            std::thread::scope(|s| {
+                for t in 0..6u64 {
+                    let pool = &pool;
+                    s.spawn(move || {
+                        let outer: Vec<u64> = (0..8).map(|i| i + 100 * t).collect();
+                        let sums = pool.par_map_hinted(&outer, ItemCost::Heavy, |&o| {
+                            let inner: Vec<u64> = (o..o + 64).collect();
+                            pool.par_map_hinted(&inner, ItemCost::Heavy, |&i| i * 2)
+                                .iter()
+                                .sum::<u64>()
+                        });
+                        for (i, &o) in outer.iter().enumerate() {
+                            let expect: u64 = (o..o + 64).map(|i| i * 2).sum();
+                            assert_eq!(sums[i], expect, "caller {t}, outer item {i}");
+                        }
+                    });
+                }
+            });
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(120))
+            .expect("saturated nested batches deadlocked");
+    }
+
+    #[test]
+    fn heavy_batch_of_exactly_threads_items_engages_every_lane() {
+        // shares = workers.min(chunks - 1) must queue `threads - 1`
+        // shares for a Heavy batch of `threads` items — the caller takes
+        // one chunk, every worker gets one. An off-by-one here shows up
+        // as a high-water concurrency below `threads`, because the lane
+        // running two items runs them sequentially. The spin below is a
+        // barrier: each lane waits (bounded) until all four are live, so
+        // with correct share accounting the high-water is exactly 4.
+        use std::time::{Duration, Instant};
+        let pool = Pool::new(4);
+        let live = AtomicUsize::new(0);
+        let high = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..4).collect();
+        pool.par_for_each(&items, ItemCost::Heavy, |_| {
+            live.fetch_add(1, Ordering::SeqCst);
+            high.fetch_max(live.load(Ordering::SeqCst), Ordering::SeqCst);
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while live.load(Ordering::SeqCst) < 4 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            high.fetch_max(live.load(Ordering::SeqCst), Ordering::SeqCst);
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert_eq!(
+            high.load(Ordering::SeqCst),
+            4,
+            "a lane sat idle on a Heavy batch of exactly `threads` items"
+        );
+    }
+
+    #[test]
     fn global_pool_is_shared_and_reused() {
         let a = Pool::global() as *const Pool;
         let b = Pool::global() as *const Pool;

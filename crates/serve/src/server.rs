@@ -1,0 +1,482 @@
+//! The accept loop, per-connection protocol handling, admission
+//! control, and the stats endpoint.
+
+use crate::protocol::{connect_stream, LineEvent, LineReader, Mode, Stream};
+use crate::release::ServedRelease;
+use anatomy_obs::RunManifest;
+use anatomy_pool::Pool;
+use anatomy_query::{estimate_anatomy_batch, evaluate_exact_batch, workload_from_text};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a connection thread notices a shutdown while idle.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// `HOST:PORT` (port `0` picks a free one) or `unix:PATH`.
+    pub listen: String,
+    /// Batches evaluated concurrently before `BUSY` responses.
+    pub max_inflight: usize,
+    /// Largest accepted batch, in queries.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            max_inflight: 4,
+            max_batch: 65_536,
+        }
+    }
+}
+
+/// What the server did over its lifetime, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Batches answered with `OK`.
+    pub batches: u64,
+    /// Queries inside those batches.
+    pub queries: u64,
+    /// Batches refused with `BUSY`.
+    pub overloaded: u64,
+    /// Requests answered with `ERR`.
+    pub errors: u64,
+}
+
+/// Observability handles, registered once against the global registry.
+struct ServeObs {
+    batches: anatomy_obs::Counter,
+    queries: anatomy_obs::Counter,
+    overloaded: anatomy_obs::Counter,
+    errors: anatomy_obs::Counter,
+    in_flight: anatomy_obs::Gauge,
+}
+
+impl ServeObs {
+    fn new() -> ServeObs {
+        let registry = anatomy_obs::global();
+        ServeObs {
+            batches: registry.counter("serve.batches"),
+            queries: registry.counter("serve.queries"),
+            overloaded: registry.counter("serve.overloaded"),
+            errors: registry.counter("serve.errors"),
+            in_flight: registry.gauge("serve.in_flight"),
+        }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    releases: HashMap<String, ServedRelease>,
+    max_inflight: usize,
+    max_batch: usize,
+    in_flight: AtomicUsize,
+    stop: AtomicBool,
+    obs: ServeObs,
+    // The summary is tracked separately from `obs` so it is correct
+    // even when the embedding process keeps the registry disabled.
+    batches: AtomicU64,
+    queries: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Shared {
+    /// Admission control: claim an evaluation slot, or report how many
+    /// were busy. Bounded in-flight work is the overload contract — a
+    /// refused batch gets an explicit `BUSY`, never unbounded queueing.
+    fn try_admit(self: &Arc<Shared>) -> Result<AdmissionGuard, usize> {
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_inflight {
+                return Err(cur);
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.obs.in_flight.add(1);
+                    return Ok(AdmissionGuard {
+                        shared: Arc::clone(self),
+                    });
+                }
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+struct AdmissionGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.shared.in_flight.fetch_sub(1, Ordering::Release);
+        self.shared.obs.in_flight.add(-1);
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, String),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Box<dyn Stream>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (conn, _) = l.accept()?;
+                conn.set_nodelay(true)?;
+                Ok(Box::new(conn))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (conn, _) = l.accept()?;
+                Ok(Box::new(conn))
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks the calling
+/// thread until a `SHUTDOWN` request; [`Server::spawn`] does the same on
+/// a background thread and hands back the address.
+pub struct Server {
+    listener: Listener,
+    addr: String,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the configured address and load `releases`. For unix
+    /// sockets a stale socket file from a dead server is removed first.
+    pub fn bind(cfg: ServeConfig, releases: Vec<ServedRelease>) -> io::Result<Server> {
+        let listener = if let Some(path) = cfg.listen.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let _ = std::fs::remove_file(path);
+                Listener::Unix(UnixListener::bind(path)?, path.to_string())
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ));
+            }
+        } else {
+            Listener::Tcp(TcpListener::bind(&cfg.listen)?)
+        };
+        let addr = match &listener {
+            Listener::Tcp(l) => l.local_addr()?.to_string(),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => format!("unix:{path}"),
+        };
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                releases: releases
+                    .into_iter()
+                    .map(|r| (r.name().to_string(), r))
+                    .collect(),
+                max_inflight: cfg.max_inflight.max(1),
+                max_batch: cfg.max_batch.max(1),
+                in_flight: AtomicUsize::new(0),
+                stop: AtomicBool::new(false),
+                obs: ServeObs::new(),
+                batches: AtomicU64::new(0),
+                queries: AtomicU64::new(0),
+                overloaded: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address, in the form [`crate::ServeClient::connect`]
+    /// accepts: `HOST:PORT` or `unix:PATH`.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Serve until a `SHUTDOWN` request, then join every connection
+    /// thread and return the lifetime summary. Enables the global
+    /// observability registry so the stats endpoint always has data.
+    pub fn run(self) -> io::Result<ServeSummary> {
+        anatomy_obs::global().set_enabled(true);
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            let conn = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    if self.shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
+            if self.shared.stop.load(Ordering::Acquire) {
+                break; // the wake-up connection from the shutdown path
+            }
+            let shared = Arc::clone(&self.shared);
+            let addr = self.addr.clone();
+            handles.push(std::thread::spawn(move || {
+                if let Err(e) = handle_connection(conn, &shared, &addr) {
+                    // Peer went away mid-request; not the server's error.
+                    let _ = e;
+                }
+            }));
+            // Reap finished threads so a long-lived server does not
+            // accumulate one handle per past connection.
+            handles.retain(|h| !h.is_finished());
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(ServeSummary {
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            overloaded: self.shared.overloaded.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+        })
+    }
+
+    /// [`Server::run`] on a background thread; returns the address and
+    /// the join handle carrying the eventual summary.
+    pub fn spawn(self) -> (String, JoinHandle<io::Result<ServeSummary>>) {
+        let addr = self.addr.clone();
+        (addr, std::thread::spawn(move || self.run()))
+    }
+}
+
+/// Read a request line, tolerating idle timeouts until `stop` is set.
+fn next_request(rd: &mut LineReader, shared: &Shared) -> io::Result<Option<String>> {
+    loop {
+        match rd.next_line()? {
+            LineEvent::Line(l) => return Ok(Some(l)),
+            LineEvent::Eof => return Ok(None),
+            LineEvent::TimedOut => {
+                if shared.stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(conn: Box<dyn Stream>, shared: &Arc<Shared>, addr: &str) -> io::Result<()> {
+    conn.set_read_timeout_opt(Some(IDLE_POLL))?;
+    let writer = conn.try_clone_stream()?;
+    let mut wr = io::BufWriter::with_capacity(1 << 16, writer);
+    let mut rd = LineReader::new(conn);
+    while let Some(req) = next_request(&mut rd, shared)? {
+        let mut parts = req.split_ascii_whitespace();
+        match parts.next() {
+            Some("PING") => {
+                wr.write_all(b"OK 0\n")?;
+            }
+            Some("RELEASES") => {
+                let mut body = String::new();
+                for r in shared.releases.values() {
+                    let _ = writeln!(
+                        body,
+                        "{} tuples={} groups={} exact={}",
+                        r.name(),
+                        r.tables().len(),
+                        r.tables().group_count(),
+                        r.serves_exact()
+                    );
+                }
+                write!(wr, "OK {}\n{body}", shared.releases.len())?;
+            }
+            Some("STATS") => {
+                let manifest = RunManifest::capture("serve", anatomy_obs::global())
+                    .with_param("releases", shared.releases.len() as u64)
+                    .with_param("max_inflight", shared.max_inflight as u64)
+                    .with_param("max_batch", shared.max_batch as u64);
+                writeln!(wr, "OK 1\n{}", manifest.to_json_compact())?;
+            }
+            Some("SHUTDOWN") => {
+                wr.write_all(b"OK 0\n")?;
+                wr.flush()?;
+                shared.stop.store(true, Ordering::Release);
+                // Wake the accept loop so it observes the stop flag.
+                let _ = connect_stream(addr);
+                return Ok(());
+            }
+            Some("BATCH") => {
+                if !handle_batch(&req, parts, &mut rd, &mut wr, shared)? {
+                    wr.flush()?;
+                    return Ok(()); // stream out of sync: close it
+                }
+            }
+            _ => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.obs.errors.incr();
+                writeln!(wr, "ERR unknown request `{req}`")?;
+            }
+        }
+        wr.flush()?;
+    }
+    Ok(())
+}
+
+/// Handle one `BATCH name mode count` request. Returns `false` when the
+/// connection can no longer be trusted to be in sync (malformed header,
+/// oversized batch) and must be closed after the `ERR` goes out.
+fn handle_batch(
+    req: &str,
+    mut parts: std::str::SplitAsciiWhitespace<'_>,
+    rd: &mut LineReader,
+    wr: &mut impl Write,
+    shared: &Arc<Shared>,
+) -> io::Result<bool> {
+    let err = |shared: &Shared| {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        shared.obs.errors.incr();
+    };
+    let (name, mode, count) = match (
+        parts.next(),
+        parts.next().and_then(Mode::parse),
+        parts.next().and_then(|c| c.parse::<usize>().ok()),
+    ) {
+        (Some(n), Some(m), Some(c)) if parts.next().is_none() => (n.to_string(), m, c),
+        _ => {
+            err(shared);
+            writeln!(wr, "ERR malformed BATCH header `{req}`")?;
+            return Ok(false);
+        }
+    };
+    if count > shared.max_batch {
+        err(shared);
+        writeln!(
+            wr,
+            "ERR batch of {count} queries exceeds max_batch {}",
+            shared.max_batch
+        )?;
+        return Ok(false);
+    }
+
+    // The body is committed by the header: consume all `count` lines
+    // before any verdict, so the stream stays in sync even on errors.
+    let mut body = String::new();
+    for _ in 0..count {
+        loop {
+            match rd.next_line()? {
+                LineEvent::Line(l) => {
+                    body.push_str(&l);
+                    body.push('\n');
+                    break;
+                }
+                LineEvent::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-batch",
+                    ))
+                }
+                LineEvent::TimedOut => {
+                    if shared.stop.load(Ordering::Acquire) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "shutdown during batch body",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    let Some(release) = shared.releases.get(&name) else {
+        err(shared);
+        writeln!(wr, "ERR unknown release `{name}`")?;
+        return Ok(true);
+    };
+    if mode == Mode::Exact && !release.serves_exact() {
+        err(shared);
+        writeln!(
+            wr,
+            "ERR release `{name}` was loaded from its published pair and serves estimate only"
+        )?;
+        return Ok(true);
+    }
+    let queries = match workload_from_text(release.parse_md(), &body) {
+        Ok(q) => q,
+        Err(e) => {
+            err(shared);
+            writeln!(wr, "ERR bad query: {e}")?;
+            return Ok(true);
+        }
+    };
+    if queries.len() != count {
+        err(shared);
+        writeln!(
+            wr,
+            "ERR batch body parsed to {} queries, header said {count} (blank lines?)",
+            queries.len()
+        )?;
+        return Ok(true);
+    }
+
+    let _admitted = match shared.try_admit() {
+        Ok(guard) => guard,
+        Err(in_flight) => {
+            shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            shared.obs.overloaded.incr();
+            writeln!(wr, "BUSY {in_flight} {}", shared.max_inflight)?;
+            return Ok(true);
+        }
+    };
+
+    // The span behind the stats endpoint's latency block: one per
+    // served batch, covering evaluation and answer formatting.
+    let span = anatomy_obs::global().span("serve.batch");
+    let mut out = String::with_capacity(8 * count + 16);
+    let _ = writeln!(out, "OK {count}");
+    match mode {
+        Mode::Exact => {
+            for v in evaluate_exact_batch(Pool::global(), release.index(), &queries) {
+                let _ = writeln!(out, "{v}");
+            }
+        }
+        Mode::Estimate => {
+            // f64 Display is shortest-round-trip, so the printed text
+            // parses back to bit-identical estimates client-side.
+            for v in
+                estimate_anatomy_batch(Pool::global(), release.index(), release.tables(), &queries)
+            {
+                let _ = writeln!(out, "{v}");
+            }
+        }
+    }
+    drop(span);
+    wr.write_all(out.as_bytes())?;
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared.queries.fetch_add(count as u64, Ordering::Relaxed);
+    shared.obs.batches.incr();
+    shared.obs.queries.add(count as u64);
+    Ok(true)
+}

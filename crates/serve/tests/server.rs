@@ -1,0 +1,303 @@
+//! End-to-end protocol tests: a real server on a real socket, checked
+//! against the in-process oracles.
+
+use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
+use anatomy_query::{estimate_anatomy, evaluate_exact, workload_to_text, CountQuery, WorkloadSpec};
+use anatomy_serve::{replay, Mode, ServeClient, ServeConfig, ServeError, ServedRelease, Server};
+use anatomy_tables::{Attribute, Microdata, Schema, TableBuilder};
+use std::io::{BufRead, BufReader, Write};
+
+fn dataset(n: u32) -> Microdata {
+    let schema = Schema::new(vec![
+        Attribute::numerical("Age", 60),
+        Attribute::categorical("Sex", 2),
+        Attribute::categorical("Disease", 7),
+    ])
+    .unwrap();
+    let mut b = TableBuilder::new(schema);
+    for i in 0..n {
+        b.push_row(&[(i * 7) % 60, i % 2, i % 7]).unwrap();
+    }
+    Microdata::with_leading_qi(b.finish(), 2).unwrap()
+}
+
+fn publish(md: &Microdata, l: usize) -> AnatomizedTables {
+    let partition = anatomize(md, &AnatomizeConfig::new(l).with_seed(7)).unwrap();
+    AnatomizedTables::publish(md, &partition, l).unwrap()
+}
+
+fn workload(md: &Microdata, count: usize, seed: u64) -> Vec<CountQuery> {
+    WorkloadSpec {
+        qd: 2,
+        selectivity: 0.05,
+        count,
+        seed,
+    }
+    .generate(md)
+    .unwrap()
+}
+
+fn exact_server(n: u32, cfg: ServeConfig) -> (Microdata, AnatomizedTables, Server) {
+    let md = dataset(n);
+    let tables = publish(&md, 4);
+    let release = ServedRelease::exact("demo", md.clone(), tables.clone()).unwrap();
+    let server = Server::bind(cfg, vec![release]).unwrap();
+    (md, tables, server)
+}
+
+#[test]
+fn served_answers_match_both_oracles_bit_for_bit() {
+    let (md, tables, server) = exact_server(600, ServeConfig::default());
+    let (addr, handle) = server.spawn();
+    let queries = workload(&md, 64, 11);
+
+    let mut client = ServeClient::connect(&addr).unwrap();
+    client.ping().unwrap();
+
+    let exact = client.batch_exact("demo", &queries).unwrap();
+    for (q, &got) in queries.iter().zip(&exact) {
+        assert_eq!(got, evaluate_exact(&md, q), "exact mismatch on {q}");
+    }
+    let est = client.batch_estimate("demo", &queries).unwrap();
+    for (q, &got) in queries.iter().zip(&est) {
+        let want = estimate_anatomy(&tables, q);
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "estimate not bit-identical on {q}: {got} vs {want}"
+        );
+    }
+
+    let listing = client.releases().unwrap();
+    assert_eq!(listing.len(), 1);
+    assert!(listing[0].starts_with("demo "), "{listing:?}");
+    assert!(listing[0].contains("exact=true"), "{listing:?}");
+
+    client.shutdown().unwrap();
+    let summary = handle.join().unwrap().unwrap();
+    assert_eq!(summary.batches, 2);
+    assert_eq!(summary.queries, 128);
+}
+
+#[test]
+fn stats_endpoint_emits_a_validating_manifest() {
+    let (md, _, server) = exact_server(600, ServeConfig::default());
+    let (addr, handle) = server.spawn();
+    let queries = workload(&md, 48, 3);
+    let mut client = ServeClient::connect(&addr).unwrap();
+    client.batch_exact("demo", &queries).unwrap();
+
+    let stats = client.stats().unwrap();
+    let summary = anatomy_obs::validate_manifest_json(&stats).unwrap();
+    assert_eq!(summary.name, "serve");
+    // The per-batch span must surface in the validated latency block.
+    assert!(
+        stats.contains("\"serve.batch\""),
+        "no serve.batch latency entry in {stats}"
+    );
+    assert!(stats.contains("\"serve.batches\""), "{stats}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn estimate_only_releases_refuse_exact_mode() {
+    let md = dataset(400);
+    let tables = publish(&md, 4);
+    // Domains come from an empty table with the same schema — all a
+    // pure QIT/ST consumer has.
+    let empty = Microdata::new(
+        TableBuilder::new(md.table().schema().clone()).finish(),
+        md.qi_columns().to_vec(),
+        md.sensitive_column(),
+    )
+    .unwrap();
+    let release = ServedRelease::estimate_only("pub", empty, tables.clone());
+    let (addr, handle) = Server::bind(ServeConfig::default(), vec![release])
+        .unwrap()
+        .spawn();
+    let queries = workload(&md, 40, 5);
+    let mut client = ServeClient::connect(&addr).unwrap();
+
+    let err = client.batch_exact("pub", &queries).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Server(m) if m.contains("estimate only")),
+        "{err}"
+    );
+    // The connection survives the refusal and still serves estimates.
+    let est = client.batch_estimate("pub", &queries).unwrap();
+    for (q, &got) in queries.iter().zip(&est) {
+        assert_eq!(got.to_bits(), estimate_anatomy(&tables, q).to_bits());
+    }
+    // Unknown releases are a recoverable error too.
+    let err = client.batch_estimate("nope", &queries).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Server(m) if m.contains("unknown release")),
+        "{err}"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip_and_cleanup() {
+    let path = std::env::temp_dir().join(format!("anatomy-serve-test-{}.sock", std::process::id()));
+    let listen = format!("unix:{}", path.display());
+    let (md, _, server) = exact_server(
+        400,
+        ServeConfig {
+            listen: listen.clone(),
+            ..ServeConfig::default()
+        },
+    );
+    let (addr, handle) = server.spawn();
+    assert_eq!(addr, listen);
+    let queries = workload(&md, 40, 9);
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let exact = client.batch_exact("demo", &queries).unwrap();
+    for (q, &got) in queries.iter().zip(&exact) {
+        assert_eq!(got, evaluate_exact(&md, q));
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    assert!(!path.exists(), "socket file not removed on shutdown");
+}
+
+#[test]
+fn malformed_and_oversized_batches_error_and_close() {
+    let (_, _, server) = exact_server(
+        400,
+        ServeConfig {
+            max_batch: 8,
+            ..ServeConfig::default()
+        },
+    );
+    let (addr, handle) = server.spawn();
+
+    // Raw socket: drive the wire grammar directly.
+    let raw = |lines: &str| -> String {
+        let mut s = std::net::TcpStream::connect(&addr).unwrap();
+        s.write_all(lines.as_bytes()).unwrap();
+        let mut rd = BufReader::new(s);
+        let mut line = String::new();
+        rd.read_line(&mut line).unwrap();
+        line
+    };
+
+    let resp = raw("BATCH demo exact nine\n");
+    assert!(resp.starts_with("ERR malformed BATCH header"), "{resp}");
+    let resp = raw("BATCH demo exact 9\n"); // exceeds max_batch = 8
+    assert!(resp.contains("exceeds max_batch"), "{resp}");
+    let resp = raw("FROB\n");
+    assert!(resp.starts_with("ERR unknown request"), "{resp}");
+    // A batch whose body parses to fewer queries than the header claims
+    // (a blank line) is an error, but the count keeps the stream in
+    // sync so the connection stays open.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.write_all(b"BATCH demo exact 2\ns=0\n\n").unwrap();
+    let mut rd = BufReader::new(s.try_clone().unwrap());
+    let mut line = String::new();
+    rd.read_line(&mut line).unwrap();
+    assert!(line.contains("parsed to 1 queries"), "{line}");
+    s.write_all(b"PING\n").unwrap();
+    line.clear();
+    rd.read_line(&mut line).unwrap();
+    assert_eq!(line, "OK 0\n");
+
+    let mut client = ServeClient::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    let summary = handle.join().unwrap().unwrap();
+    assert!(summary.errors >= 4, "summary: {summary:?}");
+}
+
+#[test]
+fn replay_matches_oracle_across_threads() {
+    let (md, _, server) = exact_server(600, ServeConfig::default());
+    let (addr, handle) = server.spawn();
+    let batches: Vec<Vec<CountQuery>> = (0..9).map(|i| workload(&md, 16, 100 + i)).collect();
+    let (report, answers) = replay(&addr, "demo", Mode::Exact, &batches, 3).unwrap();
+    assert_eq!(report.batches, 9);
+    assert_eq!(report.queries, 9 * 16);
+    for (batch, lines) in batches.iter().zip(&answers) {
+        for (q, line) in batch.iter().zip(lines) {
+            assert_eq!(line.parse::<u64>().unwrap(), evaluate_exact(&md, q));
+        }
+    }
+    let mut client = ServeClient::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn saturating_a_one_slot_server_surfaces_busy() {
+    // max_inflight = 1 and two hammering connections: at least one
+    // batch must hit admission control and get an explicit BUSY (the
+    // loadgen retries it to completion, so answers stay correct).
+    let (md, _, server) = exact_server(
+        2_000,
+        ServeConfig {
+            max_inflight: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let (addr, handle) = server.spawn();
+    // Wide, slow batches so evaluations overlap reliably.
+    let batches: Vec<Vec<CountQuery>> = (0..6)
+        .map(|i| {
+            WorkloadSpec {
+                qd: 2,
+                selectivity: 0.4,
+                count: 600,
+                seed: 50 + i,
+            }
+            .generate(&md)
+            .unwrap()
+        })
+        .collect();
+    let mut saw_busy = 0;
+    for attempt in 0..5 {
+        let (report, answers) = replay(&addr, "demo", Mode::Exact, &batches, 3).unwrap();
+        for (batch, lines) in batches.iter().zip(&answers) {
+            for (q, line) in batch.iter().zip(lines) {
+                assert_eq!(line.parse::<u64>().unwrap(), evaluate_exact(&md, q));
+            }
+        }
+        saw_busy += report.busy;
+        if saw_busy > 0 {
+            break;
+        }
+        eprintln!("attempt {attempt}: no BUSY yet, retrying");
+    }
+    assert!(saw_busy > 0, "admission control never rejected a batch");
+    let mut client = ServeClient::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    let summary = handle.join().unwrap().unwrap();
+    assert!(summary.overloaded > 0);
+}
+
+#[test]
+fn wire_format_is_workload_text() {
+    // Pin the grammar itself: a hand-written request in the documented
+    // format gets the documented response shape.
+    let (md, _, server) = exact_server(400, ServeConfig::default());
+    let (addr, handle) = server.spawn();
+    let q = workload(&md, 1, 1).remove(0);
+    let line = workload_to_text(std::slice::from_ref(&q));
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.write_all(format!("BATCH demo exact 1\n{line}").as_bytes())
+        .unwrap();
+    let mut rd = BufReader::new(s.try_clone().unwrap());
+    let mut resp = String::new();
+    rd.read_line(&mut resp).unwrap();
+    assert_eq!(resp, "OK 1\n");
+    resp.clear();
+    rd.read_line(&mut resp).unwrap();
+    assert_eq!(
+        resp.trim_end().parse::<u64>().unwrap(),
+        evaluate_exact(&md, &q)
+    );
+    s.write_all(b"SHUTDOWN\n").unwrap();
+    handle.join().unwrap().unwrap();
+}

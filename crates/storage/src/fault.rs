@@ -178,7 +178,9 @@ struct FaultState {
 }
 
 thread_local! {
-    static ACTIVE: RefCell<Option<FaultState>> = const { RefCell::new(None) };
+    /// The stack of armed scopes on this thread; the *top* entry is the
+    /// authoritative schedule (inner scopes shadow outer ones).
+    static STACK: RefCell<Vec<FaultState>> = const { RefCell::new(Vec::new()) };
     /// (writes, reads) on this thread while *no* fault scope is armed,
     /// so trace events always carry a page-operation index. With a
     /// scope armed the scope's own counters are authoritative — they
@@ -190,25 +192,31 @@ thread_local! {
 /// RAII guard arming a [`FaultConfig`] for the current thread.
 ///
 /// Dropping the scope restores whatever schedule (usually none) was
-/// active before, so scopes nest. The guard is `!Send`: it must be
-/// dropped on the thread it armed.
+/// active before, so scopes nest. Disarming is unconditional: the guard
+/// remembers the stack depth it was installed at and truncates back to
+/// it on drop, so a panic unwinding through the guarded code — or a
+/// guard dropped out of order relative to a later one — can never leak
+/// an armed schedule into unrelated code sharing the thread. The guard
+/// is `!Send`: it must be dropped on the thread it armed.
 pub struct FaultScope {
-    prev: Option<FaultState>,
+    depth: usize,
     _not_send: PhantomData<*const ()>,
 }
 
 impl FaultScope {
     /// Arm `cfg` on this thread until the returned guard is dropped.
     pub fn install(cfg: FaultConfig) -> FaultScope {
-        let prev = ACTIVE.with(|a| {
-            a.borrow_mut().replace(FaultState {
+        let depth = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(FaultState {
                 cfg,
                 writes: 0,
                 reads: 0,
-            })
+            });
+            s.len() - 1
         });
         FaultScope {
-            prev,
+            depth,
             _not_send: PhantomData,
         }
     }
@@ -216,9 +224,12 @@ impl FaultScope {
 
 impl Drop for FaultScope {
     fn drop(&mut self) {
-        ACTIVE.with(|a| {
-            *a.borrow_mut() = self.prev.take();
-        });
+        // Truncating (rather than popping) also evicts any scope that
+        // was installed above this one and outlived its own guard, so
+        // out-of-order drops cannot resurrect a stale schedule.
+        // `try_with`: drops during thread teardown find the TLS already
+        // destroyed; disarming is then moot and must not panic/abort.
+        let _ = STACK.try_with(|s| s.borrow_mut().truncate(self.depth));
     }
 }
 
@@ -237,9 +248,9 @@ fn flip(payload: &mut [u8], bit: u64) {
 /// matched — emitted even when the fault vetoes the write, so the
 /// trace records exactly which op died).
 pub(crate) fn on_write(payload: &mut Vec<u8>, page: usize) -> Result<(), StorageError> {
-    let (op, fired, verdict) = ACTIVE.with(|a| {
-        let mut a = a.borrow_mut();
-        match a.as_mut() {
+    let (op, fired, verdict) = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        match s.last_mut() {
             None => {
                 let op = FREE_OPS.with(|c| {
                     let (w, r) = c.get();
@@ -296,9 +307,9 @@ pub(crate) fn on_write(payload: &mut Vec<u8>, page: usize) -> Result<(), Storage
 /// the copy in place (never the stored page). Journals a `PageRead`
 /// trace event (plus `FaultFired` when a schedule entry matched).
 pub(crate) fn on_read(payload: &mut Vec<u8>, page: usize) {
-    let (op, fired) = ACTIVE.with(|a| {
-        let mut a = a.borrow_mut();
-        match a.as_mut() {
+    let (op, fired) = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        match s.last_mut() {
             None => {
                 let op = FREE_OPS.with(|c| {
                     let (w, r) = c.get();
@@ -389,6 +400,46 @@ mod tests {
         let mut r2 = vec![0u8; 4];
         on_read(&mut r2, 2);
         assert!(r2.is_empty()); // short read to zero bytes
+    }
+
+    #[test]
+    fn panicking_scope_disarms_its_schedule() {
+        // A panic unwinding through the guarded code must still disarm
+        // the schedule: the next operation on this thread is fault-free.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = FaultScope::install(FaultConfig::new().disk_full(0));
+            panic!("test failure inside a fault scope");
+        }));
+        assert!(unwound.is_err());
+        assert!(on_write(&mut vec![0u8; 4], 0).is_ok());
+    }
+
+    #[test]
+    fn panic_with_nested_scopes_disarms_all_of_them() {
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = FaultScope::install(FaultConfig::new().disk_full(0));
+            let _inner = FaultScope::install(FaultConfig::new().bit_flip_read(0, 1));
+            panic!("boom with two scopes armed");
+        }));
+        assert!(unwound.is_err());
+        assert!(on_write(&mut vec![0u8; 4], 0).is_ok());
+        let mut r = vec![0u8; 4];
+        on_read(&mut r, 0);
+        assert_eq!(r, vec![0u8; 4]); // no flip: inner scope gone too
+    }
+
+    #[test]
+    fn out_of_order_drops_cannot_leak_a_schedule() {
+        // Guards dropped in installation order (not reverse order):
+        // dropping `a` must evict `b`'s shadowing entry as well, and
+        // dropping `b` afterwards must not resurrect `a`'s armed
+        // schedule. (The pre-stack implementation restored `b.prev`,
+        // i.e. `a`'s DiskFull schedule, here.)
+        let a = FaultScope::install(FaultConfig::new().disk_full(0));
+        let b = FaultScope::install(FaultConfig::new());
+        drop(a);
+        drop(b);
+        assert!(on_write(&mut vec![0u8; 4], 0).is_ok());
     }
 
     #[test]
