@@ -1,15 +1,19 @@
 //! Criterion micro-benchmarks for query evaluation: ground truth vs the
 //! anatomy estimator vs the generalization estimator, per query — each
-//! scalar path head-to-head against its bitmap-indexed replacement.
+//! scalar path head-to-head against its bitmap-indexed replacement, and
+//! both against the compressed v2 container index (single-query and
+//! clustered-batch forms).
 
 use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables};
 use anatomy_data::census::{generate_census, CensusConfig};
 use anatomy_data::occ_sal::occ_microdata;
 use anatomy_data::taxonomies::census_methods;
 use anatomy_generalization::{mondrian, MondrianConfig};
+use anatomy_pool::Pool;
 use anatomy_query::{
-    estimate_anatomy, estimate_anatomy_indexed, estimate_generalization, evaluate_exact,
-    evaluate_exact_indexed, QueryIndex, WorkloadSpec,
+    estimate_anatomy, estimate_anatomy_batch_v2, estimate_anatomy_indexed,
+    estimate_anatomy_indexed_v2, estimate_generalization, evaluate_exact, evaluate_exact_batch_v2,
+    evaluate_exact_indexed, evaluate_exact_indexed_v2, QueryIndex, QueryIndexV2, WorkloadSpec,
 };
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -26,6 +30,7 @@ fn bench_estimators(c: &mut Criterion) {
     };
     let (_, gen) = mondrian(&md, &cfg).expect("eligible");
     let index = QueryIndex::build(&md, &tables).expect("index");
+    let index_v2 = QueryIndexV2::build(&md, &tables).expect("index v2");
     let queries = WorkloadSpec {
         qd: 5,
         selectivity: 0.05,
@@ -52,6 +57,16 @@ fn bench_estimators(c: &mut Criterion) {
             }
         });
     });
+    group.bench_function("exact_indexed_v2", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(evaluate_exact_indexed_v2(&index_v2, q));
+            }
+        });
+    });
+    group.bench_function("exact_batch_v2", |b| {
+        b.iter(|| black_box(evaluate_exact_batch_v2(Pool::global(), &index_v2, &queries)));
+    });
     group.bench_function("anatomy_estimate", |b| {
         b.iter(|| {
             for q in &queries {
@@ -66,6 +81,23 @@ fn bench_estimators(c: &mut Criterion) {
             }
         });
     });
+    group.bench_function("anatomy_estimate_indexed_v2", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(estimate_anatomy_indexed_v2(&index_v2, &tables, q));
+            }
+        });
+    });
+    group.bench_function("anatomy_estimate_batch_v2", |b| {
+        b.iter(|| {
+            black_box(estimate_anatomy_batch_v2(
+                Pool::global(),
+                &index_v2,
+                &tables,
+                &queries,
+            ))
+        });
+    });
     group.bench_function("generalization_estimate", |b| {
         b.iter(|| {
             for q in &queries {
@@ -75,6 +107,9 @@ fn bench_estimators(c: &mut Criterion) {
     });
     group.bench_function("index_build", |b| {
         b.iter(|| black_box(QueryIndex::build(&md, &tables).expect("index")));
+    });
+    group.bench_function("index_build_v2", |b| {
+        b.iter(|| black_box(QueryIndexV2::build(&md, &tables).expect("index v2")));
     });
     group.finish();
 }

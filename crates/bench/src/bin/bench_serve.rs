@@ -259,10 +259,17 @@ fn run(cfg: &Config) -> BenchResult<String> {
     );
 
     // Latency percentiles come from the server's own stats endpoint and
-    // must pass the manifest validator (p50 <= p90 <= p99 <= max).
+    // must pass the manifest validator (p50 <= p90 <= p99 <= max). The
+    // manifest must also carry the v2 index footprint gauges — proof the
+    // server is really answering off the compressed container index.
     let latency = client.stats()?;
     anatomy_obs::validate_manifest_json(&latency)
         .map_err(|e| format!("stats manifest failed validation: {e}"))?;
+    for gauge in ["query.index_v2_bytes", "query.index_v2_containers_array"] {
+        if !latency.contains(&format!("\"{gauge}\"")) {
+            return Err(format!("stats manifest is missing the {gauge} gauge").into());
+        }
+    }
 
     if spawned.is_some() || cfg.shutdown {
         client.shutdown()?;

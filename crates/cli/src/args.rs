@@ -71,7 +71,7 @@ pub enum Command {
         l: usize,
     },
     /// `anatomy query --qit F --st F --schema F --sensitive NAME --l N
-    ///  --query SPEC [--indexed] [--metrics F] [--trace F]`
+    ///  --query SPEC [--indexed | --index-v2] [--metrics F] [--trace F]`
     Query {
         /// QIT CSV path.
         qit: String,
@@ -85,9 +85,14 @@ pub enum Command {
         l: usize,
         /// Query in the `anatomy_query::workload_to_text` line format.
         query: String,
-        /// Estimate through the bitmap query index instead of the scalar
-        /// estimator (identical answers; faster on many-query batches).
+        /// Estimate through the v1 bitmap query index instead of the
+        /// scalar estimator (identical answers; faster on many-query
+        /// batches).
         indexed: bool,
+        /// Estimate through the compressed v2 container index with the
+        /// clustered batch evaluator (identical answers; fastest, and
+        /// far smaller than v1 at scale).
+        index_v2: bool,
         /// Write the run's `RunManifest` JSON here.
         metrics: Option<String>,
         /// Write an execution trace here (`.jsonl` for JSONL, anything
@@ -137,11 +142,11 @@ usage:
   anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N] [--metrics F] [--trace F]
   anatomy audit   --qit F --st F --schema F --sensitive NAME --l N
   anatomy verify  --qit F --st F --schema F --sensitive NAME --l N
-  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed] [--metrics F] [--trace F]
+  anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed | --index-v2] [--metrics F] [--trace F]
   anatomy serve   --qit F --st F --schema F --sensitive NAME --l N [--data F] [--listen HOST:PORT|unix:PATH] [--port-file F] [--name NAME] [--max-inflight N] [--max-batch N]";
 
 /// Flags that take no value; their presence alone means "true".
-const BOOLEAN_FLAGS: &[&str] = &["indexed"];
+const BOOLEAN_FLAGS: &[&str] = &["indexed", "index-v2"];
 
 fn flags(args: &[String]) -> CliResult<HashMap<String, String>> {
     let mut map = HashMap::new();
@@ -239,6 +244,7 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
                 .map_err(|_| "--l must be an integer")?,
             query: take(&mut map, "query")?,
             indexed: map.remove("indexed").is_some(),
+            index_v2: map.remove("index-v2").is_some(),
             metrics: map.remove("metrics"),
             trace: map.remove("trace"),
         },
@@ -482,9 +488,15 @@ mod tests {
         ))
         .unwrap();
         match c {
-            Command::Query { query, indexed, .. } => {
+            Command::Query {
+                query,
+                indexed,
+                index_v2,
+                ..
+            } => {
                 assert_eq!(query, "qi0=1;s=0");
                 assert!(!indexed);
+                assert!(!index_v2);
             }
             _ => panic!("wrong command"),
         }
@@ -492,16 +504,35 @@ mod tests {
 
     #[test]
     fn indexed_is_a_boolean_flag() {
-        // `--indexed` consumes no value: `--query` right after it still
-        // parses as a flag, not as `--indexed`'s value.
+        // `--indexed` and `--index-v2` consume no value: `--query` right
+        // after either still parses as a flag, not as the flag's value.
         let c = parse_args(&argv(
             "query --qit q --st t --schema s --sensitive X --l 3 --indexed --query qi0=1;s=0",
         ))
         .unwrap();
         match c {
-            Command::Query { query, indexed, .. } => {
+            Command::Query {
+                query,
+                indexed,
+                index_v2,
+                ..
+            } => {
                 assert_eq!(query, "qi0=1;s=0");
                 assert!(indexed);
+                assert!(!index_v2);
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&argv(
+            "query --qit q --st t --schema s --sensitive X --l 3 --index-v2 --query qi0=1;s=0",
+        ))
+        .unwrap();
+        match c {
+            Command::Query {
+                indexed, index_v2, ..
+            } => {
+                assert!(!indexed);
+                assert!(index_v2);
             }
             _ => panic!("wrong command"),
         }

@@ -11,7 +11,10 @@ use anatomy_core::release::{parse_release, parse_release_parts, qit_to_csv, st_t
 use anatomy_core::AnatomizedTables;
 use anatomy_obs::RunManifest;
 use anatomy_pool::Pool;
-use anatomy_query::{estimate_anatomy, estimate_anatomy_batch, workload_from_text, QueryIndex};
+use anatomy_query::{
+    estimate_anatomy, estimate_anatomy_batch, estimate_anatomy_batch_v2, workload_from_text,
+    QueryIndex, QueryIndexV2,
+};
 use anatomy_serve::{ServeConfig, ServedRelease, Server};
 use anatomy_tables::{csv, Microdata, Schema, Table, TableBuilder, Value};
 use std::fmt::Write as _;
@@ -132,6 +135,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             l,
             query,
             indexed,
+            index_v2,
             metrics,
             trace,
         } => query_cmd(
@@ -142,6 +146,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             *l,
             query,
             *indexed,
+            *index_v2,
             metrics.as_deref(),
             trace.as_deref(),
         ),
@@ -384,6 +389,7 @@ fn query_cmd(
     l: usize,
     query: &str,
     indexed: bool,
+    index_v2: bool,
     metrics: Option<&str>,
     trace: Option<&str>,
 ) -> CliResult<String> {
@@ -399,15 +405,21 @@ fn query_cmd(
     let _scope = MetricsScope::new(metrics.is_some());
     let trace_scope = trace.map(|_| TraceScope::begin());
     let before = anatomy_obs::global().snapshot();
-    // The index gives identical estimates; build it once for the batch and
+    // Both indexes give identical estimates; build once for the batch and
     // evaluate the whole workload on the persistent pool. The scalar path
-    // stays serial — it is the oracle the indexed path is checked against.
-    let estimates: Vec<f64> = match indexed.then(|| QueryIndex::from_published(&tables)) {
-        Some(index) => estimate_anatomy_batch(Pool::global(), &index, &tables, &queries),
-        None => queries
+    // stays serial — it is the oracle both indexed paths are checked
+    // against. `--index-v2` wins when both flags are given.
+    let estimates: Vec<f64> = if index_v2 {
+        let index = QueryIndexV2::from_published(&tables);
+        estimate_anatomy_batch_v2(Pool::global(), &index, &tables, &queries)
+    } else if indexed {
+        let index = QueryIndex::from_published(&tables);
+        estimate_anatomy_batch(Pool::global(), &index, &tables, &queries)
+    } else {
+        queries
             .iter()
             .map(|q| estimate_anatomy(&tables, q))
-            .collect(),
+            .collect()
     };
     let mut out = String::new();
     for (q, est) in queries.iter().zip(&estimates) {
@@ -420,7 +432,8 @@ fn query_cmd(
         let manifest = RunManifest::capture_since("cli.query", anatomy_obs::global(), &before)
             .with_param("queries", queries.len() as u64)
             .with_param("l", l as u64)
-            .with_param("indexed", indexed);
+            .with_param("indexed", indexed)
+            .with_param("index_v2", index_v2);
         write_metrics(path, &manifest)?;
         let _ = writeln!(out, "metrics -> {path}");
     }
@@ -606,39 +619,33 @@ mod tests {
             l: 4,
             query: "s=0".into(),
             indexed: false,
+            index_v2: false,
             metrics: None,
             trace: None,
         })
         .unwrap();
         assert!(report.contains("estimate: 8.000"), "{report}");
 
-        // `--indexed` must produce the identical report.
+        // `--indexed` and `--index-v2` must produce the identical report.
         for query in ["s=0", "qi0=20|21|22|23|24;s=1\nqi0=30|31|32;qi1=0;s=2"] {
-            let scalar = run(&Command::Query {
-                qit: qit.clone(),
-                st: st.clone(),
-                schema: schema.clone(),
-                sensitive: "Disease".into(),
-                l: 4,
-                query: query.into(),
-                indexed: false,
-                metrics: None,
-                trace: None,
-            })
-            .unwrap();
-            let indexed = run(&Command::Query {
-                qit: qit.clone(),
-                st: st.clone(),
-                schema: schema.clone(),
-                sensitive: "Disease".into(),
-                l: 4,
-                query: query.into(),
-                indexed: true,
-                metrics: None,
-                trace: None,
-            })
-            .unwrap();
-            assert_eq!(scalar, indexed, "query {query}");
+            let run_with = |indexed: bool, index_v2: bool| {
+                run(&Command::Query {
+                    qit: qit.clone(),
+                    st: st.clone(),
+                    schema: schema.clone(),
+                    sensitive: "Disease".into(),
+                    l: 4,
+                    query: query.into(),
+                    indexed,
+                    index_v2,
+                    metrics: None,
+                    trace: None,
+                })
+                .unwrap()
+            };
+            let scalar = run_with(false, false);
+            assert_eq!(scalar, run_with(true, false), "v1 on {query}");
+            assert_eq!(scalar, run_with(false, true), "v2 on {query}");
         }
     }
 

@@ -37,6 +37,12 @@ impl Bitmap {
     }
 
     /// Zero any bits at positions `>= len` in the last word.
+    ///
+    /// Every mutator that can touch tail bits (`ones`, [`Bitmap::invert`],
+    /// [`Bitmap::fill_range`]) calls this once at mutation time, so the
+    /// popcount kernels ([`Bitmap::count_ones`], [`Bitmap::count_range`])
+    /// never need a per-call tail branch — they rely on the invariant
+    /// instead of re-masking.
     fn mask_tail(&mut self) {
         let tail = self.len % 64;
         if tail != 0 {
@@ -44,6 +50,16 @@ impl Bitmap {
                 *last &= (1u64 << tail) - 1;
             }
         }
+    }
+
+    /// Whether the tail invariant holds (debug aid for the kernels).
+    pub(crate) fn tail_is_masked(&self) -> bool {
+        let tail = self.len % 64;
+        tail == 0
+            || self
+                .words
+                .last()
+                .is_none_or(|&w| w & !((1u64 << tail) - 1) == 0)
     }
 
     /// Number of addressable positions.
@@ -86,6 +102,7 @@ impl Bitmap {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> u64 {
+        debug_assert!(self.tail_is_masked());
         self.words.iter().map(|w| w.count_ones() as u64).sum()
     }
 
@@ -162,6 +179,63 @@ impl Bitmap {
     pub fn copy_from(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
         self.words.copy_from_slice(&other.words);
+    }
+
+    /// Flip every bit in `0..len`, re-masking the tail word once so the
+    /// invariant (bits `>= len` are zero) survives — the complement-side
+    /// union trick of the v2 index depends on this being the only place
+    /// a negation needs to think about the tail.
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Set every bit in `[lo, hi)`, filling whole words where possible —
+    /// the run-container union kernel. Cannot violate the tail invariant
+    /// because `hi <= len` is enforced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi` or `hi > len`.
+    pub fn fill_range(&mut self, lo: usize, hi: usize) {
+        assert!(
+            lo <= hi && hi <= self.len,
+            "range [{lo}, {hi}) out of bounds for len {}",
+            self.len
+        );
+        if lo == hi {
+            return;
+        }
+        let (wl, bl) = (lo / 64, lo % 64);
+        let (wh, bh) = (hi / 64, hi % 64);
+        let head_mask = !0u64 << bl;
+        if wl == wh {
+            self.words[wl] |= head_mask & ((1u64 << bh) - 1);
+            return;
+        }
+        self.words[wl] |= head_mask;
+        for w in &mut self.words[wl + 1..wh] {
+            *w = !0;
+        }
+        if bh != 0 {
+            self.words[wh] |= (1u64 << bh) - 1;
+        }
+    }
+
+    /// The backing words, for container kernels in this crate that OR /
+    /// AND / popcount against the bitmap without per-bit calls.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable backing words. Callers must preserve the tail invariant:
+    /// only set bits at positions `< len`.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// Whether any bit is set.
@@ -264,6 +338,66 @@ mod tests {
         c.clear();
         assert!(!c.any());
         assert!(a.any());
+    }
+
+    /// Regression for the tail-word invariant at n not divisible by 64:
+    /// `invert` and `fill_range` must mask bits beyond `n` at mutation
+    /// time, so `count_ones`/`count_range` stay branch-free and exact.
+    #[test]
+    fn invert_and_fill_mask_the_tail_at_odd_lengths() {
+        for len in [1, 63, 65, 127, 130, 190, 321] {
+            let mut b = Bitmap::new(len);
+            b.invert();
+            assert!(b.tail_is_masked(), "len {len}: invert leaked tail bits");
+            assert_eq!(b.count_ones(), len as u64, "len {len}");
+            assert_eq!(b.count_range(0, len), len as u64, "len {len}");
+            b.invert();
+            assert!(!b.any(), "len {len}: double inversion not identity");
+
+            let mut f = Bitmap::new(len);
+            f.fill_range(0, len);
+            assert!(f.tail_is_masked(), "len {len}: fill leaked tail bits");
+            assert_eq!(f, Bitmap::ones(len), "len {len}");
+
+            // Inverting a partially-set bitmap complements the popcount.
+            let mut p = Bitmap::new(len);
+            for pos in (0..len).step_by(3) {
+                p.set(pos);
+            }
+            let set = p.count_ones();
+            p.invert();
+            assert!(p.tail_is_masked(), "len {len}");
+            assert_eq!(p.count_ones(), len as u64 - set, "len {len}");
+        }
+    }
+
+    #[test]
+    fn fill_range_matches_naive_sets() {
+        let len = 200;
+        for (lo, hi) in [
+            (0, 0),
+            (0, 64),
+            (3, 61),
+            (3, 64),
+            (63, 65),
+            (5, 199),
+            (64, 128),
+            (130, 200),
+        ] {
+            let mut b = Bitmap::new(len);
+            b.fill_range(lo, hi);
+            let mut naive = Bitmap::new(len);
+            for p in lo..hi {
+                naive.set(p);
+            }
+            assert_eq!(b, naive, "[{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn fill_range_out_of_bounds_panics() {
+        Bitmap::new(100).fill_range(50, 101);
     }
 
     #[test]

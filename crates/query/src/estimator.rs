@@ -23,6 +23,10 @@ use crate::estimate_anatomy::estimate_anatomy;
 use crate::estimate_generalization::estimate_generalization;
 use crate::exact::evaluate_exact;
 use crate::index::{estimate_anatomy_indexed, evaluate_exact_indexed, QueryIndex};
+use crate::index_v2::{
+    estimate_anatomy_batch_v2, estimate_anatomy_indexed_v2, evaluate_exact_batch_v2,
+    evaluate_exact_indexed_v2, QueryIndexV2,
+};
 use crate::query::CountQuery;
 use anatomy_core::AnatomizedTables;
 use anatomy_generalization::GeneralizedTable;
@@ -104,6 +108,70 @@ impl Estimator for ExactIndexed<'_> {
 
     fn estimate(&self, query: &CountQuery) -> f64 {
         evaluate_exact_indexed(self.index, query) as f64
+    }
+}
+
+/// Ground truth from a v2 container index
+/// ([`evaluate_exact_indexed_v2`]).
+///
+/// Unlike the other backends, `evaluate_batch` is overridden: whole
+/// workloads route through [`evaluate_exact_batch_v2`]'s clustered
+/// one-pass evaluator instead of per-query fan-out. Answers are
+/// bit-identical either way.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactIndexedV2<'a> {
+    index: &'a QueryIndexV2,
+}
+
+impl<'a> ExactIndexedV2<'a> {
+    pub fn new(index: &'a QueryIndexV2) -> Self {
+        ExactIndexedV2 { index }
+    }
+}
+
+impl Estimator for ExactIndexedV2<'_> {
+    fn name(&self) -> &'static str {
+        "exact_indexed_v2"
+    }
+
+    fn estimate(&self, query: &CountQuery) -> f64 {
+        evaluate_exact_indexed_v2(self.index, query) as f64
+    }
+
+    fn evaluate_batch(&self, pool: &Pool, queries: &[CountQuery]) -> Vec<f64> {
+        evaluate_exact_batch_v2(pool, self.index, queries)
+            .into_iter()
+            .map(|c| c as f64)
+            .collect()
+    }
+}
+
+/// The anatomy estimator through a v2 container index
+/// ([`estimate_anatomy_indexed_v2`]), with `evaluate_batch` routed
+/// through [`estimate_anatomy_batch_v2`]'s clustered evaluator.
+#[derive(Debug, Clone, Copy)]
+pub struct AnatomyEstimatorV2<'a> {
+    index: &'a QueryIndexV2,
+    tables: &'a AnatomizedTables,
+}
+
+impl<'a> AnatomyEstimatorV2<'a> {
+    pub fn new(index: &'a QueryIndexV2, tables: &'a AnatomizedTables) -> Self {
+        AnatomyEstimatorV2 { index, tables }
+    }
+}
+
+impl Estimator for AnatomyEstimatorV2<'_> {
+    fn name(&self) -> &'static str {
+        "anatomy_indexed_v2"
+    }
+
+    fn estimate(&self, query: &CountQuery) -> f64 {
+        estimate_anatomy_indexed_v2(self.index, self.tables, query)
+    }
+
+    fn evaluate_batch(&self, pool: &Pool, queries: &[CountQuery]) -> Vec<f64> {
+        estimate_anatomy_batch_v2(pool, self.index, self.tables, queries)
     }
 }
 
@@ -226,6 +294,7 @@ mod tests {
         let partition = anatomize(&md, &AnatomizeConfig::new(4)).unwrap();
         let tables = anatomy_core::AnatomizedTables::publish(&md, &partition, 4).unwrap();
         let index = QueryIndex::build(&md, &tables).unwrap();
+        let index_v2 = QueryIndexV2::build(&md, &tables).unwrap();
         let gen = gen_table();
         let queries = WorkloadSpec {
             qd: 2,
@@ -239,19 +308,30 @@ mod tests {
 
         let exact_scan = ExactScan::new(&md);
         let exact_indexed = ExactIndexed::new(&index);
+        let exact_indexed_v2 = ExactIndexedV2::new(&index_v2);
         let anatomy_scan = AnatomyEstimator::scan(&tables);
         let anatomy_indexed = AnatomyEstimator::indexed(&index, &tables);
+        let anatomy_indexed_v2 = AnatomyEstimatorV2::new(&index_v2, &tables);
         let generalization = GeneralizationEstimator::new(&gen);
-        let backends: Vec<(&dyn Estimator, Box<dyn Fn(&CountQuery) -> f64>)> = vec![
+        type Oracle<'a> = Box<dyn Fn(&CountQuery) -> f64 + 'a>;
+        let backends: Vec<(&dyn Estimator, Oracle<'_>)> = vec![
             (&exact_scan, Box::new(|q| evaluate_exact(&md, q) as f64)),
             (
                 &exact_indexed,
                 Box::new(|q| evaluate_exact_indexed(&index, q) as f64),
             ),
+            (
+                &exact_indexed_v2,
+                Box::new(|q| evaluate_exact(&md, q) as f64),
+            ),
             (&anatomy_scan, Box::new(|q| estimate_anatomy(&tables, q))),
             (
                 &anatomy_indexed,
                 Box::new(|q| estimate_anatomy_indexed(&index, &tables, q)),
+            ),
+            (
+                &anatomy_indexed_v2,
+                Box::new(|q| estimate_anatomy(&tables, q)),
             ),
             (
                 &generalization,
@@ -286,11 +366,14 @@ mod tests {
         let gen = gen_table();
         let partition = anatomize(&md, &AnatomizeConfig::new(2)).unwrap();
         let tables = anatomy_core::AnatomizedTables::publish(&md, &partition, 2).unwrap();
+        let index_v2 = QueryIndexV2::from_microdata(&md);
         let names = [
             ExactScan::new(&md).name(),
             ExactIndexed::new(&index).name(),
+            ExactIndexedV2::new(&index_v2).name(),
             AnatomyEstimator::scan(&tables).name(),
             AnatomyEstimator::indexed(&index, &tables).name(),
+            AnatomyEstimatorV2::new(&index_v2, &tables).name(),
             GeneralizationEstimator::new(&gen).name(),
         ];
         let mut unique = names.to_vec();

@@ -198,8 +198,9 @@ impl QueryIndex {
         let obs = anatomy_obs::global();
         if obs.enabled() {
             obs.counter("query.index_builds").incr();
-            obs.gauge("query.index_memory_words")
-                .set(index.memory_words() as i64);
+            let words = index.memory_words();
+            obs.gauge("query.index_memory_words").set(words as i64);
+            obs.gauge("query.index_bytes").set((words * 8) as i64);
         }
     }
 
@@ -211,7 +212,9 @@ impl QueryIndex {
 
     /// Stable counting sort of rows by group id: returns the original-row →
     /// permuted-position map and each group's `[start, end)` range.
-    fn cluster_by_group(tables: &AnatomizedTables) -> (Vec<usize>, Vec<(usize, usize)>) {
+    /// Shared with [`crate::index_v2`] so both index generations agree on
+    /// the permutation.
+    pub(crate) fn cluster_by_group(tables: &AnatomizedTables) -> (Vec<usize>, Vec<(usize, usize)>) {
         let m = tables.group_count();
         let mut starts = vec![0usize; m + 1];
         for &g in tables.group_ids() {

@@ -30,6 +30,12 @@
 //!   giving scan-free [`evaluate_exact_indexed`] / [`estimate_anatomy_indexed`]
 //!   that reproduce the scalar paths bit-for-bit. The scalar evaluators stay
 //!   as the differential-testing oracle;
+//! * [`container`] / [`index_v2`] — the compressed successor: per-chunk
+//!   density-adaptive containers (sorted array / packed bitmap /
+//!   run-length) and a vectorized batch evaluator that clusters a whole
+//!   workload by shared QI predicate prefixes, materializing each shared
+//!   intersection once. Same bit-for-bit contract; v1 and the scalar
+//!   paths remain the oracles;
 //! * [`batch`] — whole-workload evaluation on the persistent worker pool
 //!   (`anatomy_pool`), the entry points the experiment harness and CLI
 //!   batch paths share.
@@ -37,12 +43,14 @@
 pub mod accuracy;
 pub mod batch;
 pub mod bitmap;
+pub mod container;
 pub mod error;
 pub mod estimate_anatomy;
 pub mod estimate_generalization;
 pub mod estimator;
 pub mod exact;
 pub mod index;
+pub mod index_v2;
 pub mod predicate;
 pub mod query;
 pub mod workload;
@@ -50,14 +58,20 @@ pub mod workload;
 pub use accuracy::{relative_error, AccuracyReport};
 pub use batch::{estimate_anatomy_batch, evaluate_exact_batch};
 pub use bitmap::Bitmap;
+pub use container::{Container, ContainerKind, ContainerMix};
 pub use error::QueryError;
 pub use estimate_anatomy::estimate_anatomy;
 pub use estimate_generalization::estimate_generalization;
 pub use estimator::{
-    AnatomyEstimator, Estimator, ExactIndexed, ExactScan, GeneralizationEstimator,
+    AnatomyEstimator, AnatomyEstimatorV2, Estimator, ExactIndexed, ExactIndexedV2, ExactScan,
+    GeneralizationEstimator,
 };
 pub use exact::evaluate_exact;
 pub use index::{estimate_anatomy_indexed, evaluate_exact_indexed, QueryIndex};
+pub use index_v2::{
+    estimate_anatomy_batch_v2, estimate_anatomy_indexed_v2, evaluate_exact_batch_v2,
+    evaluate_exact_indexed_v2, QueryIndexV2,
+};
 pub use predicate::InPredicate;
 pub use query::CountQuery;
 pub use workload::{predicate_width, workload_from_text, workload_to_text, WorkloadSpec};

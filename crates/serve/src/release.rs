@@ -1,16 +1,17 @@
 //! A release loaded into the server, with its query index built once.
 
 use anatomy_core::AnatomizedTables;
-use anatomy_query::{QueryError, QueryIndex};
+use anatomy_query::{QueryError, QueryIndexV2};
 use anatomy_tables::Microdata;
 
-/// One published release the server answers queries against. The bitmap
-/// [`QueryIndex`] is built at load time and cached for the server's
-/// lifetime — the whole point of serving residently.
+/// One published release the server answers queries against. The
+/// compressed [`QueryIndexV2`] is built at load time and cached for the
+/// server's lifetime — the whole point of serving residently — and its
+/// batch evaluator answers each incoming batch in one clustered pass.
 pub struct ServedRelease {
     name: String,
     tables: AnatomizedTables,
-    index: QueryIndex,
+    index: QueryIndexV2,
     /// Carries the attribute domains query parsing validates against.
     /// For [`ServedRelease::exact`] this is the real microdata; for
     /// [`ServedRelease::estimate_only`] an empty table with the schema.
@@ -26,7 +27,7 @@ impl ServedRelease {
         md: Microdata,
         tables: AnatomizedTables,
     ) -> Result<ServedRelease, QueryError> {
-        let index = QueryIndex::build(&md, &tables)?;
+        let index = QueryIndexV2::build(&md, &tables)?;
         Ok(ServedRelease {
             name: name.into(),
             tables,
@@ -46,7 +47,7 @@ impl ServedRelease {
         domains: Microdata,
         tables: AnatomizedTables,
     ) -> ServedRelease {
-        let index = QueryIndex::from_published(&tables);
+        let index = QueryIndexV2::from_published(&tables);
         ServedRelease {
             name: name.into(),
             tables,
@@ -67,7 +68,7 @@ impl ServedRelease {
     }
 
     /// The cached index.
-    pub fn index(&self) -> &QueryIndex {
+    pub fn index(&self) -> &QueryIndexV2 {
         &self.index
     }
 

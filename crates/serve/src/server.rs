@@ -5,7 +5,7 @@ use crate::protocol::{connect_stream, LineEvent, LineReader, Mode, Stream};
 use crate::release::ServedRelease;
 use anatomy_obs::RunManifest;
 use anatomy_pool::Pool;
-use anatomy_query::{estimate_anatomy_batch, evaluate_exact_batch, workload_from_text};
+use anatomy_query::{estimate_anatomy_batch_v2, evaluate_exact_batch_v2, workload_from_text};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{self, Write};
@@ -221,6 +221,12 @@ impl Server {
     /// observability registry so the stats endpoint always has data.
     pub fn run(self) -> io::Result<ServeSummary> {
         anatomy_obs::global().set_enabled(true);
+        // The release indexes were built before the registry turned on,
+        // so their footprint/container-mix gauges landed in a disabled
+        // registry; re-report them now so STATS always carries them.
+        for release in self.shared.releases.values() {
+            release.index().report_gauges();
+        }
         let mut handles: Vec<JoinHandle<()>> = Vec::new();
         loop {
             let conn = match self.listener.accept() {
@@ -458,16 +464,19 @@ fn handle_batch(
     let _ = writeln!(out, "OK {count}");
     match mode {
         Mode::Exact => {
-            for v in evaluate_exact_batch(Pool::global(), release.index(), &queries) {
+            for v in evaluate_exact_batch_v2(Pool::global(), release.index(), &queries) {
                 let _ = writeln!(out, "{v}");
             }
         }
         Mode::Estimate => {
             // f64 Display is shortest-round-trip, so the printed text
             // parses back to bit-identical estimates client-side.
-            for v in
-                estimate_anatomy_batch(Pool::global(), release.index(), release.tables(), &queries)
-            {
+            for v in estimate_anatomy_batch_v2(
+                Pool::global(),
+                release.index(),
+                release.tables(),
+                &queries,
+            ) {
                 let _ = writeln!(out, "{v}");
             }
         }

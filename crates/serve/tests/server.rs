@@ -95,6 +95,16 @@ fn stats_endpoint_emits_a_validating_manifest() {
         "no serve.batch latency entry in {stats}"
     );
     assert!(stats.contains("\"serve.batches\""), "{stats}");
+    // The v2 index footprint and container-mix gauges must survive the
+    // build-before-registry-enable ordering (re-reported in run()).
+    assert!(
+        stats.contains("\"query.index_v2_bytes\""),
+        "no v2 index memory gauge in {stats}"
+    );
+    assert!(
+        stats.contains("\"query.index_v2_containers_array\""),
+        "no container-mix gauges in {stats}"
+    );
 
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
