@@ -4,6 +4,28 @@ use crate::CliResult;
 use anatomy::Error;
 use std::collections::HashMap;
 
+/// Engine selection for `publish` (`--engine`), with the knobs each
+/// engine takes. Mirrors `anatomy::Engine` with CLI-level defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineArg {
+    /// The in-memory frequency ladder (the default).
+    InMemory,
+    /// The paged external algorithm of Theorem 3.
+    External {
+        /// Page size in bytes (`--page-size`, default 4096).
+        page_size: usize,
+    },
+    /// The sharded out-of-core pipeline.
+    Sharded {
+        /// Page size in bytes (`--page-size`, default 4096).
+        page_size: usize,
+        /// Shard fan-out (`--shards`, default 8).
+        shards: usize,
+        /// Buffer pages per shard (`--shard-pages`, default 16).
+        pages_per_shard: usize,
+    },
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -17,7 +39,9 @@ pub enum Command {
         sensitive: String,
     },
     /// `anatomy publish --data F --schema F --sensitive NAME --l N
-    ///  --qit F --st F [--seed N] [--metrics F] [--trace F]`
+    ///  --qit F --st F [--engine in-memory|external|sharded]
+    ///  [--page-size N] [--shards N] [--shard-pages N]
+    ///  [--seed N] [--metrics F] [--trace F]`
     Publish {
         /// Microdata CSV path.
         data: String,
@@ -33,6 +57,8 @@ pub enum Command {
         st: String,
         /// RNG seed.
         seed: u64,
+        /// Which anatomization engine runs the publish.
+        engine: EngineArg,
         /// Write the run's `RunManifest` JSON here.
         metrics: Option<String>,
         /// Write an execution trace here (`.jsonl` for JSONL, anything
@@ -139,7 +165,7 @@ pub enum Command {
 pub const USAGE: &str = "\
 usage:
   anatomy stats   --data F --schema F --sensitive NAME
-  anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--seed N] [--metrics F] [--trace F]
+  anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--engine in-memory|external|sharded] [--page-size N] [--shards N] [--shard-pages N] [--seed N] [--metrics F] [--trace F]
   anatomy audit   --qit F --st F --schema F --sensitive NAME --l N
   anatomy verify  --qit F --st F --schema F --sensitive NAME --l N
   anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed | --index-v2] [--metrics F] [--trace F]
@@ -189,6 +215,54 @@ fn finish(map: HashMap<String, String>) -> CliResult<()> {
     Ok(())
 }
 
+/// Pull an optional positive-integer flag, with a default.
+fn take_usize(map: &mut HashMap<String, String>, key: &str, default: usize) -> CliResult<usize> {
+    match map.remove(key) {
+        None => Ok(default),
+        Some(s) => match s.parse::<usize>() {
+            Ok(v) if v > 0 => Ok(v),
+            _ => Err(Error::msg(format!("--{key} must be a positive integer"))),
+        },
+    }
+}
+
+/// Parse the `--engine` family of flags. Engine-specific knobs given
+/// alongside an engine that does not use them are usage errors, so a
+/// typo'd invocation fails loudly instead of silently ignoring a flag.
+fn take_engine(map: &mut HashMap<String, String>) -> CliResult<EngineArg> {
+    let engine = map.remove("engine").unwrap_or_else(|| "in-memory".into());
+    let reject = |map: &HashMap<String, String>, keys: &[&str], engine: &str| -> CliResult<()> {
+        for key in keys {
+            if map.contains_key(*key) {
+                return Err(Error::msg(format!(
+                    "--{key} does not apply to --engine {engine}"
+                )));
+            }
+        }
+        Ok(())
+    };
+    match engine.as_str() {
+        "in-memory" => {
+            reject(map, &["page-size", "shards", "shard-pages"], "in-memory")?;
+            Ok(EngineArg::InMemory)
+        }
+        "external" => {
+            reject(map, &["shards", "shard-pages"], "external")?;
+            Ok(EngineArg::External {
+                page_size: take_usize(map, "page-size", 4096)?,
+            })
+        }
+        "sharded" => Ok(EngineArg::Sharded {
+            page_size: take_usize(map, "page-size", 4096)?,
+            shards: take_usize(map, "shards", 8)?,
+            pages_per_shard: take_usize(map, "shard-pages", 16)?,
+        }),
+        other => Err(Error::msg(format!(
+            "--engine must be in-memory, external, or sharded, got `{other}`"
+        ))),
+    }
+}
+
 /// Parse `argv[1..]` into a [`Command`].
 pub fn parse_args(args: &[String]) -> CliResult<Command> {
     let (cmd, rest) = args.split_first().ok_or_else(|| Error::msg(USAGE))?;
@@ -213,6 +287,7 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
                 .map(|s| s.parse::<u64>().map_err(|_| "--seed must be an integer"))
                 .transpose()?
                 .unwrap_or(0xA7A7),
+            engine: take_engine(&mut map)?,
             metrics: map.remove("metrics"),
             trace: map.remove("trace"),
         },
@@ -309,10 +384,66 @@ mod tests {
                 qit: "q.csv".into(),
                 st: "t.csv".into(),
                 seed: 9,
+                engine: EngineArg::InMemory,
                 metrics: None,
                 trace: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_engine_flags() {
+        let engine = |cmd: &str| match parse_args(&argv(cmd)).unwrap() {
+            Command::Publish { engine, .. } => engine,
+            _ => panic!("wrong command"),
+        };
+        const BASE: &str = "publish --data d --schema s --sensitive X --l 2 --qit q --st t";
+        assert_eq!(engine(BASE), EngineArg::InMemory);
+        assert_eq!(
+            engine(&format!("{BASE} --engine in-memory")),
+            EngineArg::InMemory
+        );
+        assert_eq!(
+            engine(&format!("{BASE} --engine external")),
+            EngineArg::External { page_size: 4096 }
+        );
+        assert_eq!(
+            engine(&format!("{BASE} --engine external --page-size 256")),
+            EngineArg::External { page_size: 256 }
+        );
+        assert_eq!(
+            engine(&format!("{BASE} --engine sharded")),
+            EngineArg::Sharded {
+                page_size: 4096,
+                shards: 8,
+                pages_per_shard: 16
+            }
+        );
+        assert_eq!(
+            engine(&format!(
+                "{BASE} --engine sharded --page-size 512 --shards 4 --shard-pages 12"
+            )),
+            EngineArg::Sharded {
+                page_size: 512,
+                shards: 4,
+                pages_per_shard: 12
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_misused_engine_flags() {
+        const BASE: &str = "publish --data d --schema s --sensitive X --l 2 --qit q --st t";
+        for bad in [
+            format!("{BASE} --engine turbo"),
+            format!("{BASE} --shards 4"),
+            format!("{BASE} --engine in-memory --page-size 256"),
+            format!("{BASE} --engine external --shards 4"),
+            format!("{BASE} --engine sharded --shards 0"),
+            format!("{BASE} --engine sharded --page-size none"),
+        ] {
+            assert!(parse_args(&argv(&bad)).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! Command implementations. Each returns the report text it would print,
 //! so tests can assert on output without capturing stdout.
 
+use crate::args::EngineArg;
 use crate::schema_file;
 use crate::{CliResult, Command};
 use anatomy::audit::{audit_parts, audit_release};
-use anatomy::{Error, Publish};
+use anatomy::storage::PageConfig;
+use anatomy::{Engine, Error, Publish};
 use anatomy_core::adversary::tuple_value_probability;
 use anatomy_core::diversity::max_feasible_l;
 use anatomy_core::release::{parse_release, parse_release_parts, qit_to_csv, st_to_csv};
-use anatomy_core::AnatomizedTables;
+use anatomy_core::{AnatomizedTables, ShardConfig};
 use anatomy_obs::RunManifest;
 use anatomy_pool::Pool;
 use anatomy_query::{
@@ -100,6 +102,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             qit,
             st,
             seed,
+            engine,
             metrics,
             trace,
         } => publish(
@@ -110,6 +113,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             qit,
             st,
             *seed,
+            engine,
             metrics.as_deref(),
             trace.as_deref(),
         ),
@@ -253,6 +257,7 @@ fn stats(data: &str, schema_path: &str, sensitive: &str) -> CliResult<String> {
 }
 
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
 fn publish(
     data: &str,
     schema_path: &str,
@@ -261,16 +266,31 @@ fn publish(
     qit_path: &str,
     st_path: &str,
     seed: u64,
+    engine: &EngineArg,
     metrics: Option<&str>,
     trace: Option<&str>,
 ) -> CliResult<String> {
     let schema = load_schema(schema_path)?;
     let md = load_microdata(data, &schema, sensitive)?;
+    let engine = match engine {
+        EngineArg::InMemory => Engine::InMemory,
+        EngineArg::External { page_size } => Engine::External(PageConfig::new(*page_size)?),
+        EngineArg::Sharded {
+            page_size,
+            shards,
+            pages_per_shard,
+        } => Engine::Sharded(ShardConfig::new(
+            PageConfig::new(*page_size)?,
+            *shards,
+            *pages_per_shard,
+        )?),
+    };
     let _scope = MetricsScope::new(metrics.is_some());
     let trace_scope = trace.map(|_| TraceScope::begin());
     let release = Publish::new(&md)
         .l(l)
         .seed(seed)
+        .engine(engine)
         .name("cli.publish")
         .run()
         .map_err(|e| e.context(format!("publishing {data}")))?;
@@ -284,6 +304,9 @@ fn publish(
         tables.len(),
         tables.group_count()
     );
+    if let Some(stats) = release.io {
+        let _ = writeln!(out, "I/O bill: {stats}");
+    }
     if let Some(path) = metrics {
         write_metrics(path, &release.manifest)?;
         let _ = writeln!(out, "metrics -> {path}");
@@ -567,6 +590,81 @@ mod tests {
     }
 
     #[test]
+    fn engines_publish_identical_releases_from_the_cli() {
+        // The sharded engine honors the seed, so its CSVs must equal the
+        // in-memory engine's byte-for-byte; the external engine is
+        // deterministic and merely has to produce an auditable release.
+        let dir = scratch("engines");
+        let data = write(&dir, "d.csv", &demo_data());
+        let schema = write(&dir, "s.txt", SCHEMA);
+        let publish_with = |tag: &str, engine: EngineArg| {
+            let qit = dir
+                .join(format!("{tag}-qit.csv"))
+                .to_string_lossy()
+                .into_owned();
+            let st = dir
+                .join(format!("{tag}-st.csv"))
+                .to_string_lossy()
+                .into_owned();
+            let report = run(&Command::Publish {
+                data: data.clone(),
+                schema: schema.clone(),
+                sensitive: "Disease".into(),
+                l: 4,
+                qit: qit.clone(),
+                st: st.clone(),
+                seed: 3,
+                engine,
+                metrics: None,
+                trace: None,
+            })
+            .unwrap();
+            (
+                report,
+                fs::read_to_string(qit).unwrap(),
+                fs::read_to_string(st).unwrap(),
+            )
+        };
+
+        let (_, qit_mem, st_mem) = publish_with("mem", EngineArg::InMemory);
+        let (report, qit_sh, st_sh) = publish_with(
+            "sharded",
+            EngineArg::Sharded {
+                page_size: 64,
+                shards: 2,
+                pages_per_shard: 6,
+            },
+        );
+        assert_eq!(qit_mem, qit_sh);
+        assert_eq!(st_mem, st_sh);
+        assert!(report.contains("I/O bill:"), "{report}");
+
+        let (report, _, _) = publish_with("ext", EngineArg::External { page_size: 64 });
+        assert!(report.contains("I/O bill:"), "{report}");
+
+        // A sharded budget too small for the sensitive domain surfaces
+        // as a rendered error mentioning the budget, not a panic.
+        let err = run(&Command::Publish {
+            data: data.clone(),
+            schema: schema.clone(),
+            sensitive: "Disease".into(),
+            l: 4,
+            qit: dir.join("x.csv").to_string_lossy().into_owned(),
+            st: dir.join("y.csv").to_string_lossy().into_owned(),
+            seed: 3,
+            engine: EngineArg::Sharded {
+                page_size: 64,
+                shards: 1,
+                pages_per_shard: 3,
+            },
+            metrics: None,
+            trace: None,
+        })
+        .unwrap_err();
+        assert!(anatomy::render_chain(&err).contains("budget"));
+    }
+
+    #[test]
     fn publish_then_audit_then_query() {
         let dir = scratch("roundtrip");
         let data = write(&dir, "d.csv", &demo_data());
@@ -582,6 +680,7 @@ mod tests {
             qit: qit.clone(),
             st: st.clone(),
             seed: 3,
+            engine: EngineArg::InMemory,
             metrics: None,
             trace: None,
         })
@@ -665,6 +764,7 @@ mod tests {
             qit,
             st,
             seed: 3,
+            engine: EngineArg::InMemory,
             metrics: None,
             trace: Some(trace.clone()),
         })
@@ -690,6 +790,7 @@ mod tests {
             qit: qit.clone(),
             st: st.clone(),
             seed: 3,
+            engine: EngineArg::InMemory,
             metrics: None,
             trace: None,
         })

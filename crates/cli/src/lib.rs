@@ -28,7 +28,7 @@ pub mod args;
 pub mod commands;
 pub mod schema_file;
 
-pub use args::{parse_args, Command};
+pub use args::{parse_args, Command, EngineArg};
 pub use commands::run;
 
 // The binary prints errors through `render_chain`, so wrapped causes

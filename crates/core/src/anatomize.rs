@@ -189,26 +189,40 @@ fn merge_class_members(left: &mut VecDeque<u32>, mut right: VecDeque<u32>) {
     *left = merged;
 }
 
-/// Group creation with the frequency ladder (the paper's largest-first
-/// rule). Produces the identical group sequence, per-group tuple order and
-/// residue-visit order as [`create_groups_sorted`] for every input.
+/// Outcome of a size-only schedule run ([`ladder_schedule`] /
+/// [`round_robin_schedule`]): how many groups were formed and which
+/// buckets remain non-empty, in residue-visit order.
 #[doc(hidden)]
-pub fn create_groups_ladder(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation {
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    /// Number of groups emitted.
+    pub groups: u32,
+    /// Still-non-empty bucket values, in residue-visit order.
+    pub residual: Vec<u32>,
+}
+
+/// The frequency-ladder group schedule, driven by bucket **sizes** alone.
+///
+/// Group creation's control flow never looks at tuples — only at how many
+/// each bucket holds — so the whole selection sequence is a function of
+/// `sizes`. This function runs that sequence with O(λ) resident state,
+/// calling `emit` once per group with the drawn bucket values in **draw
+/// order** (size-descending, value-ascending on ties). [`create_groups_ladder`]
+/// applies it to in-memory buckets; the sharded out-of-core path
+/// (`anatomize_sharded`) replays the identical schedule against on-disk
+/// bucket files, which is what makes the two engines bit-identical.
+#[doc(hidden)]
+pub fn ladder_schedule(sizes: &[usize], l: usize, mut emit: impl FnMut(&[u32])) -> ScheduleOutcome {
     // Build the ladder: one sort of the non-empty bucket list, split into
     // runs of equal size. Same comparator as the sort-based path, so the
     // first round's selection is trivially identical.
-    let mut vals: Vec<u32> = (0..buckets.len() as u32)
-        .filter(|&v| !buckets[v as usize].is_empty())
+    let mut vals: Vec<u32> = (0..sizes.len() as u32)
+        .filter(|&v| sizes[v as usize] > 0)
         .collect();
-    vals.sort_unstable_by(|&a, &b| {
-        buckets[b as usize]
-            .len()
-            .cmp(&buckets[a as usize].len())
-            .then(a.cmp(&b))
-    });
+    vals.sort_unstable_by(|&a, &b| sizes[b as usize].cmp(&sizes[a as usize]).then(a.cmp(&b)));
     let mut ladder: VecDeque<Class> = VecDeque::new();
     for &v in &vals {
-        let size = buckets[v as usize].len();
+        let size = sizes[v as usize];
         match ladder.back_mut() {
             Some(c) if c.size == size => c.members.push_back(v),
             _ => ladder.push_back(Class {
@@ -219,12 +233,11 @@ pub fn create_groups_ladder(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation
     }
     let mut nonempty = vals.len();
 
-    let n: usize = buckets.iter().map(Vec::len).sum();
-    let mut groups: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
-    let mut group_values: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let mut groups = 0u32;
     // Sorted sensitive values of the most recent round, for reconstructing
     // the residue-visit order afterwards.
     let mut last_selected: Vec<u32> = Vec::new();
+    let mut values: Vec<u32> = Vec::with_capacity(l);
 
     while nonempty >= l {
         // Selection: the ladder prefix covering l buckets. `full` classes
@@ -246,24 +259,21 @@ pub fn create_groups_ladder(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation
             }
         }
 
-        let mut group = Vec::with_capacity(l);
-        let mut values = Vec::with_capacity(l);
+        values.clear();
         for c in ladder.iter().take(full) {
             for &v in &c.members {
-                group.push(buckets[v as usize].pop().expect("bucket in ladder"));
                 values.push(v);
             }
         }
         if m > 0 {
             for &v in ladder[full].members.iter().take(m) {
-                group.push(buckets[v as usize].pop().expect("bucket in ladder"));
                 values.push(v);
             }
         }
+        emit(&values);
+        groups += 1;
         values.sort_unstable();
         last_selected.clone_from(&values);
-        groups.push(group);
-        group_values.push(values);
 
         // Restructure. Fully drawn classes just step down one size; the
         // strict descending order among them is preserved.
@@ -320,22 +330,50 @@ pub fn create_groups_ladder(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation
     // Reconstruct the residue-visit order of the sort-based path: its
     // non-empty list was last sorted at the top of the final round, i.e.
     // by (pre-draw size descending, value ascending). A bucket's pre-draw
-    // size is its current size plus one if the final round drew from it.
-    // (Eligibility guarantees at least one round whenever n > 0, so the
-    // list is never left in its initial value-ascending build order.)
-    let mut residual: Vec<u32> = ladder
+    // size is its current size (the size of its ladder class) plus one if
+    // the final round drew from it. (Eligibility guarantees at least one
+    // round whenever n > 0, so the list is never left in its initial
+    // value-ascending build order.)
+    let mut residual: Vec<(usize, u32)> = ladder
         .iter()
-        .flat_map(|c| c.members.iter().copied())
+        .flat_map(|c| c.members.iter().map(move |&v| (c.size, v)))
         .collect();
-    let pre_size = |v: u32| -> usize {
-        buckets[v as usize].len() + usize::from(last_selected.binary_search(&v).is_ok())
+    let pre_size = |(size, v): (usize, u32)| -> usize {
+        size + usize::from(last_selected.binary_search(&v).is_ok())
     };
-    residual.sort_unstable_by(|&a, &b| pre_size(b).cmp(&pre_size(a)).then(a.cmp(&b)));
+    residual.sort_unstable_by(|&a, &b| pre_size(b).cmp(&pre_size(a)).then(a.1.cmp(&b.1)));
 
+    ScheduleOutcome {
+        groups,
+        residual: residual.into_iter().map(|(_, v)| v).collect(),
+    }
+}
+
+/// Group creation with the frequency ladder (the paper's largest-first
+/// rule). Produces the identical group sequence, per-group tuple order and
+/// residue-visit order as [`create_groups_sorted`] for every input.
+#[doc(hidden)]
+pub fn create_groups_ladder(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation {
+    let sizes: Vec<usize> = buckets.iter().map(Vec::len).collect();
+    let n: usize = sizes.iter().sum();
+    let mut groups: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let mut group_values: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let outcome = ladder_schedule(&sizes, l, |drawn| {
+        // Drawn values arrive in draw order; pop one tuple from each. The
+        // group keeps draw order, the value list is kept sorted.
+        let mut group = Vec::with_capacity(drawn.len());
+        for &v in drawn {
+            group.push(buckets[v as usize].pop().expect("bucket in ladder"));
+        }
+        let mut values = drawn.to_vec();
+        values.sort_unstable();
+        groups.push(group);
+        group_values.push(values);
+    });
     GroupCreation {
         groups,
         group_values,
-        residual,
+        residual: outcome.residual,
     }
 }
 
@@ -378,16 +416,23 @@ pub fn create_groups_sorted(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation
     }
 }
 
-/// Group creation with the round-robin ablation rule (shared by both
-/// [`anatomize`] and [`anatomize_reference`]; it is not a hot path).
-fn create_groups_round_robin(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation {
-    let n: usize = buckets.iter().map(Vec::len).sum();
-    let mut groups: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
-    let mut group_values: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
-    let mut nonempty: Vec<u32> = (0..buckets.len() as u32)
-        .filter(|&v| !buckets[v as usize].is_empty())
+/// The round-robin group schedule, driven by bucket sizes alone — the
+/// size-only counterpart of [`ladder_schedule`] for the ablation arm.
+/// Calls `emit` once per group with the drawn values in draw (rotated
+/// cyclic) order.
+#[doc(hidden)]
+pub fn round_robin_schedule(
+    sizes: &[usize],
+    l: usize,
+    mut emit: impl FnMut(&[u32]),
+) -> ScheduleOutcome {
+    let mut remaining: Vec<usize> = sizes.to_vec();
+    let mut nonempty: Vec<u32> = (0..sizes.len() as u32)
+        .filter(|&v| sizes[v as usize] > 0)
         .collect();
 
+    let mut groups = 0u32;
+    let mut values: Vec<u32> = Vec::with_capacity(l);
     let mut cursor = 0usize;
     while nonempty.len() >= l {
         // Rotate so each iteration starts after the previous one's first
@@ -396,22 +441,43 @@ fn create_groups_round_robin(buckets: &mut [Vec<u32>], l: usize) -> GroupCreatio
         cursor %= nonempty.len();
         nonempty.rotate_left(cursor);
         cursor += 1;
-        let mut group = Vec::with_capacity(l);
-        let mut values = Vec::with_capacity(l);
+        values.clear();
         for &v in nonempty.iter().take(l) {
-            group.push(buckets[v as usize].pop().expect("bucket in non-empty list"));
+            remaining[v as usize] -= 1;
             values.push(v);
         }
+        emit(&values);
+        groups += 1;
+        nonempty.retain(|&v| remaining[v as usize] > 0);
+    }
+
+    ScheduleOutcome {
+        groups,
+        residual: nonempty,
+    }
+}
+
+/// Group creation with the round-robin ablation rule (shared by both
+/// [`anatomize`] and [`anatomize_reference`]; it is not a hot path).
+fn create_groups_round_robin(buckets: &mut [Vec<u32>], l: usize) -> GroupCreation {
+    let sizes: Vec<usize> = buckets.iter().map(Vec::len).collect();
+    let n: usize = sizes.iter().sum();
+    let mut groups: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let mut group_values: Vec<Vec<u32>> = Vec::with_capacity(n / l.max(1));
+    let outcome = round_robin_schedule(&sizes, l, |drawn| {
+        let mut group = Vec::with_capacity(drawn.len());
+        for &v in drawn {
+            group.push(buckets[v as usize].pop().expect("bucket in non-empty list"));
+        }
+        let mut values = drawn.to_vec();
         values.sort_unstable();
         groups.push(group);
         group_values.push(values);
-        nonempty.retain(|&v| !buckets[v as usize].is_empty());
-    }
-
+    });
     GroupCreation {
         groups,
         group_values,
-        residual: nonempty,
+        residual: outcome.residual,
     }
 }
 

@@ -60,31 +60,44 @@ impl ExternalAnatomizeOutput {
         qi_schema: anatomy_tables::Schema,
         l: usize,
     ) -> Result<crate::published::AnatomizedTables, CoreError> {
-        let d = qi_schema.width();
-        let pool = BufferPool::unbounded();
-        let scratch = IoCounter::new();
-
-        let mut builder = anatomy_tables::TableBuilder::new(qi_schema);
-        let mut group_ids = Vec::with_capacity(self.qit.record_count());
-        let reader = SeqReader::open(&self.qit, U32RowCodec::new(d + 1), &pool, scratch.clone())?;
-        for rec in reader {
-            let rec = rec?;
-            builder.push_row(&rec[..d])?;
-            group_ids.push(rec[d]);
-        }
-
-        let mut st = Vec::with_capacity(self.st.record_count());
-        let reader = SeqReader::open(&self.st, U32RowCodec::new(3), &pool, scratch)?;
-        for rec in reader {
-            let rec = rec?;
-            st.push(crate::published::StRecord {
-                group: rec[0],
-                value: anatomy_tables::Value(rec[1]),
-                count: rec[2],
-            });
-        }
-        crate::published::AnatomizedTables::from_parts(builder.finish(), group_ids, st, l)
+        tables_from_files(&self.qit, &self.st, qi_schema, l)
     }
+}
+
+/// Decode on-disk QIT (`(qi_1, …, qi_d, group_id)` records) and ST
+/// (`(group_id, value, count)` records) files into validated
+/// [`AnatomizedTables`](crate::published::AnatomizedTables). Shared by the
+/// external and sharded engines.
+pub fn tables_from_files(
+    qit: &SimFile,
+    st_file: &SimFile,
+    qi_schema: anatomy_tables::Schema,
+    l: usize,
+) -> Result<crate::published::AnatomizedTables, CoreError> {
+    let d = qi_schema.width();
+    let pool = BufferPool::unbounded();
+    let scratch = IoCounter::new();
+
+    let mut builder = anatomy_tables::TableBuilder::new(qi_schema);
+    let mut group_ids = Vec::with_capacity(qit.record_count());
+    let reader = SeqReader::open(qit, U32RowCodec::new(d + 1), &pool, scratch.clone())?;
+    for rec in reader {
+        let rec = rec?;
+        builder.push_row(&rec[..d])?;
+        group_ids.push(rec[d]);
+    }
+
+    let mut st = Vec::with_capacity(st_file.record_count());
+    let reader = SeqReader::open(st_file, U32RowCodec::new(3), &pool, scratch)?;
+    for rec in reader {
+        let rec = rec?;
+        st.push(crate::published::StRecord {
+            group: rec[0],
+            value: anatomy_tables::Value(rec[1]),
+            count: rec[2],
+        });
+    }
+    crate::published::AnatomizedTables::from_parts(builder.finish(), group_ids, st, l)
 }
 
 /// Serialize `md` into a [`SimFile`] of `(d+1)`-field records without

@@ -40,6 +40,19 @@ pub enum CoreError {
     /// The multi-sensitive extension could not build a group with pairwise
     /// distinct values in every sensitive attribute.
     MultiSensitiveInfeasible(String),
+    /// A [`ShardConfig`](crate::ShardConfig) failed validation at
+    /// construction time.
+    InvalidShardConfig(String),
+    /// The sharded pipeline's resident state (one page per sensitive
+    /// value during group scheduling and the merges, plus double-buffer
+    /// slack) exceeds the page budget the [`ShardConfig`](crate::ShardConfig)
+    /// provides.
+    ShardBudgetTooSmall {
+        /// Pages the run would need resident at its widest phase.
+        required: usize,
+        /// Pages the configuration supplies.
+        budget: usize,
+    },
     /// An error from the tables substrate.
     Tables(anatomy_tables::TablesError),
     /// An error from the storage substrate.
@@ -69,6 +82,15 @@ impl fmt::Display for CoreError {
             CoreError::MultiSensitiveInfeasible(msg) => {
                 write!(f, "multi-sensitive anatomization infeasible: {msg}")
             }
+            CoreError::InvalidShardConfig(msg) => {
+                write!(f, "invalid shard configuration: {msg}")
+            }
+            CoreError::ShardBudgetTooSmall { required, budget } => write!(
+                f,
+                "shard budget of {budget} pages is too small: the run needs {required} resident \
+                 pages (one per sensitive value at the merge phases, plus double-buffer slack); \
+                 raise pages_per_shard or the shard count"
+            ),
             CoreError::Tables(e) => write!(f, "tables error: {e}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
         }

@@ -22,6 +22,9 @@
 //!   Properties 1–3);
 //! * [`anatomize_io`] — the external, I/O-accounted variant whose cost is
 //!   the `O(n/b)` of Theorem 3 and the "anatomy" series of Figures 8–9;
+//! * [`anatomize_shard`] — the sharded out-of-core pipeline behind
+//!   `Engine::Sharded`, targeting 10M–100M tuples with concurrent
+//!   per-shard bucket splits and O(λ) resident merge state;
 //! * [`published`] — the QIT/ST pair (Definition 3);
 //! * [`adversary`] — the QIT⋈ST reconstruction (Lemma 1) and breach
 //!   probabilities (Corollary 1, Theorem 1);
@@ -42,6 +45,7 @@
 pub mod adversary;
 pub mod anatomize;
 pub mod anatomize_io;
+pub mod anatomize_shard;
 pub mod diversity;
 pub mod error;
 pub mod incremental;
@@ -54,7 +58,10 @@ pub mod rce;
 pub mod release;
 
 pub use anatomize::{anatomize, anatomize_reference, AnatomizeConfig, BucketStrategy};
-pub use anatomize_io::{anatomize_external, ExternalAnatomizeOutput};
+pub use anatomize_io::{anatomize_external, tables_from_files, ExternalAnatomizeOutput};
+pub use anatomize_shard::{
+    anatomize_sharded, model_pages, ShardConfig, ShardedAnatomizeOutput, DOUBLE_BUFFER_SLACK,
+};
 pub use diversity::{
     check_eligibility, group_is_l_diverse, max_feasible_l, suppress_to_eligibility,
     DiversityCriterion,

@@ -7,14 +7,19 @@
 //! so on. [`BufferPool`] makes that accounting *enforced* instead of
 //! narrated: every reader and writer must hold a [`PageLease`] and
 //! construction fails loudly when an algorithm would exceed its budget.
+//!
+//! The free count is a lock-free atomic so concurrent readers (the sharded
+//! anatomize pipeline leases per-shard budgets from worker threads) never
+//! serialize on a mutex just to charge pages.
 
 use crate::error::StorageError;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct PoolInner {
     capacity: usize,
-    free: Mutex<usize>,
+    free: AtomicUsize,
 }
 
 /// A pool of simulated buffer pages with a hard capacity.
@@ -29,7 +34,7 @@ impl BufferPool {
         BufferPool {
             inner: Arc::new(PoolInner {
                 capacity,
-                free: Mutex::new(capacity),
+                free: AtomicUsize::new(capacity),
             }),
         }
     }
@@ -52,7 +57,7 @@ impl BufferPool {
 
     /// Pages currently free.
     pub fn free(&self) -> usize {
-        *self.inner.free.lock().expect("pool lock poisoned")
+        self.inner.free.load(Ordering::Acquire)
     }
 
     /// Pages currently leased.
@@ -63,20 +68,34 @@ impl BufferPool {
     /// Acquire `pages` buffer pages, or fail if the pool cannot supply them.
     ///
     /// The lease is released when the returned [`PageLease`] is dropped.
+    /// Safe to call from any thread; concurrent leases race on a
+    /// compare-exchange loop, so two threads can never jointly overdraw
+    /// the budget.
     pub fn try_lease(&self, pages: usize) -> Result<PageLease, StorageError> {
-        let mut free = self.inner.free.lock().expect("pool lock poisoned");
-        if pages > *free {
-            return Err(StorageError::PoolExhausted {
-                requested: pages,
-                available: *free,
-                capacity: self.inner.capacity,
-            });
+        let mut free = self.inner.free.load(Ordering::Acquire);
+        loop {
+            if pages > free {
+                return Err(StorageError::PoolExhausted {
+                    requested: pages,
+                    available: free,
+                    capacity: self.inner.capacity,
+                });
+            }
+            match self.inner.free.compare_exchange_weak(
+                free,
+                free - pages,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Ok(PageLease {
+                        pool: Arc::clone(&self.inner),
+                        pages,
+                    })
+                }
+                Err(actual) => free = actual,
+            }
         }
-        *free -= pages;
-        Ok(PageLease {
-            pool: Arc::clone(&self.inner),
-            pages,
-        })
     }
 }
 
@@ -97,11 +116,7 @@ impl PageLease {
 
 impl Drop for PageLease {
     fn drop(&mut self) {
-        // Don't double-panic on a poisoned lock during unwinding; the
-        // count only matters to a process that is still healthy.
-        if let Ok(mut free) = self.pool.free.lock() {
-            *free += self.pages;
-        }
+        self.pool.free.fetch_add(self.pages, Ordering::AcqRel);
     }
 }
 
@@ -155,5 +170,28 @@ mod tests {
         let pool = BufferPool::new(0);
         let l = pool.try_lease(0).unwrap();
         assert_eq!(l.pages(), 0);
+    }
+
+    #[test]
+    fn concurrent_leases_never_overdraw() {
+        let pool = BufferPool::new(64);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Ok(lease) = pool.try_lease(7) {
+                            assert!(pool.free() <= pool.capacity());
+                            drop(lease);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(pool.free(), 64);
+        assert_eq!(pool.in_use(), 0);
     }
 }

@@ -118,8 +118,32 @@ impl<'a, C: FixedCodec> SeqWriter<'a, C> {
         pool: &BufferPool,
         counter: IoCounter,
     ) -> Result<Self, StorageError> {
+        Self::open_buffered(file, codec, cfg, pool, counter, 1)
+    }
+
+    /// Open a writer holding `buffers` leased pages instead of one.
+    ///
+    /// The extra pages model double-buffered output: with two buffers the
+    /// device can drain page `k` while the writer fills `k + 1`, so the
+    /// sharded pipeline's QIT/ST emitters lease two pages each and the
+    /// budget accounting charges what the overlap actually costs. Record
+    /// layout, page contents and the I/O bill are identical to
+    /// [`SeqWriter::open`] — only the lease size differs.
+    pub fn open_buffered(
+        file: &'a mut SimFile,
+        codec: C,
+        cfg: PageConfig,
+        pool: &BufferPool,
+        counter: IoCounter,
+        buffers: usize,
+    ) -> Result<Self, StorageError> {
+        if buffers == 0 {
+            return Err(StorageError::InvalidArgument(
+                "writer needs at least one buffer page".into(),
+            ));
+        }
         cfg.records_per_page(codec.record_len())?;
-        let lease = pool.try_lease(1)?;
+        let lease = pool.try_lease(buffers)?;
         Ok(SeqWriter {
             codec,
             cfg,
@@ -208,6 +232,8 @@ pub struct SeqReader<'a, C: FixedCodec> {
     loaded: bool,
     yielded: usize,
     failed: bool,
+    prefetch: usize,
+    queue: std::collections::VecDeque<(usize, Result<Vec<u8>, StorageError>)>,
     read_ns: anatomy_obs::Histogram,
     _lease: PageLease,
 }
@@ -220,7 +246,32 @@ impl<'a, C: FixedCodec> SeqReader<'a, C> {
         pool: &BufferPool,
         counter: IoCounter,
     ) -> Result<Self, StorageError> {
-        let lease = pool.try_lease(1)?;
+        Self::open_with_prefetch(file, codec, pool, counter, 1)
+    }
+
+    /// Open a reader that prefetches up to `depth` pages per device trip,
+    /// leasing `depth` buffer pages from `pool`.
+    ///
+    /// A sequential scan touches pages strictly in order, so fetching the
+    /// next `depth` pages in one batch models the overlapped read-ahead a
+    /// real device would do. Records, error ordering and the page-read
+    /// bill are identical to [`SeqReader::open`]; prefetched pages are
+    /// charged when the batch is fetched rather than one at a time, and
+    /// each page's header is still verified before any of its records are
+    /// yielded. `depth == 1` is exactly the unbatched reader.
+    pub fn open_with_prefetch(
+        file: &'a SimFile,
+        codec: C,
+        pool: &BufferPool,
+        counter: IoCounter,
+        depth: usize,
+    ) -> Result<Self, StorageError> {
+        if depth == 0 {
+            return Err(StorageError::InvalidArgument(
+                "reader needs a prefetch depth of at least one page".into(),
+            ));
+        }
+        let lease = pool.try_lease(depth)?;
         Ok(SeqReader {
             codec,
             counter,
@@ -231,6 +282,8 @@ impl<'a, C: FixedCodec> SeqReader<'a, C> {
             loaded: false,
             yielded: 0,
             failed: false,
+            prefetch: depth,
+            queue: std::collections::VecDeque::new(),
             read_ns: anatomy_obs::global().histogram("storage.page_read_ns"),
             _lease: lease,
         })
@@ -239,6 +292,30 @@ impl<'a, C: FixedCodec> SeqReader<'a, C> {
     fn fail(&mut self, e: StorageError) -> Option<Result<C::Record, StorageError>> {
         self.failed = true;
         Some(Err(e))
+    }
+
+    /// Fetch one batch of up to `prefetch` pages starting at `from`:
+    /// charge the reads, copy each payload (read faults apply to the
+    /// copy, never the stored bytes) and verify its header. Results are
+    /// queued in page order so consumption surfaces errors exactly where
+    /// an unbatched reader would.
+    fn fetch_batch(&mut self, from: usize) {
+        let until = (from + self.prefetch).min(self.file.pages.len());
+        for idx in from..until {
+            let page = &self.file.pages[idx];
+            self.counter.add_reads(1);
+            let t0 = anatomy_obs::global()
+                .enabled()
+                .then(std::time::Instant::now);
+            let mut buf = page.payload.to_vec();
+            fault::on_read(&mut buf, idx);
+            let verified = page.header.verify(&buf, self.codec.record_len(), idx);
+            if let Some(t0) = t0 {
+                self.read_ns
+                    .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+            self.queue.push_back((idx, verified.map(|()| buf)));
+        }
     }
 }
 
@@ -251,7 +328,10 @@ impl<C: FixedCodec> Iterator for SeqReader<'_, C> {
         }
         loop {
             if !self.loaded {
-                let Some(page) = self.file.pages.get(self.page_idx) else {
+                if self.queue.is_empty() {
+                    self.fetch_batch(self.page_idx);
+                }
+                let Some((idx, loaded)) = self.queue.pop_front() else {
                     // End of pages: the file's own metadata says how many
                     // records there should have been.
                     if self.yielded < self.file.record_count {
@@ -265,28 +345,15 @@ impl<C: FixedCodec> Iterator for SeqReader<'_, C> {
                     }
                     return None;
                 };
-                // First touch of this page: charge the read, take a
-                // private copy (read faults apply to the copy, never the
-                // stored bytes), and verify the header against it.
-                self.counter.add_reads(1);
-                let t0 = anatomy_obs::global()
-                    .enabled()
-                    .then(std::time::Instant::now);
-                let mut buf = page.payload.to_vec();
-                fault::on_read(&mut buf, self.page_idx);
-                let verified = page
-                    .header
-                    .verify(&buf, self.codec.record_len(), self.page_idx);
-                if let Some(t0) = t0 {
-                    self.read_ns
-                        .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                debug_assert_eq!(idx, self.page_idx);
+                match loaded {
+                    Ok(buf) => {
+                        self.buf = buf;
+                        self.offset = 0;
+                        self.loaded = true;
+                    }
+                    Err(e) => return self.fail(e),
                 }
-                if let Err(e) = verified {
-                    return self.fail(e);
-                }
-                self.buf = buf;
-                self.offset = 0;
-                self.loaded = true;
             }
             if self.offset + self.codec.record_len() <= self.buf.len() {
                 let mut slice = &self.buf[self.offset..];
@@ -423,6 +490,97 @@ mod tests {
                 record_len: 8,
                 page_size: 4
             })
+        ));
+    }
+
+    #[test]
+    fn prefetch_reader_matches_unbatched() {
+        let (cfg, pool, counter) = setup();
+        let file = write_ten(cfg, &pool, &counter); // 4 pages
+        let codec = U32RowCodec::new(2);
+        let plain: Vec<Vec<u32>> = SeqReader::open(&file, codec, &pool, counter.clone())
+            .unwrap()
+            .map(|x| x.unwrap())
+            .collect();
+        for depth in 1..=6 {
+            let before = counter.stats().page_reads;
+            let r =
+                SeqReader::open_with_prefetch(&file, codec, &pool, counter.clone(), depth).unwrap();
+            let rows: Vec<Vec<u32>> = r.map(|x| x.unwrap()).collect();
+            assert_eq!(rows, plain, "depth={depth}");
+            // Same bill: every page is read exactly once.
+            assert_eq!(counter.stats().page_reads - before, 4, "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn prefetch_reader_holds_depth_lease() {
+        let (cfg, pool, counter) = setup();
+        let file = write_ten(cfg, &pool, &counter);
+        let codec = U32RowCodec::new(2);
+        {
+            let _r =
+                SeqReader::open_with_prefetch(&file, codec, &pool, counter.clone(), 3).unwrap();
+            assert_eq!(pool.in_use(), 3);
+        }
+        assert_eq!(pool.in_use(), 0);
+        assert!(matches!(
+            SeqReader::open_with_prefetch(&file, codec, &pool, counter.clone(), 0),
+            Err(StorageError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            SeqReader::open_with_prefetch(&file, codec, &pool, counter, 100),
+            Err(StorageError::PoolExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn prefetch_reader_surfaces_faults_in_page_order() {
+        let (cfg, pool, counter) = setup();
+        let clean = write_ten(cfg, &pool, &counter);
+        let codec = U32RowCodec::new(2);
+        let _scope = FaultScope::install(FaultConfig::new().bit_flip_read(2, 7));
+        let mut r =
+            SeqReader::open_with_prefetch(&clean, codec, &pool, IoCounter::new(), 4).unwrap();
+        // Pages 0 and 1 still yield all their records (3 each) before the
+        // damaged page 2 stops the scan, exactly like the unbatched reader.
+        let mut ok = 0;
+        let err = loop {
+            match r.next() {
+                Some(Ok(_)) => ok += 1,
+                Some(Err(e)) => break e,
+                None => panic!("reader must surface the damaged page"),
+            }
+        };
+        assert_eq!(ok, 6);
+        assert!(matches!(
+            err,
+            StorageError::ChecksumMismatch { page: 2, .. }
+        ));
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn buffered_writer_leases_extra_pages() {
+        let (cfg, pool, counter) = setup();
+        let mut file = SimFile::new();
+        let codec = U32RowCodec::new(2);
+        {
+            let mut w =
+                SeqWriter::open_buffered(&mut file, codec, cfg, &pool, counter.clone(), 2).unwrap();
+            assert_eq!(pool.in_use(), 2);
+            for i in 0..10u32 {
+                w.push(&vec![i, i * 10]).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        assert_eq!(pool.in_use(), 0);
+        // Identical layout to the single-buffer writer.
+        assert_eq!(file, write_ten(cfg, &pool, &counter));
+        let mut other = SimFile::new();
+        assert!(matches!(
+            SeqWriter::open_buffered(&mut other, codec, cfg, &pool, counter, 0),
+            Err(StorageError::InvalidArgument(_))
         ));
     }
 

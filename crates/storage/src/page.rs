@@ -36,11 +36,24 @@ impl PageConfig {
         }
     }
 
+    /// A custom page size, validated: errors with
+    /// [`StorageError::InvalidArgument`] for a zero page size instead of
+    /// panicking. Prefer this in library code; [`PageConfig::with_page_size`]
+    /// is the panicking shorthand for tests and constants.
+    pub fn new(page_size: usize) -> Result<Self, StorageError> {
+        if page_size == 0 {
+            return Err(StorageError::InvalidArgument(
+                "page size must be positive".to_string(),
+            ));
+        }
+        Ok(PageConfig { page_size })
+    }
+
     /// A custom page size (primarily for tests, which use tiny pages to
-    /// exercise page-boundary logic with few records).
+    /// exercise page-boundary logic with few records). Panics on a zero
+    /// page size; use [`PageConfig::new`] for a typed error instead.
     pub fn with_page_size(page_size: usize) -> Self {
-        assert!(page_size > 0, "page size must be positive");
-        PageConfig { page_size }
+        PageConfig::new(page_size).expect("page size must be positive")
     }
 
     /// Records of `record_len` bytes that fit in one page (`b` in the
@@ -246,6 +259,15 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_page_size_rejected() {
         let _ = PageConfig::with_page_size(0);
+    }
+
+    #[test]
+    fn typed_constructor_rejects_zero_without_panicking() {
+        assert!(matches!(
+            PageConfig::new(0),
+            Err(StorageError::InvalidArgument(_))
+        ));
+        assert_eq!(PageConfig::new(64).unwrap(), PageConfig::with_page_size(64));
     }
 
     #[test]

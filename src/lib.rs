@@ -61,4 +61,4 @@ pub mod prelude;
 pub mod publish;
 
 pub use error::{render_chain, Error};
-pub use publish::{Publish, Release};
+pub use publish::{Engine, Publish, Release};

@@ -9,10 +9,12 @@
 //! shadow much.
 
 pub use crate::error::{render_chain, Error};
-pub use crate::publish::{Publish, Release};
+pub use crate::publish::{Engine, Publish, Release};
 
 pub use anatomy_audit::{audit_parts, audit_release, AuditFailure, AuditReport};
-pub use anatomy_core::{anatomize, AnatomizeConfig, AnatomizedTables, BucketStrategy, Partition};
+pub use anatomy_core::{
+    anatomize, AnatomizeConfig, AnatomizedTables, BucketStrategy, Partition, ShardConfig,
+};
 pub use anatomy_obs::{RunManifest, Span};
 pub use anatomy_pool::Pool;
 pub use anatomy_query::{

@@ -30,11 +30,56 @@ use crate::error::Error;
 use anatomy_audit::{audit_release, AuditReport};
 use anatomy_core::anatomize_io::{anatomize_external, recommended_pool};
 use anatomy_core::{
-    anatomize, anatomize_reference, AnatomizeConfig, AnatomizedTables, BucketStrategy, Partition,
+    anatomize, anatomize_reference, anatomize_sharded, AnatomizeConfig, AnatomizedTables,
+    BucketStrategy, Partition, ShardConfig,
 };
 use anatomy_obs::{AuditSummary, RunManifest};
 use anatomy_storage::{IoCounter, IoStats, PageConfig};
 use anatomy_tables::Microdata;
+
+/// Which anatomization engine a [`Publish`] run uses.
+///
+/// All engines publish the same QIT/ST contract; they differ in memory
+/// footprint, I/O accounting, and scale. Pick with [`Publish::engine`]:
+///
+/// * [`Engine::InMemory`] — the linear-time frequency ladder of Figure 3.
+///   The default; holds the whole relation and partition in memory.
+/// * [`Engine::Reference`] — the sort-based reference implementation.
+///   Produces the identical partition to `InMemory`; this is the
+///   differential-testing oracle, exposed for exactly that purpose.
+/// * [`Engine::External`] — the paged O(n/b)-I/O algorithm of Theorem 3
+///   with the given page geometry and the recommended 50-page-class
+///   buffer pool. Deterministic: `seed` and `strategy` do not apply.
+/// * [`Engine::Sharded`] — the out-of-core sharded pipeline for
+///   10M–100M-tuple inputs: partitions by sensitive-value range, splits
+///   buckets concurrently per shard, streams group formation with O(λ)
+///   resident pages, and merges the QIT/ST with double-buffered writes.
+///   Honors `seed` and `strategy` and publishes tables **bit-for-bit
+///   identical** to `InMemory` at every scale.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub enum Engine {
+    /// The in-memory frequency-ladder `Anatomize` (the default).
+    #[default]
+    InMemory,
+    /// The sort-based in-memory oracle (differential testing).
+    Reference,
+    /// The paged external algorithm of Theorem 3.
+    External(PageConfig),
+    /// The sharded out-of-core pipeline.
+    Sharded(ShardConfig),
+}
+
+impl Engine {
+    /// The engine's `mode` string as recorded in the run manifest.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            Engine::InMemory | Engine::Reference => "in_memory",
+            Engine::External(_) => "external",
+            Engine::Sharded(_) => "sharded",
+        }
+    }
+}
 
 /// Everything a publish run produces.
 ///
@@ -45,10 +90,10 @@ use anatomy_tables::Microdata;
 pub struct Release {
     /// The published quasi-identifier table + sensitive table.
     pub tables: AnatomizedTables,
-    /// The group partition; `None` for external runs, which never hold
-    /// the full partition in memory.
+    /// The group partition; `None` for external and sharded runs, which
+    /// never hold the full partition in memory.
     pub partition: Option<Partition>,
-    /// Logical I/O charged by the external algorithm; `None` for
+    /// Logical I/O charged by the external or sharded engine; `None` for
     /// in-memory runs. Matches the manifest's `io` block exactly.
     pub io: Option<IoStats>,
     /// Phase timings, counters, and parameters of this run, captured as
@@ -75,8 +120,7 @@ pub struct Release {
 pub struct Publish<'a> {
     md: &'a Microdata,
     config: AnatomizeConfig,
-    reference: bool,
-    external: Option<PageConfig>,
+    engine: Engine,
     audit: bool,
     trace: Option<String>,
     name: String,
@@ -132,8 +176,7 @@ impl<'a> Publish<'a> {
         Publish {
             md,
             config: AnatomizeConfig::new(2),
-            reference: false,
-            external: None,
+            engine: Engine::InMemory,
             audit: false,
             trace: None,
             name: "publish".to_string(),
@@ -159,21 +202,26 @@ impl<'a> Publish<'a> {
         self
     }
 
-    /// Use the sort-based reference implementation instead of the
-    /// frequency ladder. Produces the identical partition — this is the
-    /// differential-testing oracle, exposed for exactly that purpose.
-    pub fn reference(mut self) -> Self {
-        self.reference = true;
+    /// Select the anatomization [`Engine`] for this run. The default is
+    /// [`Engine::InMemory`]; see the enum docs for when to pick each
+    /// variant.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
+    /// Use the sort-based reference implementation instead of the
+    /// frequency ladder.
+    #[deprecated(since = "0.9.0", note = "use `.engine(Engine::Reference)` instead")]
+    pub fn reference(self) -> Self {
+        self.engine(Engine::Reference)
+    }
+
     /// Run the external O(n/b)-I/O algorithm of Theorem 3 instead of
-    /// the in-memory one, with pages of `cfg.page_size` bytes and the
-    /// recommended buffer pool. The external algorithm is
-    /// deterministic, so `seed` and `strategy` do not apply.
-    pub fn external(mut self, cfg: PageConfig) -> Self {
-        self.external = Some(cfg);
-        self
+    /// the in-memory one.
+    #[deprecated(since = "0.9.0", note = "use `.engine(Engine::External(cfg))` instead")]
+    pub fn external(self, cfg: PageConfig) -> Self {
+        self.engine(Engine::External(cfg))
     }
 
     /// Audit the release before returning it: re-verify every paper
@@ -221,8 +269,8 @@ impl<'a> Publish<'a> {
         let l = self.config.l;
         let seed = self.config.seed;
 
-        let (tables, partition, io) = match self.external {
-            Some(page_cfg) => {
+        let (tables, partition, io) = match self.engine {
+            Engine::External(page_cfg) => {
                 let counter = IoCounter::observed(obs, "io.publish");
                 let pool = recommended_pool(self.md.sensitive_domain_size() as usize);
                 let out = anatomize_external(self.md, l, page_cfg, &pool, &counter)?;
@@ -230,8 +278,15 @@ impl<'a> Publish<'a> {
                 let tables = out.into_tables(qi_schema, l)?;
                 (tables, None, Some(out.stats))
             }
-            None => {
-                let partition = if self.reference {
+            Engine::Sharded(shard_cfg) => {
+                let counter = IoCounter::observed(obs, "io.publish");
+                let out = anatomize_sharded(self.md, &self.config, &shard_cfg, &counter)?;
+                let qi_schema = self.md.table().schema().project(self.md.qi_columns())?;
+                let tables = out.into_tables(qi_schema, l)?;
+                (tables, None, Some(out.stats))
+            }
+            Engine::InMemory | Engine::Reference => {
+                let partition = if matches!(self.engine, Engine::Reference) {
                     anatomize_reference(self.md, &self.config)?
                 } else {
                     anatomize(self.md, &self.config)?
@@ -244,15 +299,10 @@ impl<'a> Publish<'a> {
         let mut manifest = RunManifest::capture_since(&self.name, obs, &before)
             .with_param("n", self.md.len() as u64)
             .with_param("l", l as u64)
-            .with_param(
-                "mode",
-                if self.external.is_some() {
-                    "external"
-                } else {
-                    "in_memory"
-                },
-            );
-        if self.external.is_none() {
+            .with_param("mode", self.engine.mode());
+        // The external algorithm is deterministic; every other engine's
+        // output depends on seed and strategy.
+        if !matches!(self.engine, Engine::External(_)) {
             manifest.add_param("seed", seed);
             manifest.add_param(
                 "strategy",
@@ -261,14 +311,23 @@ impl<'a> Publish<'a> {
                     BucketStrategy::RoundRobin => "round_robin",
                 },
             );
-            manifest.add_param(
-                "implementation",
-                if self.reference {
-                    "reference"
-                } else {
-                    "ladder"
-                },
-            );
+        }
+        match self.engine {
+            Engine::InMemory | Engine::Reference => {
+                manifest.add_param(
+                    "implementation",
+                    if matches!(self.engine, Engine::Reference) {
+                        "reference"
+                    } else {
+                        "ladder"
+                    },
+                );
+            }
+            Engine::Sharded(shard_cfg) => {
+                manifest.add_param("shards", shard_cfg.shards() as u64);
+                manifest.add_param("page_budget", shard_cfg.budget() as u64);
+            }
+            Engine::External(_) => {}
         }
         if let Some(stats) = io {
             // Taken from the run's own IoStats, not the registry mirror,
@@ -338,12 +397,79 @@ mod tests {
     }
 
     #[test]
-    fn reference_arm_matches_ladder() {
+    fn reference_engine_matches_ladder() {
         let md = md(250);
         let ladder = Publish::new(&md).l(3).seed(5).run().unwrap();
-        let reference = Publish::new(&md).l(3).seed(5).reference().run().unwrap();
+        let reference = Publish::new(&md)
+            .l(3)
+            .seed(5)
+            .engine(Engine::Reference)
+            .run()
+            .unwrap();
         assert_eq!(ladder.partition, reference.partition);
         assert_eq!(ladder.tables, reference.tables);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forwarders_still_select_their_engines() {
+        let md = md(200);
+        let via_forwarder = Publish::new(&md).l(2).seed(3).reference().run().unwrap();
+        let via_engine = Publish::new(&md)
+            .l(2)
+            .seed(3)
+            .engine(Engine::Reference)
+            .run()
+            .unwrap();
+        assert_eq!(via_forwarder.tables, via_engine.tables);
+
+        let cfg = PageConfig::with_page_size(64);
+        let ext_forwarder = Publish::new(&md).l(2).external(cfg).run().unwrap();
+        let ext_engine = Publish::new(&md)
+            .l(2)
+            .engine(Engine::External(cfg))
+            .run()
+            .unwrap();
+        assert_eq!(ext_forwarder.tables, ext_engine.tables);
+        assert!(ext_forwarder.io.is_some());
+    }
+
+    #[test]
+    fn sharded_engine_matches_in_memory_and_reports_io() {
+        let md = md(360);
+        let in_mem = Publish::new(&md).l(3).seed(11).run().unwrap();
+        let shard_cfg = ShardConfig::new(PageConfig::with_page_size(64), 3, 6).unwrap();
+        let sharded = Publish::new(&md)
+            .l(3)
+            .seed(11)
+            .engine(Engine::Sharded(shard_cfg))
+            .run()
+            .unwrap();
+        assert_eq!(sharded.tables, in_mem.tables);
+        assert!(sharded.partition.is_none());
+        let stats = sharded.io.expect("sharded run must report I/O");
+        assert!(stats.total() > 0);
+        let json = sharded.manifest.to_json();
+        let v = anatomy_obs::Json::parse(&json).unwrap();
+        let params = v.get("params").unwrap();
+        assert_eq!(params.get("mode").unwrap().as_str(), Some("sharded"));
+        assert_eq!(params.get("seed").unwrap().as_u64(), Some(11));
+        assert_eq!(params.get("shards").unwrap().as_u64(), Some(3));
+        let io = v.get("io").expect("manifest io block");
+        assert_eq!(io.get("total").unwrap().as_u64(), Some(stats.total()));
+    }
+
+    #[test]
+    fn sharded_engine_surfaces_typed_budget_errors() {
+        let md = md(360); // sensitive domain 7 -> required budget 9
+        let tight = ShardConfig::new(PageConfig::with_page_size(64), 1, 6).unwrap();
+        let err = Publish::new(&md)
+            .l(3)
+            .engine(Engine::Sharded(tight))
+            .run()
+            .unwrap_err();
+        let rendered = crate::error::render_chain(&err);
+        assert!(rendered.contains("budget"), "{rendered}");
     }
 
     #[test]
@@ -351,7 +477,7 @@ mod tests {
         let md = md(400);
         let release = Publish::new(&md)
             .l(4)
-            .external(PageConfig::with_page_size(64))
+            .engine(Engine::External(PageConfig::with_page_size(64)))
             .run()
             .unwrap();
         let stats = release.io.expect("external run must report I/O");
@@ -381,7 +507,15 @@ mod tests {
             Publish::new(&md).l(4).audit().run().unwrap(),
             Publish::new(&md)
                 .l(4)
-                .external(PageConfig::with_page_size(64))
+                .engine(Engine::External(PageConfig::with_page_size(64)))
+                .audit()
+                .run()
+                .unwrap(),
+            Publish::new(&md)
+                .l(4)
+                .engine(Engine::Sharded(
+                    ShardConfig::new(PageConfig::with_page_size(64), 2, 6).unwrap(),
+                ))
                 .audit()
                 .run()
                 .unwrap(),

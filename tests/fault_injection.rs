@@ -1,4 +1,5 @@
-//! Fault-injection matrix over the external publish path.
+//! Fault-injection matrix over the out-of-core publish paths (the
+//! external engine of Theorem 3 and the sharded pipeline).
 //!
 //! The hardening contract: under any scheduled physical fault — torn
 //! writes, flipped bits, ENOSPC, short reads — `Publish::run` must be
@@ -42,7 +43,20 @@ fn dataset(qi_cols: usize) -> Microdata {
 fn audited_external_run(md: &Microdata) -> Result<Release, anatomy::Error> {
     Publish::new(md)
         .l(4)
-        .external(PageConfig::with_page_size(64))
+        .engine(Engine::External(PageConfig::with_page_size(64)))
+        .audit()
+        .run()
+}
+
+/// One audited sharded run with the same tiny pages: the out-of-core
+/// pipeline has seven distinct phases touching pages (partition, split,
+/// schedule, assign, residue, two merges), so the op sweep lands faults
+/// in each of them.
+fn audited_sharded_run(md: &Microdata) -> Result<Release, anatomy::Error> {
+    let shard = ShardConfig::new(PageConfig::with_page_size(64), 2, 6).unwrap();
+    Publish::new(md)
+        .l(4)
+        .engine(Engine::Sharded(shard))
         .audit()
         .run()
 }
@@ -120,22 +134,29 @@ fn fault_matrix_is_loud_or_harmless() {
         ),
     ];
 
-    for (codec, md) in [("arity2", dataset(1)), ("arity4", dataset(3))] {
-        for (name, schedule) in &kinds {
-            let mut loud = 0;
-            for op in 0..=12u64 {
-                let ctx = format!("{codec}/{name}@op{op}");
-                let scope = FaultScope::install(schedule(op));
-                let outcome = classify(audited_external_run(&md), &ctx);
-                drop(scope);
-                if outcome == Outcome::StorageFault {
-                    loud += 1;
+    type Runner = fn(&Microdata) -> Result<Release, anatomy::Error>;
+    let engines: [(&str, Runner); 2] = [
+        ("external", audited_external_run),
+        ("sharded", audited_sharded_run),
+    ];
+    for (engine, run) in engines {
+        for (codec, md) in [("arity2", dataset(1)), ("arity4", dataset(3))] {
+            for (name, schedule) in &kinds {
+                let mut loud = 0;
+                for op in 0..=12u64 {
+                    let ctx = format!("{engine}/{codec}/{name}@op{op}");
+                    let scope = FaultScope::install(schedule(op));
+                    let outcome = classify(run(&md), &ctx);
+                    drop(scope);
+                    if outcome == Outcome::StorageFault {
+                        loud += 1;
+                    }
                 }
+                assert!(
+                    loud > 0,
+                    "{engine}/{codec}/{name}: fault never surfaced across the op sweep"
+                );
             }
-            assert!(
-                loud > 0,
-                "{codec}/{name}: fault never surfaced across the op sweep"
-            );
         }
     }
 }
@@ -146,19 +167,24 @@ fn fault_matrix_is_loud_or_harmless() {
 #[test]
 fn unfired_faults_leave_the_run_untouched() {
     let md = dataset(1);
-    let baseline = audited_external_run(&md).unwrap();
+    for run in [
+        audited_external_run as fn(&Microdata) -> Result<Release, anatomy::Error>,
+        audited_sharded_run,
+    ] {
+        let baseline = run(&md).unwrap();
 
-    let scope = FaultScope::install(
-        FaultConfig::new()
-            .disk_full(1_000_000)
-            .short_read(1_000_000, 0),
-    );
-    let shadowed = audited_external_run(&md).unwrap();
-    drop(scope);
+        let scope = FaultScope::install(
+            FaultConfig::new()
+                .disk_full(1_000_000)
+                .short_read(1_000_000, 0),
+        );
+        let shadowed = run(&md).unwrap();
+        drop(scope);
 
-    assert_eq!(baseline.tables, shadowed.tables);
-    assert_eq!(baseline.io, shadowed.io);
-    assert!(shadowed.audit.unwrap().passed());
+        assert_eq!(baseline.tables, shadowed.tables);
+        assert_eq!(baseline.io, shadowed.io);
+        assert!(shadowed.audit.unwrap().passed());
+    }
 }
 
 /// Seeded pseudo-random schedules: whatever splitmix64 lands on, the

@@ -9,12 +9,14 @@
 //! one, and every trace the suite exports must pass
 //! [`obs::validate_trace`] in both output formats.
 
-use anatomy::core::{anatomize, AnatomizeConfig, AnatomizedTables, BucketStrategy, CoreError};
+use anatomy::core::{
+    anatomize, AnatomizeConfig, AnatomizedTables, BucketStrategy, CoreError, ShardConfig,
+};
 use anatomy::obs;
 use anatomy::query::{estimate_anatomy, WorkloadSpec};
 use anatomy::storage::PageConfig;
 use anatomy::tables::{Attribute, Microdata, Schema, TableBuilder};
-use anatomy::Publish;
+use anatomy::{Engine, Publish};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -210,7 +212,7 @@ fn external_manifest_io_matches_iostats_exactly() {
     let _state = Enabled::set(true);
     let release = Publish::new(&md)
         .l(4)
-        .external(PageConfig::with_page_size(128))
+        .engine(Engine::External(PageConfig::with_page_size(128)))
         .run()
         .unwrap();
     let stats = release.io.expect("external run reports I/O");
@@ -258,7 +260,7 @@ fn disabled_registry_still_reports_exact_io() {
     let _state = Enabled::set(false);
     let release = Publish::new(&md)
         .l(3)
-        .external(PageConfig::with_page_size(128))
+        .engine(Engine::External(PageConfig::with_page_size(128)))
         .run()
         .unwrap();
     let stats = release.io.unwrap();
@@ -289,7 +291,7 @@ fn traced_publish_is_bit_identical_and_trace_validates() {
     let _tracing = Traced::set(false);
     let plain = Publish::new(&md)
         .l(4)
-        .external(PageConfig::with_page_size(128))
+        .engine(Engine::External(PageConfig::with_page_size(128)))
         .run()
         .unwrap();
 
@@ -297,7 +299,7 @@ fn traced_publish_is_bit_identical_and_trace_validates() {
         let path = dir.join(name).to_string_lossy().into_owned();
         let traced = Publish::new(&md)
             .l(4)
-            .external(PageConfig::with_page_size(128))
+            .engine(Engine::External(PageConfig::with_page_size(128)))
             .trace(&path)
             .run()
             .unwrap();
@@ -328,4 +330,61 @@ fn traced_publish_is_bit_identical_and_trace_validates() {
     // Tracing stayed scoped: both globals are back off.
     assert!(!obs::tracer().enabled());
     assert!(!obs::global().enabled());
+}
+
+/// End-to-end contract for the sharded engine: one
+/// `Publish::engine(Engine::Sharded(..))` run with audit + trace produces
+/// tables bit-identical to the in-memory engine, a passing audit report,
+/// a manifest whose mode/seed/io blocks describe the sharded run (with
+/// the shard phase tree under `anatomize_sharded`), and a trace file that
+/// validates in both formats.
+#[test]
+fn sharded_publish_end_to_end_with_audit_manifest_and_trace() {
+    let rows: Vec<(u32, u32)> = (0..700).map(|i| ((i * 7) % QI_DOM, i % S_DOM)).collect();
+    let md = microdata(&rows);
+    let dir = std::env::temp_dir().join(format!("anatomy-shard-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _metrics = Enabled::set(true);
+    let _tracing = Traced::set(false);
+
+    let in_mem = Publish::new(&md).l(4).seed(21).run().unwrap();
+    let shard_cfg = ShardConfig::new(PageConfig::with_page_size(128), 3, 6).unwrap();
+    let trace_path = dir.join("sharded.jsonl").to_string_lossy().into_owned();
+    let sharded = Publish::new(&md)
+        .l(4)
+        .seed(21)
+        .engine(Engine::Sharded(shard_cfg))
+        .audit()
+        .trace(&trace_path)
+        .run()
+        .unwrap();
+
+    // Bit-identical tables, no resident partition, a real I/O bill.
+    assert_eq!(sharded.tables, in_mem.tables);
+    assert!(sharded.partition.is_none());
+    let stats = sharded.io.expect("sharded run reports I/O");
+    assert!(stats.total() > 0);
+
+    // The audit re-verified every invariant from the published pair.
+    let report = sharded.audit.expect("audited run carries a report");
+    assert!(report.passed(), "{}", report.render());
+
+    // Manifest: mode/seed/shards params, exact io block, shard phase tree.
+    let json = sharded.manifest.to_json();
+    obs::validate_manifest_json(&json).unwrap();
+    let v = obs::Json::parse(&json).unwrap();
+    let params = v.get("params").unwrap();
+    assert_eq!(params.get("mode").unwrap().as_str(), Some("sharded"));
+    assert_eq!(params.get("seed").unwrap().as_u64(), Some(21));
+    assert_eq!(params.get("shards").unwrap().as_u64(), Some(3));
+    let io = v.get("io").expect("io block");
+    assert_eq!(io.get("total").unwrap().as_u64(), Some(stats.total()));
+    let phases = sharded.manifest.phases();
+    assert!(phases.iter().any(|p| p.name == "anatomize_sharded"));
+
+    // The exported trace validates and journaled real events.
+    let summary = obs::validate_trace(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    assert!(summary.events > 0 && summary.spans > 0);
 }
