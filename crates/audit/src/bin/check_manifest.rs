@@ -1,0 +1,92 @@
+//! `check_manifest` — validate `RunManifest` JSON files emitted by the
+//! CLI's `--metrics` flag or the bench harness.
+//!
+//! ```text
+//! check_manifest FILE [FILE ...]
+//! ```
+//!
+//! Prints one line per file; exits non-zero if any file is missing or
+//! structurally invalid (see `anatomy_obs::validate_manifest_json` for
+//! the structural rules). On top of the structural pass, any manifest
+//! carrying a stage-stamped `audit` block is checked against the
+//! invariant registry: its check-name set must equal exactly the
+//! invariants registered for that stage, so a manifest can neither drop
+//! a registered check nor smuggle in an unregistered one. CI runs this
+//! after the end-to-end smoke commands.
+
+use anatomy_audit::{names_for, Stage};
+use anatomy_obs::{validate_manifest_json, ManifestSummary};
+use std::process::ExitCode;
+
+/// Compare a stage-stamped audit block's check names against the
+/// registry. Stage-less audit blocks (older producers) skip this pass.
+fn check_registry(summary: &ManifestSummary) -> Result<(), String> {
+    let Some(stage_name) = &summary.audit_stage else {
+        return Ok(());
+    };
+    let stage = Stage::parse(stage_name)
+        .ok_or_else(|| format!("audit.stage {stage_name:?} is not a registered stage"))?;
+    let mut expected: Vec<&str> = names_for(stage);
+    let mut got: Vec<&str> = summary.audit_checks.iter().map(String::as_str).collect();
+    expected.sort_unstable();
+    got.sort_unstable();
+    if got != expected {
+        return Err(format!(
+            "audit checks {got:?} do not match the {} invariants registered \
+             for stage {stage_name} ({expected:?})",
+            expected.len()
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_manifest FILE [FILE ...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("invalid: {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_manifest_json(&text).and_then(|s| check_registry(&s).map(|()| s)) {
+            Ok(s) => {
+                let io = match s.io_total {
+                    Some(total) => format!(", {total} I/Os"),
+                    None => String::new(),
+                };
+                let audit = match (&s.audit_stage, s.audit_passed) {
+                    (Some(stage), Some(passed)) => format!(
+                        ", audit {} ({} checks, stage {stage})",
+                        if passed { "PASS" } else { "FAIL" },
+                        s.audit_checks.len()
+                    ),
+                    (None, Some(passed)) => {
+                        format!(", audit {}", if passed { "PASS" } else { "FAIL" })
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "ok: {file} (name {:?}, {} counters, {} phases, {} latency entries{io}{audit})",
+                    s.name, s.counters, s.phases, s.latency
+                );
+            }
+            Err(e) => {
+                eprintln!("invalid: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,153 @@
+//! The seventh registered invariant — and the registry's worked
+//! example: registering a new invariant is *this one file* plus a line
+//! in [`crate::registry::REGISTRY`]. It then appears automatically in
+//! `anatomy verify --list-checks`, the manifest `audit` block for its
+//! stages, and the CI smoke, with no edits to the audit, cli, or obs
+//! consumers.
+
+use crate::registry::{Check, IncrementCtx, Invariant, Severity, Stage};
+use crate::{CheckOutcome, CHECK_INCREMENTAL_GROUP_IMMUTABILITY};
+
+/// Incremental append-only group-immutability: a streaming publication
+/// sequence may only *append whole groups*. Within one snapshot, group
+/// ids must run 0, 1, 2, … in contiguous emission-order blocks; across
+/// snapshots, the previously published QIT rows, group ids, and ST
+/// records must survive verbatim as a prefix, and no already-published
+/// group may gain tuples. This is what makes the per-snapshot Corollary
+/// 1 bound compose over time: a recipient who stored snapshot k learns
+/// nothing new about its tuples from snapshot k+1.
+pub static INCREMENTAL_GROUP_IMMUTABILITY: Invariant = Invariant {
+    name: CHECK_INCREMENTAL_GROUP_IMMUTABILITY,
+    citation: "Section 7 (continuous publication), append-only case",
+    severity: Severity::Critical,
+    stages: &[Stage::Incremental],
+    check: Check::Increment(check_group_immutability),
+};
+
+fn check_group_immutability(ctx: &IncrementCtx<'_>) -> CheckOutcome {
+    let name = CHECK_INCREMENTAL_GROUP_IMMUTABILITY;
+    let gids = ctx.parts.group_ids;
+
+    // Shape half, judged on the current snapshot alone: emission order
+    // means group ids start at 0 and only ever step by +1.
+    if let Some(&first) = gids.first() {
+        if first != 0 {
+            return CheckOutcome::fail(
+                name,
+                format!("first QIT row belongs to group {first}, not group 0"),
+            );
+        }
+    }
+    for i in 1..gids.len() {
+        let (prev_id, id) = (gids[i - 1], gids[i]);
+        if id < prev_id {
+            return CheckOutcome::fail(
+                name,
+                format!(
+                    "QIT is not in emission order: row {i} returns to group {id} \
+                     after group {prev_id}"
+                ),
+            );
+        }
+        if id > prev_id + 1 {
+            return CheckOutcome::fail(
+                name,
+                format!("QIT skips from group {prev_id} to group {id} at row {i}"),
+            );
+        }
+    }
+
+    // Increment half: with a previous snapshot in hand, the old
+    // publication must be a verbatim prefix of the new one.
+    if let (Some(prev), Some(next)) = (ctx.prev, ctx.next) {
+        if prev.l() != next.l() {
+            return CheckOutcome::fail(
+                name,
+                format!("l changed across snapshots: {} then {}", prev.l(), next.l()),
+            );
+        }
+        if next.len() < prev.len() {
+            return CheckOutcome::fail(
+                name,
+                format!(
+                    "publication shrank from {} to {} rows",
+                    prev.len(),
+                    next.len()
+                ),
+            );
+        }
+        if next.qi_count() != prev.qi_count() {
+            return CheckOutcome::fail(
+                name,
+                format!(
+                    "QI attribute count changed across snapshots: {} then {}",
+                    prev.qi_count(),
+                    next.qi_count()
+                ),
+            );
+        }
+        let (old_gids, new_gids) = (prev.group_ids(), next.group_ids());
+        if let Some(i) = (0..prev.len()).find(|&i| old_gids[i] != new_gids[i]) {
+            return CheckOutcome::fail(
+                name,
+                format!(
+                    "published prefix mutated: QIT row {i} moved from group {} to group {}",
+                    old_gids[i], new_gids[i]
+                ),
+            );
+        }
+        for k in 0..prev.qi_count() {
+            let (old_col, new_col) = (prev.qi_codes(k), next.qi_codes(k));
+            if let Some(i) = (0..prev.len()).find(|&i| old_col[i] != new_col[i]) {
+                return CheckOutcome::fail(
+                    name,
+                    format!(
+                        "published prefix mutated: QIT row {i}, attribute {k} changed \
+                         from {} to {}",
+                        old_col[i], new_col[i]
+                    ),
+                );
+            }
+        }
+        let (old_st, new_st) = (prev.st_records(), next.st_records());
+        if new_st.len() < old_st.len() {
+            return CheckOutcome::fail(
+                name,
+                format!(
+                    "ST shrank from {} to {} records",
+                    old_st.len(),
+                    new_st.len()
+                ),
+            );
+        }
+        if let Some(i) = (0..old_st.len()).find(|&i| old_st[i] != new_st[i]) {
+            let (o, n) = (&old_st[i], &new_st[i]);
+            return CheckOutcome::fail(
+                name,
+                format!(
+                    "published prefix mutated: ST row {i} changed from (group {}, value {}, \
+                     count {}) to (group {}, value {}, count {})",
+                    o.group, o.value.0, o.count, n.group, n.value.0, n.count
+                ),
+            );
+        }
+        // Appended rows may only open *new* groups: the first new QIT
+        // row must not extend a group that snapshot k already closed.
+        if next.len() > prev.len() && !prev.is_empty() {
+            let last_old = old_gids[prev.len() - 1];
+            let first_new = new_gids[prev.len()];
+            if first_new == last_old {
+                return CheckOutcome::fail(
+                    name,
+                    format!(
+                        "group {last_old} grew after publication: row {} appended to an \
+                         already-published group",
+                        prev.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    CheckOutcome::pass(name)
+}

@@ -10,7 +10,15 @@
 //! those conditions silently — a flipped count, a swapped group id — while
 //! still looking like a perfectly healthy pair of CSV files. This crate
 //! re-derives every invariant from the released bytes alone, the same way
-//! a recipient (or a CI gate) would:
+//! a recipient (or a CI gate) would.
+//!
+//! The invariants live in a declarative [`registry`]: each [`Invariant`]
+//! entry declares a stable name, the paper citation it encodes, a
+//! severity, the pipeline [`Stage`]s that must preserve it, and the check
+//! function. Auditors, the CLI's `verify --list-checks`, the manifest
+//! `audit` block, and the CI smoke all enumerate [`REGISTRY`] — adding an
+//! invariant is one registration (see [`checks_incremental`] for the
+//! worked example), not a sweep over consumers. The registered invariants:
 //!
 //! * **`qit_st_structure`** — Definitions 1 & 3: QIT group ids are dense,
 //!   the ST is sorted by `(group, value)` without duplicates, counts are
@@ -28,19 +36,33 @@
 //!   aggregate view agrees with the ST: for every sensitive value, the
 //!   anatomy estimate of `COUNT(*) WHERE As = v` with no QI predicate
 //!   equals the value's total ST count.
+//! * **`incremental_group_immutability`** (stage `incremental` only) —
+//!   successive publications differ only by whole appended groups: group
+//!   ids run in contiguous emission-order blocks and the previously
+//!   published rows survive verbatim as a prefix.
 //!
-//! [`audit_parts`] runs the first five checks on raw `(group_ids, ST)`
+//! [`audit_parts`] runs the parts-level checks on raw `(group_ids, ST)`
 //! parts — tolerant of arbitrarily corrupt input, it never panics — and
-//! [`audit_release`] runs all six on an assembled
-//! [`AnatomizedTables`]. The three checks that encode `Anatomize`-specific
-//! output shape (`group_sizes`, `residue_placement`, `rce_bound` at
-//! equality) are still *required*: this auditor certifies releases produced
-//! by the paper's algorithm, and a deviation means the pipeline did
-//! something the paper's analysis does not cover.
+//! [`audit_release`] runs the full stage battery on an assembled
+//! [`AnatomizedTables`]. Both default to the `anatomize` stage; the
+//! `_for` variants audit other stages, and [`audit_increment`] audits a
+//! consecutive snapshot pair from the incremental publisher. The three
+//! checks that encode `Anatomize`-specific output shape (`group_sizes`,
+//! `residue_placement`, `rce_bound` at equality) are still *required*:
+//! this auditor certifies releases produced by the paper's algorithm, and
+//! a deviation means the pipeline did something the paper's analysis does
+//! not cover.
+
+mod checks;
+mod checks_incremental;
+pub mod registry;
+
+pub use registry::{
+    find_invariant, invariants_for, names_for, render_registry, Check, IncrementCtx, Invariant,
+    PartsCtx, Severity, Stage, REGISTRY,
+};
 
 use anatomy_core::{AnatomizedTables, GroupId, StRecord};
-use anatomy_query::{estimate_anatomy, CountQuery, InPredicate};
-use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -56,6 +78,9 @@ pub const CHECK_RESIDUE_PLACEMENT: &str = "residue_placement";
 pub const CHECK_RCE_BOUND: &str = "rce_bound";
 /// Check name: query-layer agreement with the ST.
 pub const CHECK_ESTIMATOR_CONSISTENCY: &str = "estimator_consistency";
+/// Check name: append-only group immutability across incremental
+/// snapshots.
+pub const CHECK_INCREMENTAL_GROUP_IMMUTABILITY: &str = "incremental_group_immutability";
 
 /// Every check [`audit_release`] runs, in execution order.
 pub const CHECK_NAMES: [&str; 6] = [
@@ -79,7 +104,8 @@ pub struct CheckOutcome {
 }
 
 impl CheckOutcome {
-    fn pass(name: &'static str) -> Self {
+    /// A passing outcome for `name`.
+    pub fn pass(name: &'static str) -> Self {
         CheckOutcome {
             name,
             passed: true,
@@ -87,7 +113,8 @@ impl CheckOutcome {
         }
     }
 
-    fn fail(name: &'static str, detail: String) -> Self {
+    /// A failing outcome for `name`, carrying the first offense in words.
+    pub fn fail(name: &'static str, detail: String) -> Self {
         CheckOutcome {
             name,
             passed: false,
@@ -99,6 +126,8 @@ impl CheckOutcome {
 /// The auditor's full verdict on one release.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AuditReport {
+    /// The pipeline stage whose registered invariants were run.
+    pub stage: Stage,
     /// The diversity parameter the release claims.
     pub l: usize,
     /// QIT rows audited.
@@ -194,277 +223,101 @@ impl fmt::Display for AuditFailure {
 
 impl std::error::Error for AuditFailure {}
 
+/// Run every invariant registered for `stage` over the prepared context.
+/// `tables` gates the `Release`-variant checks (parts-only audits skip
+/// them); `prev` feeds the increment-aware checks.
+fn run_registry(
+    stage: Stage,
+    ctx: &PartsCtx<'_>,
+    tables: Option<&AnatomizedTables>,
+    prev: Option<&AnatomizedTables>,
+) -> Vec<CheckOutcome> {
+    let mut checks = Vec::new();
+    for inv in invariants_for(stage) {
+        match inv.check {
+            Check::Parts(f) => checks.push(f(ctx)),
+            Check::Release(f) => {
+                if let Some(t) = tables {
+                    checks.push(f(t, ctx.l));
+                }
+            }
+            Check::Increment(f) => checks.push(f(&IncrementCtx {
+                parts: ctx,
+                next: tables,
+                prev,
+            })),
+        }
+    }
+    checks
+}
+
+fn report(stage: Stage, ctx: &PartsCtx<'_>, checks: Vec<CheckOutcome>) -> AuditReport {
+    AuditReport {
+        stage,
+        l: ctx.l,
+        n: ctx.n,
+        groups: ctx.groups,
+        rce: ctx.rce,
+        rce_bound: ctx.rce_bound,
+        checks,
+    }
+}
+
 /// Audit raw release parts: the QIT's group-id column and the ST records,
-/// as parsed (not validated) from a release. Runs the five structural
-/// checks; [`audit_release`] adds the query-layer check.
+/// as parsed (not validated) from a release. Runs every parts-level
+/// invariant registered for the `anatomize` stage; [`audit_release`] adds
+/// the checks that need assembled tables.
 ///
 /// Tolerates arbitrarily corrupt input — sparse or wild group ids,
 /// unsorted or duplicated ST records, zero counts — reporting failures
 /// instead of panicking.
 pub fn audit_parts(group_ids: &[GroupId], st: &[StRecord], l: usize) -> AuditReport {
-    let n = group_ids.len();
-
-    // Group populations as the QIT sees them. A corrupt release may use
-    // arbitrary ids, so count into a map rather than a dense vector.
-    let mut qit_sizes: BTreeMap<GroupId, u64> = BTreeMap::new();
-    for &g in group_ids {
-        *qit_sizes.entry(g).or_insert(0) += 1;
-    }
-    let groups = qit_sizes.len();
-
-    // Group histograms as the ST sees them (mass and max count), plus the
-    // ST's own ordering defects.
-    let mut st_mass: BTreeMap<GroupId, u64> = BTreeMap::new();
-    let mut st_max: BTreeMap<GroupId, u32> = BTreeMap::new();
-    let mut order_defect: Option<String> = None;
-    let mut zero_count: Option<String> = None;
-    for (i, r) in st.iter().enumerate() {
-        if r.count == 0 && zero_count.is_none() {
-            zero_count = Some(format!(
-                "ST row {i} (group {}, value {}) has count 0",
-                r.group, r.value.0
-            ));
-        }
-        if i > 0 && order_defect.is_none() {
-            let p = &st[i - 1];
-            if (p.group, p.value) >= (r.group, r.value) {
-                order_defect = Some(format!(
-                    "ST rows {} and {i} out of (group, value) order or duplicated \
-                     (group {}, value {})",
-                    i - 1,
-                    r.group,
-                    r.value.0
-                ));
-            }
-        }
-        *st_mass.entry(r.group).or_insert(0) += r.count as u64;
-        let m = st_max.entry(r.group).or_insert(0);
-        *m = (*m).max(r.count);
-    }
-
-    let mut checks = Vec::with_capacity(5);
-
-    // ---- qit_st_structure: Definitions 1 & 3 ----------------------------
-    let structure = 'structure: {
-        if let Some(d) = order_defect {
-            break 'structure CheckOutcome::fail(CHECK_QIT_ST_STRUCTURE, d);
-        }
-        if let Some(d) = zero_count {
-            break 'structure CheckOutcome::fail(CHECK_QIT_ST_STRUCTURE, d);
-        }
-        // Dense ids: with `groups` distinct ids, the largest must be
-        // `groups − 1` and the smallest 0.
-        if let (Some((&lo, _)), Some((&hi, _))) =
-            (qit_sizes.iter().next(), qit_sizes.iter().next_back())
-        {
-            if lo != 0 || hi as usize != groups - 1 {
-                break 'structure CheckOutcome::fail(
-                    CHECK_QIT_ST_STRUCTURE,
-                    format!("QIT group ids are not dense 0..{groups} (span {lo}..={hi})"),
-                );
-            }
-        }
-        for (&g, &size) in &qit_sizes {
-            match st_mass.get(&g) {
-                None => {
-                    break 'structure CheckOutcome::fail(
-                        CHECK_QIT_ST_STRUCTURE,
-                        format!("group {g} has {size} QIT tuples but no ST records"),
-                    );
-                }
-                Some(&mass) if mass != size => {
-                    break 'structure CheckOutcome::fail(
-                        CHECK_QIT_ST_STRUCTURE,
-                        format!("group {g}: ST counts sum to {mass} but QIT has {size} tuples"),
-                    );
-                }
-                Some(_) => {}
-            }
-        }
-        if let Some((&g, _)) = st_mass.iter().find(|(g, _)| !qit_sizes.contains_key(g)) {
-            break 'structure CheckOutcome::fail(
-                CHECK_QIT_ST_STRUCTURE,
-                format!("ST references group {g} absent from the QIT"),
-            );
-        }
-        CheckOutcome::pass(CHECK_QIT_ST_STRUCTURE)
-    };
-    checks.push(structure);
-
-    // ---- l_diversity: Definition 2 --------------------------------------
-    // Judged from the ST's own histograms so the verdict stays meaningful
-    // even when the QIT disagrees with the ST.
-    let diversity = if l < 2 {
-        CheckOutcome::fail(
-            CHECK_L_DIVERSITY,
-            format!("l = {l}, but Definition 2 needs l >= 2"),
-        )
-    } else {
-        match st_max.iter().find(|(g, &max)| {
-            let mass = st_mass.get(g).copied().unwrap_or(0);
-            (max as u64) * (l as u64) > mass
-        }) {
-            Some((&g, &max)) => CheckOutcome::fail(
-                CHECK_L_DIVERSITY,
-                format!(
-                    "group {g} is not {l}-diverse: a value occurs {max} times in {} tuples",
-                    st_mass.get(&g).copied().unwrap_or(0)
-                ),
-            ),
-            None => CheckOutcome::pass(CHECK_L_DIVERSITY),
-        }
-    };
-    checks.push(diversity);
-
-    // ---- group_sizes: Properties 1 & 3 ----------------------------------
-    let sizes = 'sizes: {
-        if l < 2 {
-            break 'sizes CheckOutcome::fail(
-                CHECK_GROUP_SIZES,
-                format!("l = {l}, but Anatomize needs l >= 2"),
-            );
-        }
-        let expected = n / l;
-        if groups != expected {
-            break 'sizes CheckOutcome::fail(
-                CHECK_GROUP_SIZES,
-                format!(
-                    "{groups} groups for n = {n}, l = {l}; Property 1 demands ⌊n/l⌋ = {expected}"
-                ),
-            );
-        }
-        if let Some((&g, &size)) = qit_sizes
-            .iter()
-            .find(|(_, &size)| size < l as u64 || size > (2 * l - 1) as u64)
-        {
-            break 'sizes CheckOutcome::fail(
-                CHECK_GROUP_SIZES,
-                format!("group {g} has {size} tuples, outside [{l}, {}]", 2 * l - 1),
-            );
-        }
-        CheckOutcome::pass(CHECK_GROUP_SIZES)
-    };
-    checks.push(sizes);
-
-    // ---- residue_placement: Properties 2 & 3 ----------------------------
-    let residue = 'residue: {
-        if let Some((i, r)) = st.iter().enumerate().find(|(_, r)| r.count != 1) {
-            break 'residue CheckOutcome::fail(
-                CHECK_RESIDUE_PLACEMENT,
-                format!(
-                    "ST row {i} (group {}, value {}) has count {}; Anatomize output keeps \
-                     sensitive values distinct within each group, so every count is 1",
-                    r.group, r.value.0, r.count
-                ),
-            );
-        }
-        if l >= 2 {
-            let residues: u64 = qit_sizes
-                .values()
-                .map(|&size| size.saturating_sub(l as u64))
-                .sum();
-            if residues > (l - 1) as u64 {
-                break 'residue CheckOutcome::fail(
-                    CHECK_RESIDUE_PLACEMENT,
-                    format!(
-                        "{residues} residue tuples, but Property 1 allows at most {}",
-                        l - 1
-                    ),
-                );
-            }
-        }
-        CheckOutcome::pass(CHECK_RESIDUE_PLACEMENT)
-    };
-    checks.push(residue);
-
-    // ---- rce_bound: Theorem 2 -------------------------------------------
-    // Achieved RCE from the ST histograms against QIT group populations
-    // (Equations 12–13): each of the c(v) tuples carrying v in a group of
-    // size s errs by (1 − c(v)/s)² + Σ_{u≠v} (c(u)/s)².
-    let mut rce = 0.0f64;
-    for (&g, &size) in &qit_sizes {
-        let s = size as f64;
-        if size == 0 {
-            continue;
-        }
-        let records: Vec<&StRecord> = st.iter().filter(|r| r.group == g).collect();
-        let sum_sq: f64 = records
-            .iter()
-            .map(|r| (r.count as f64) * (r.count as f64))
-            .sum();
-        for r in &records {
-            let c = r.count as f64;
-            let a = 1.0 - c / s;
-            rce += c * (a * a + (sum_sq - c * c) / (s * s));
-        }
-    }
-    let rce_bound = if l >= 1 {
-        n as f64 * (1.0 - 1.0 / l as f64)
-    } else {
-        f64::INFINITY
-    };
-    let bound_check = if rce + 1e-9 >= rce_bound {
-        CheckOutcome::pass(CHECK_RCE_BOUND)
-    } else {
-        CheckOutcome::fail(
-            CHECK_RCE_BOUND,
-            format!("achieved RCE {rce:.6} below Theorem 2's floor {rce_bound:.6}"),
-        )
-    };
-    checks.push(bound_check);
-
-    AuditReport {
-        l,
-        n,
-        groups,
-        rce,
-        rce_bound,
-        checks,
-    }
+    audit_parts_for(Stage::Anatomize, group_ids, st, l)
 }
 
-/// Audit an assembled release: the five structural checks of
-/// [`audit_parts`] plus `estimator_consistency`, which drives the query
-/// layer's anatomy estimator over every sensitive value and demands exact
-/// agreement with the ST totals.
+/// [`audit_parts`] against the invariants registered for an explicit
+/// pipeline stage.
+pub fn audit_parts_for(
+    stage: Stage,
+    group_ids: &[GroupId],
+    st: &[StRecord],
+    l: usize,
+) -> AuditReport {
+    let ctx = PartsCtx::new(group_ids, st, l);
+    let checks = run_registry(stage, &ctx, None, None);
+    report(stage, &ctx, checks)
+}
+
+/// Audit an assembled release against every invariant registered for the
+/// `anatomize` stage — the parts-level checks of [`audit_parts`] plus
+/// `estimator_consistency`, which drives the query layer's anatomy
+/// estimator over every sensitive value and demands exact agreement with
+/// the ST totals.
 pub fn audit_release(tables: &AnatomizedTables, l: usize) -> AuditReport {
-    let mut report = audit_parts(tables.group_ids(), tables.st_records(), l);
+    audit_release_for(Stage::Anatomize, tables, l)
+}
 
-    let mut totals: BTreeMap<u32, u64> = BTreeMap::new();
-    for r in tables.st_records() {
-        *totals.entry(r.value.0).or_insert(0) += r.count as u64;
-    }
-    let domain = totals.keys().next_back().map_or(1, |&v| v + 1);
+/// [`audit_release`] against the invariants registered for an explicit
+/// pipeline stage.
+pub fn audit_release_for(stage: Stage, tables: &AnatomizedTables, l: usize) -> AuditReport {
+    let ctx = PartsCtx::new(tables.group_ids(), tables.st_records(), l);
+    let checks = run_registry(stage, &ctx, Some(tables), None);
+    report(stage, &ctx, checks)
+}
 
-    let mut outcome = CheckOutcome::pass(CHECK_ESTIMATOR_CONSISTENCY);
-    for (&v, &total) in &totals {
-        let pred = match InPredicate::new(vec![v], domain) {
-            Ok(p) => p,
-            Err(e) => {
-                outcome = CheckOutcome::fail(
-                    CHECK_ESTIMATOR_CONSISTENCY,
-                    format!("cannot build point predicate for value {v}: {e}"),
-                );
-                break;
-            }
-        };
-        let query = CountQuery {
-            qi_preds: Vec::new(),
-            sens_pred: pred,
-        };
-        // With no QI predicate every group's fraction p_j is exactly 1,
-        // so the estimate must equal Σ_j c_j(v) with no estimation error.
-        let est = estimate_anatomy(tables, &query);
-        if (est - total as f64).abs() > 1e-6 {
-            outcome = CheckOutcome::fail(
-                CHECK_ESTIMATOR_CONSISTENCY,
-                format!("value {v}: estimator says {est}, ST counts sum to {total}"),
-            );
-            break;
-        }
-    }
-    report.checks.push(outcome);
-    report
+/// Audit one step of an incremental publication sequence: `next` is
+/// checked against every invariant registered for the `incremental`
+/// stage, with `prev` (the previously published snapshot, if any) fed to
+/// the increment-aware checks so prefix immutability is verified, not
+/// just per-snapshot shape.
+pub fn audit_increment(
+    prev: Option<&AnatomizedTables>,
+    next: &AnatomizedTables,
+    l: usize,
+) -> AuditReport {
+    let ctx = PartsCtx::new(next.group_ids(), next.st_records(), l);
+    let checks = run_registry(Stage::Incremental, &ctx, Some(next), prev);
+    report(Stage::Incremental, &ctx, checks)
 }
 
 #[cfg(test)]
@@ -497,6 +350,7 @@ mod tests {
     fn clean_release_passes_all_six_checks() {
         let t = sample_release(3);
         let report = audit_release(&t, 3);
+        assert_eq!(report.stage, Stage::Anatomize);
         assert_eq!(report.checks.len(), CHECK_NAMES.len());
         for (c, name) in report.checks.iter().zip(CHECK_NAMES) {
             assert_eq!(c.name, name);
@@ -515,6 +369,33 @@ mod tests {
         let (passed, checks) = report.summary();
         assert!(passed);
         assert_eq!(checks.len(), 6);
+    }
+
+    #[test]
+    fn check_names_match_the_registry_for_the_anatomize_stage() {
+        assert_eq!(names_for(Stage::Anatomize), CHECK_NAMES.to_vec());
+        // Every engine stage and serve run the same six; incremental adds
+        // the seventh.
+        assert_eq!(names_for(Stage::AnatomizeExternal), CHECK_NAMES.to_vec());
+        assert_eq!(names_for(Stage::AnatomizeSharded), CHECK_NAMES.to_vec());
+        assert_eq!(names_for(Stage::Serve), CHECK_NAMES.to_vec());
+        assert_eq!(names_for(Stage::Incremental).len(), CHECK_NAMES.len() + 1);
+    }
+
+    #[test]
+    fn stage_variants_report_their_stage_and_the_registered_checks() {
+        let t = sample_release(3);
+        for stage in [
+            Stage::AnatomizeExternal,
+            Stage::AnatomizeSharded,
+            Stage::Serve,
+        ] {
+            let report = audit_release_for(stage, &t, 3);
+            assert_eq!(report.stage, stage);
+            assert!(report.passed());
+            let names: Vec<&str> = report.checks.iter().map(|c| c.name).collect();
+            assert_eq!(names, names_for(stage));
+        }
     }
 
     #[test]
@@ -667,7 +548,8 @@ mod tests {
     #[test]
     fn corrupt_garbage_never_panics() {
         // Wild group ids, unsorted ST, zero counts, ST-only groups: every
-        // combination must produce a report, not a panic.
+        // combination must produce a report, not a panic — under every
+        // registered stage.
         let cases: Vec<(Vec<GroupId>, Vec<StRecord>)> = vec![
             (vec![], vec![]),
             (vec![u32::MAX, 0, 7], vec![]),
@@ -697,13 +579,15 @@ mod tests {
         ];
         for (gids, st) in cases {
             for l in [0usize, 1, 2, 5] {
-                let report = audit_parts(&gids, &st, l);
-                assert!(!report.render().is_empty());
-                if !(gids.is_empty() && st.is_empty()) {
-                    assert!(
-                        !report.passed(),
-                        "garbage audited clean: {gids:?} {st:?} l={l}"
-                    );
+                for stage in Stage::ALL {
+                    let report = audit_parts_for(stage, &gids, &st, l);
+                    assert!(!report.render().is_empty());
+                    if !(gids.is_empty() && st.is_empty()) {
+                        assert!(
+                            !report.passed(),
+                            "garbage audited clean: {gids:?} {st:?} l={l} stage={stage}"
+                        );
+                    }
                 }
             }
         }
@@ -728,5 +612,66 @@ mod tests {
         assert!(s.contains("group 3"));
         // It is a std error.
         let _: &dyn std::error::Error = &f;
+    }
+
+    #[test]
+    fn anatomize_releases_fail_the_incremental_shape_check() {
+        // In-memory anatomize scatters group ids (bucket draining order),
+        // so a batch release is NOT a valid incremental publication — the
+        // seventh invariant must say so while the six core checks pass.
+        let t = sample_release(3);
+        let report = audit_release_for(Stage::Incremental, &t, 3);
+        assert_eq!(report.checks.len(), 7);
+        for name in CHECK_NAMES {
+            assert!(report.check(name).unwrap().passed, "{name} should pass");
+        }
+        let c = report.check(CHECK_INCREMENTAL_GROUP_IMMUTABILITY).unwrap();
+        // Emission order would require ids 0,0,0,1,1,1,…; the batch
+        // engine interleaves groups, which this check rejects.
+        assert!(
+            !c.passed,
+            "batch release unexpectedly append-ordered: {:?}",
+            t.group_ids()
+        );
+    }
+
+    #[test]
+    fn audit_increment_accepts_appended_groups_and_rejects_mutation() {
+        // Build an emission-ordered publication by hand: 2 groups of 3.
+        let gids = vec![0, 0, 0, 1, 1, 1];
+        let st: Vec<StRecord> = [(0u32, 0u32), (0, 1), (0, 2), (1, 1), (1, 2), (1, 3)]
+            .iter()
+            .map(|&(g, v)| StRecord {
+                group: g,
+                value: Value(v),
+                count: 1,
+            })
+            .collect();
+        let schema = Schema::new(vec![Attribute::numerical("Age", 100)]).unwrap();
+        let mk = |gids: &[u32], st: &[StRecord]| {
+            let mut b = TableBuilder::new(schema.clone());
+            for i in 0..gids.len() as u32 {
+                b.push_row(&[i]).unwrap();
+            }
+            AnatomizedTables::from_parts(b.finish(), gids.to_vec(), st.to_vec(), 3).unwrap()
+        };
+        let prev = mk(&gids[..3], &st[..3]);
+        let next = mk(&gids, &st);
+
+        let clean = audit_increment(Some(&prev), &next, 3);
+        assert!(clean.passed(), "{}", clean.render());
+        assert_eq!(clean.stage, Stage::Incremental);
+
+        // Same shapes, but the already-published row 0 changes group.
+        let mut mutated_gids = gids.clone();
+        mutated_gids[0] = 1;
+        mutated_gids[3] = 0; // keep masses consistent so core checks pass
+        let mut mutated_st = st.clone();
+        mutated_st.swap(0, 3); // keep (group,value) sort order plausible
+        mutated_st.sort_by_key(|r| (r.group, r.value));
+        let bad = mk(&mutated_gids, &mutated_st);
+        let report = audit_increment(Some(&prev), &bad, 3);
+        let c = report.check(CHECK_INCREMENTAL_GROUP_IMMUTABILITY).unwrap();
+        assert!(!c.passed, "mutated prefix must fail immutability");
     }
 }

@@ -59,6 +59,10 @@ pub enum Command {
         seed: u64,
         /// Which anatomization engine runs the publish.
         engine: EngineArg,
+        /// Audit the release before writing it: run every invariant
+        /// registered for the engine's stage and withhold the release
+        /// on any failure.
+        audit: bool,
         /// Write the run's `RunManifest` JSON here.
         metrics: Option<String>,
         /// Write an execution trace here (`.jsonl` for JSONL, anything
@@ -78,12 +82,13 @@ pub enum Command {
         /// Claimed diversity parameter.
         l: usize,
     },
-    /// `anatomy verify --qit F --st F --schema F --sensitive NAME --l N`
+    /// `anatomy verify --qit F --st F --schema F --sensitive NAME --l N
+    ///  [--stage STAGE]`
     ///
     /// Unlike `audit` (which re-validates while *parsing* and stops at
-    /// the first defect), `verify` parses leniently and then runs the
-    /// full `anatomy-audit` check battery, reporting every invariant's
-    /// PASS/FAIL by name.
+    /// the first defect), `verify` parses leniently and then runs every
+    /// invariant the `anatomy-audit` registry lists for the chosen
+    /// pipeline stage, reporting each one's PASS/FAIL by name.
     Verify {
         /// QIT CSV path.
         qit: String,
@@ -95,6 +100,18 @@ pub enum Command {
         sensitive: String,
         /// Claimed diversity parameter.
         l: usize,
+        /// Pipeline stage whose registered invariants run (default
+        /// `anatomize`). Validated against the registry's stage names.
+        stage: Option<String>,
+    },
+    /// `anatomy verify --list-checks [--stage STAGE]`
+    ///
+    /// Print the invariant registry — name, severity, paper citation,
+    /// and stages of every registered check — without loading a
+    /// release. With `--stage`, only that stage's invariants.
+    ListChecks {
+        /// Restrict the listing to one pipeline stage.
+        stage: Option<String>,
     },
     /// `anatomy query --qit F --st F --schema F --sensitive NAME --l N
     ///  --query SPEC [--indexed | --index-v2] [--metrics F] [--trace F]`
@@ -165,14 +182,15 @@ pub enum Command {
 pub const USAGE: &str = "\
 usage:
   anatomy stats   --data F --schema F --sensitive NAME
-  anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--engine in-memory|external|sharded] [--page-size N] [--shards N] [--shard-pages N] [--seed N] [--metrics F] [--trace F]
+  anatomy publish --data F --schema F --sensitive NAME --l N --qit F --st F [--engine in-memory|external|sharded] [--page-size N] [--shards N] [--shard-pages N] [--seed N] [--audit] [--metrics F] [--trace F]
   anatomy audit   --qit F --st F --schema F --sensitive NAME --l N
-  anatomy verify  --qit F --st F --schema F --sensitive NAME --l N
+  anatomy verify  --qit F --st F --schema F --sensitive NAME --l N [--stage STAGE]
+  anatomy verify  --list-checks [--stage STAGE]
   anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed | --index-v2] [--metrics F] [--trace F]
   anatomy serve   --qit F --st F --schema F --sensitive NAME --l N [--data F] [--listen HOST:PORT|unix:PATH] [--port-file F] [--name NAME] [--max-inflight N] [--max-batch N]";
 
 /// Flags that take no value; their presence alone means "true".
-const BOOLEAN_FLAGS: &[&str] = &["indexed", "index-v2"];
+const BOOLEAN_FLAGS: &[&str] = &["indexed", "index-v2", "audit", "list-checks"];
 
 fn flags(args: &[String]) -> CliResult<HashMap<String, String>> {
     let mut map = HashMap::new();
@@ -288,6 +306,7 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
                 .transpose()?
                 .unwrap_or(0xA7A7),
             engine: take_engine(&mut map)?,
+            audit: map.remove("audit").is_some(),
             metrics: map.remove("metrics"),
             trace: map.remove("trace"),
         },
@@ -300,6 +319,11 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
                 .parse()
                 .map_err(|_| "--l must be an integer")?,
         },
+        // `--list-checks` consults only the registry, so the release
+        // flags are not required (and rejected by `finish` if given).
+        "verify" if map.remove("list-checks").is_some() => Command::ListChecks {
+            stage: map.remove("stage"),
+        },
         "verify" => Command::Verify {
             qit: take(&mut map, "qit")?,
             st: take(&mut map, "st")?,
@@ -308,6 +332,7 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
             l: take(&mut map, "l")?
                 .parse()
                 .map_err(|_| "--l must be an integer")?,
+            stage: map.remove("stage"),
         },
         "query" => Command::Query {
             qit: take(&mut map, "qit")?,
@@ -385,10 +410,26 @@ mod tests {
                 st: "t.csv".into(),
                 seed: 9,
                 engine: EngineArg::InMemory,
+                audit: false,
                 metrics: None,
                 trace: None,
             }
         );
+    }
+
+    #[test]
+    fn audit_is_a_boolean_publish_flag() {
+        let c = parse_args(&argv(
+            "publish --data d --schema s --sensitive X --l 2 --qit q --st t --audit --seed 9",
+        ))
+        .unwrap();
+        match c {
+            Command::Publish { audit, seed, .. } => {
+                assert!(audit);
+                assert_eq!(seed, 9);
+            }
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]
@@ -606,9 +647,35 @@ mod tests {
                 schema: "s".into(),
                 sensitive: "X".into(),
                 l: 3,
+                stage: None,
             }
         );
         assert!(parse_args(&argv("verify --qit q --st t --schema s --sensitive X")).is_err());
+        let c = parse_args(&argv(
+            "verify --qit q --st t --schema s --sensitive X --l 3 --stage serve",
+        ))
+        .unwrap();
+        match c {
+            Command::Verify { stage, .. } => assert_eq!(stage.as_deref(), Some("serve")),
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn list_checks_needs_no_release_flags() {
+        assert_eq!(
+            parse_args(&argv("verify --list-checks")).unwrap(),
+            Command::ListChecks { stage: None }
+        );
+        assert_eq!(
+            parse_args(&argv("verify --list-checks --stage incremental")).unwrap(),
+            Command::ListChecks {
+                stage: Some("incremental".into())
+            }
+        );
+        // Release flags alongside --list-checks are usage errors, not
+        // silently ignored.
+        assert!(parse_args(&argv("verify --list-checks --qit q")).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::args::EngineArg;
 use crate::schema_file;
 use crate::{CliResult, Command};
-use anatomy::audit::{audit_parts, audit_release};
+use anatomy::audit::{audit_parts_for, audit_release_for, render_registry, Stage};
 use anatomy::storage::PageConfig;
 use anatomy::{Engine, Error, Publish};
 use anatomy_core::adversary::tuple_value_probability;
@@ -103,6 +103,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             st,
             seed,
             engine,
+            audit,
             metrics,
             trace,
         } => publish(
@@ -114,6 +115,7 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             st,
             *seed,
             engine,
+            *audit,
             metrics.as_deref(),
             trace.as_deref(),
         ),
@@ -130,7 +132,9 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             schema,
             sensitive,
             l,
-        } => verify(qit, st, schema, sensitive, *l),
+            stage,
+        } => verify(qit, st, schema, sensitive, *l, stage.as_deref()),
+        Command::ListChecks { stage } => Ok(render_registry(parse_stage(stage.as_deref())?)),
         Command::Query {
             qit,
             st,
@@ -179,6 +183,21 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             *max_inflight,
             *max_batch,
         ),
+    }
+}
+
+/// Resolve an optional `--stage` value against the registry's stage
+/// names, so a typo'd stage is a usage error naming the valid set.
+fn parse_stage(stage: Option<&str>) -> CliResult<Option<Stage>> {
+    match stage {
+        None => Ok(None),
+        Some(s) => Stage::parse(s).map(Some).ok_or_else(|| {
+            let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+            Error::msg(format!(
+                "--stage must be one of {}; got `{s}`",
+                names.join(", ")
+            ))
+        }),
     }
 }
 
@@ -267,6 +286,7 @@ fn publish(
     st_path: &str,
     seed: u64,
     engine: &EngineArg,
+    audit: bool,
     metrics: Option<&str>,
     trace: Option<&str>,
 ) -> CliResult<String> {
@@ -287,11 +307,15 @@ fn publish(
     };
     let _scope = MetricsScope::new(metrics.is_some());
     let trace_scope = trace.map(|_| TraceScope::begin());
-    let release = Publish::new(&md)
+    let mut builder = Publish::new(&md)
         .l(l)
         .seed(seed)
         .engine(engine)
-        .name("cli.publish")
+        .name("cli.publish");
+    if audit {
+        builder = builder.audit();
+    }
+    let release = builder
         .run()
         .map_err(|e| e.context(format!("publishing {data}")))?;
     let tables = &release.tables;
@@ -304,6 +328,15 @@ fn publish(
         tables.len(),
         tables.group_count()
     );
+    if let Some(report) = &release.audit {
+        let (_, checks) = report.summary();
+        let _ = writeln!(
+            out,
+            "audit: PASS ({} checks, stage {})",
+            checks.len(),
+            report.stage.name()
+        );
+    }
     if let Some(stats) = release.io {
         let _ = writeln!(out, "I/O bill: {stats}");
     }
@@ -362,22 +395,26 @@ fn audit(
     ))
 }
 
-/// `anatomy verify`: the full `anatomy-audit` battery over a release.
+/// `anatomy verify`: every registered invariant of one pipeline stage
+/// over a release (default stage: `anatomize`).
 ///
 /// Parsing is deliberately lenient — `parse_release_parts` checks only
 /// CSV syntax and schema conformance — so a *corrupt* release reaches
 /// the auditor instead of dying in the strict `from_parts` validation.
 /// When the structural checks pass, the release is re-assembled and the
-/// query-layer consistency check runs too. Any failed check makes the
-/// command fail (nonzero exit from the binary), with the per-check
-/// report as the error text.
+/// release-level checks (query-layer consistency, and for `--stage
+/// incremental` the emission-order shape check) run too. Any failed
+/// check makes the command fail (nonzero exit from the binary), with
+/// the per-check report as the error text.
 fn verify(
     qit_path: &str,
     st_path: &str,
     schema_path: &str,
     sensitive: &str,
     l: usize,
+    stage: Option<&str>,
 ) -> CliResult<String> {
+    let stage = parse_stage(stage)?.unwrap_or(Stage::Anatomize);
     let schema = load_schema(schema_path)?;
     let (qi, _) = designate(&schema, sensitive)?;
     let qi_schema = schema.project(&qi)?;
@@ -385,12 +422,12 @@ fn verify(
         parse_release_parts(qi_schema, &read_file(qit_path)?, &read_file(st_path)?).map_err(
             |e| Error::from(e).context(format!("cannot parse release {qit_path} / {st_path}")),
         )?;
-    let structural = audit_parts(&group_ids, &st, l);
+    let structural = audit_parts_for(stage, &group_ids, &st, l);
     let report = if structural.passed() {
         // Structure holds, so strict re-assembly cannot fail; run the
-        // full battery including the estimator check.
+        // full battery including the release-level checks.
         match AnatomizedTables::from_parts(qit, group_ids, st, l) {
-            Ok(tables) => audit_release(&tables, l),
+            Ok(tables) => audit_release_for(stage, &tables, l),
             Err(_) => structural,
         }
     } else {
@@ -502,6 +539,16 @@ fn serve(
             ServedRelease::estimate_only(name, domains, tables)
         }
     };
+    // Refuse to serve a release that fails any serve-stage invariant:
+    // every answer would otherwise come from a corrupt or non-diverse
+    // publication.
+    let report = release.audit();
+    if !report.passed() {
+        let rendered = report.render();
+        if let Some(failure) = report.into_failure() {
+            return Err(Error::from(failure).context(rendered.trim_end().to_string()));
+        }
+    }
     let exact = release.serves_exact();
     let server = Server::bind(
         ServeConfig {
@@ -615,6 +662,7 @@ mod tests {
                 st: st.clone(),
                 seed: 3,
                 engine,
+                audit: false,
                 metrics: None,
                 trace: None,
             })
@@ -657,6 +705,7 @@ mod tests {
                 shards: 1,
                 pages_per_shard: 3,
             },
+            audit: false,
             metrics: None,
             trace: None,
         })
@@ -681,6 +730,7 @@ mod tests {
             st: st.clone(),
             seed: 3,
             engine: EngineArg::InMemory,
+            audit: false,
             metrics: None,
             trace: None,
         })
@@ -765,6 +815,7 @@ mod tests {
             st,
             seed: 3,
             engine: EngineArg::InMemory,
+            audit: false,
             metrics: None,
             trace: Some(trace.clone()),
         })
@@ -791,6 +842,7 @@ mod tests {
             st: st.clone(),
             seed: 3,
             engine: EngineArg::InMemory,
+            audit: false,
             metrics: None,
             trace: None,
         })
@@ -802,6 +854,7 @@ mod tests {
                 schema: schema.clone(),
                 sensitive: "Disease".into(),
                 l: 4,
+                stage: None,
             })
         };
 
@@ -869,6 +922,89 @@ mod tests {
         let chain = anatomy::render_chain(&err);
         assert!(chain.contains("[PASS] qit_st_structure"), "{chain}");
         assert!(chain.contains("[FAIL] l_diversity"), "{chain}");
+    }
+
+    #[test]
+    fn list_checks_prints_the_registry_and_stage_filters() {
+        let all = run(&Command::ListChecks { stage: None }).unwrap();
+        for name in [
+            "qit_st_structure",
+            "l_diversity",
+            "group_sizes",
+            "residue_placement",
+            "rce_bound",
+            "estimator_consistency",
+            "incremental_group_immutability",
+        ] {
+            assert!(all.contains(name), "{all}");
+        }
+        let serve_only = run(&Command::ListChecks {
+            stage: Some("serve".into()),
+        })
+        .unwrap();
+        assert!(
+            serve_only.starts_with("6 registered invariants (stage serve):"),
+            "{serve_only}"
+        );
+        assert!(!serve_only.contains("incremental_group_immutability"));
+        let err = run(&Command::ListChecks {
+            stage: Some("bogus".into()),
+        })
+        .unwrap_err();
+        assert!(
+            anatomy::render_chain(&err).contains("--stage must be one of"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn audited_publish_and_stage_filtered_verify() {
+        let dir = scratch("audited");
+        let data = write(&dir, "d.csv", &demo_data());
+        let schema = write(&dir, "s.txt", SCHEMA);
+        let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+        let st = dir.join("st.csv").to_string_lossy().into_owned();
+        let report = run(&Command::Publish {
+            data,
+            schema: schema.clone(),
+            sensitive: "Disease".into(),
+            l: 4,
+            qit: qit.clone(),
+            st: st.clone(),
+            seed: 3,
+            engine: EngineArg::InMemory,
+            audit: true,
+            metrics: None,
+            trace: None,
+        })
+        .unwrap();
+        assert!(
+            report.contains("audit: PASS (6 checks, stage anatomize)"),
+            "{report}"
+        );
+
+        // The serve-stage battery passes over the same release...
+        let verify_with = |stage: Option<&str>| {
+            run(&Command::Verify {
+                qit: qit.clone(),
+                st: st.clone(),
+                schema: schema.clone(),
+                sensitive: "Disease".into(),
+                l: 4,
+                stage: stage.map(String::from),
+            })
+        };
+        let report = verify_with(Some("serve")).unwrap();
+        assert!(report.contains("[PASS] estimator_consistency"), "{report}");
+
+        // ...but the incremental stage adds the emission-order shape
+        // check, which a batch release (scattered group ids) fails.
+        let err = verify_with(Some("incremental")).unwrap_err();
+        assert!(
+            anatomy::render_chain(&err).contains("[FAIL] incremental_group_immutability"),
+            "{err}"
+        );
+        assert!(verify_with(Some("turbo")).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::error::CoreError;
 use crate::partition::GroupId;
 use crate::published::{AnatomizedTables, StRecord};
 use anatomy_tables::{Schema, TableBuilder, Value};
+use std::collections::VecDeque;
 
 /// An append-only anatomized publication.
 #[derive(Debug, Clone)]
@@ -40,8 +41,9 @@ pub struct IncrementalPublisher {
     /// Published ST records, sorted by (group, value) as emitted.
     st: Vec<StRecord>,
     groups: usize,
-    /// Pending tuples per sensitive value.
-    buffer: Vec<Vec<Vec<u32>>>,
+    /// Pending tuples per sensitive value, oldest first (emission drains
+    /// FIFO so no arrival is starved behind newer ones).
+    buffer: Vec<VecDeque<Vec<u32>>>,
     buffered: usize,
 }
 
@@ -67,7 +69,7 @@ impl IncrementalPublisher {
             group_ids: Vec::new(),
             st: Vec::new(),
             groups: 0,
-            buffer: vec![Vec::new(); sensitive_domain as usize],
+            buffer: vec![VecDeque::new(); sensitive_domain as usize],
             buffered: 0,
         })
     }
@@ -119,14 +121,17 @@ impl IncrementalPublisher {
                 },
             ));
         }
-        self.buffer[sensitive.index()].push(qi.to_vec());
+        self.buffer[sensitive.index()].push_back(qi.to_vec());
         self.buffered += 1;
         Ok(self.try_emit())
     }
 
     /// If `l` distinct sensitive values are buffered, publish one group
     /// from the `l` largest buffers (the paper's Line 5 rule keeps the
-    /// buffer balanced, exactly as it keeps buckets balanced offline).
+    /// buffer balanced, exactly as it keeps buckets balanced offline),
+    /// taking each chosen value's *oldest* buffered tuple so that, once a
+    /// value is selected, arrival order is respected — a newer tuple can
+    /// never starve an older one of the same value.
     fn try_emit(&mut self) -> Option<GroupId> {
         let mut nonempty: Vec<usize> = (0..self.buffer.len())
             .filter(|&v| !self.buffer[v].is_empty())
@@ -139,7 +144,7 @@ impl IncrementalPublisher {
         let mut values: Vec<usize> = nonempty[..self.l].to_vec();
         values.sort_unstable(); // ST order: ascending value
         for v in values {
-            let qi = self.buffer[v].pop().expect("non-empty buffer");
+            let qi = self.buffer[v].pop_front().expect("non-empty buffer");
             self.qit_rows.push(qi);
             self.group_ids.push(gid);
             self.st.push(StRecord {
@@ -242,6 +247,39 @@ mod tests {
             assert!(t.st_of(j).iter().all(|r| r.count == 1));
         }
         assert!(p.pending() > 50, "heavy value must be withheld");
+    }
+
+    #[test]
+    fn buffered_tuples_of_one_value_emit_oldest_first() {
+        // Two tuples of value 0 arrive before value 1 completes a group:
+        // the group must carry value 0's FIRST arrival ([10]), and the
+        // next group its second ([11]). The pre-fix LIFO buffer emitted
+        // [11] first, starving [10] behind every newer arrival.
+        let mut p = IncrementalPublisher::new(schema(), 5, 2).unwrap();
+        assert_eq!(p.insert(&[10], Value(0)).unwrap(), None);
+        assert_eq!(p.insert(&[11], Value(0)).unwrap(), None);
+        assert_eq!(p.insert(&[20], Value(1)).unwrap(), Some(0));
+        let t = p.published().unwrap();
+        // Group 0 in ST value order: value 0's row then value 1's row.
+        assert_eq!(&t.qi_codes(0)[..2], &[10, 20]);
+
+        assert_eq!(p.insert(&[21], Value(1)).unwrap(), Some(1));
+        let t = p.published().unwrap();
+        assert_eq!(t.qi_codes(0), &[10, 20, 11, 21]);
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn no_arrival_is_starved_under_a_hot_value() {
+        // Value 0 stays hot forever; its oldest tuple must still ship in
+        // the very next group rather than waiting behind the backlog.
+        let mut p = IncrementalPublisher::new(schema(), 4, 2).unwrap();
+        for i in 0..10u32 {
+            p.insert(&[i], Value(0)).unwrap();
+        }
+        p.insert(&[100], Value(1)).unwrap();
+        let t = p.published().unwrap();
+        assert_eq!(&t.qi_codes(0)[..2], &[0, 100], "oldest hot tuple first");
     }
 
     #[test]

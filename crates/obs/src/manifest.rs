@@ -22,7 +22,8 @@
 //!                               "p99_ns": 1500000, "max_ns": 1500000 },
 //!                "storage.page_write_ns": { ... } },
 //!   "io": { "page_reads": 120, "page_writes": 60, "total": 180 },
-//!   "audit": { "passed": true, "checks": { "l_diversity": true, ... } }
+//!   "audit": { "stage": "anatomize", "passed": true,
+//!              "checks": { "l_diversity": true, ... } }
 //! }
 //! ```
 //!
@@ -43,7 +44,9 @@
 //!
 //! The phase tree nests by span path: `"anatomize/bucketize"` becomes a
 //! child of `"anatomize"`. [`validate_manifest_json`] checks all of the
-//! above structurally; the `check_manifest` binary wraps it for CI.
+//! above structurally; the `check_manifest` binary (in `anatomy-audit`,
+//! which also compares stage-stamped audit blocks against the invariant
+//! registry) wraps it for CI.
 
 use crate::json::Json;
 use crate::snapshot::Snapshot;
@@ -125,6 +128,10 @@ impl IoSummary {
 /// the bottom of the dependency order).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AuditSummary {
+    /// The pipeline stage whose registered invariants ran (the stable
+    /// stage names of `anatomy_audit::Stage`); empty when the producer
+    /// predates stage stamping.
+    pub stage: String,
     /// Whether every check passed.
     pub passed: bool,
     /// Per-check outcomes, in the order the auditor ran them.
@@ -325,13 +332,13 @@ impl RunManifest {
                 .iter()
                 .map(|(name, ok)| (name.clone(), Json::Bool(*ok)))
                 .collect();
-            members.push((
-                "audit".to_string(),
-                Json::Obj(vec![
-                    ("passed".into(), Json::Bool(audit.passed)),
-                    ("checks".into(), Json::Obj(checks)),
-                ]),
-            ));
+            let mut block = Vec::new();
+            if !audit.stage.is_empty() {
+                block.push(("stage".into(), Json::Str(audit.stage.clone())));
+            }
+            block.push(("passed".into(), Json::Bool(audit.passed)));
+            block.push(("checks".into(), Json::Obj(checks)));
+            members.push(("audit".to_string(), Json::Obj(block)));
         }
         Json::Obj(members)
     }
@@ -423,6 +430,12 @@ pub struct ManifestSummary {
     pub io_total: Option<u64>,
     /// `audit.passed` when the manifest carries an audit outcome.
     pub audit_passed: Option<bool>,
+    /// `audit.stage` when the audit block names its pipeline stage.
+    pub audit_stage: Option<String>,
+    /// The audit block's check names, in document order (empty when the
+    /// manifest carries no audit) — what registry-aware validators
+    /// compare against the invariant registry.
+    pub audit_checks: Vec<String>,
 }
 
 /// Structurally validate a manifest document: required keys present and
@@ -551,13 +564,23 @@ pub fn validate_manifest_json(text: &str) -> Result<ManifestSummary, String> {
             Some(total)
         }
     };
-    let audit_passed = match doc.get("audit") {
-        None => None,
+    let (audit_passed, audit_stage, audit_checks) = match doc.get("audit") {
+        None => (None, None, Vec::new()),
         Some(audit) => {
             let passed = audit
                 .get("passed")
                 .and_then(Json::as_bool)
                 .ok_or("audit missing boolean passed")?;
+            let stage = match audit.get("stage") {
+                None => None,
+                Some(s) => {
+                    let s = s.as_str().ok_or("audit.stage is not a string")?;
+                    if s.is_empty() {
+                        return Err("audit.stage is empty".into());
+                    }
+                    Some(s.to_string())
+                }
+            };
             let checks = audit
                 .get("checks")
                 .and_then(Json::as_obj)
@@ -577,7 +600,8 @@ pub fn validate_manifest_json(text: &str) -> Result<ManifestSummary, String> {
                     "audit.passed {passed} contradicts its per-check outcomes"
                 ));
             }
-            Some(passed)
+            let names = checks.iter().map(|(k, _)| k.clone()).collect();
+            (Some(passed), stage, names)
         }
     };
     Ok(ManifestSummary {
@@ -587,6 +611,8 @@ pub fn validate_manifest_json(text: &str) -> Result<ManifestSummary, String> {
         latency,
         io_total,
         audit_passed,
+        audit_stage,
+        audit_checks,
     })
 }
 
@@ -713,6 +739,7 @@ mod tests {
     fn audit_block_round_trips_and_validates() {
         let r = busy_registry();
         let audit = AuditSummary {
+            stage: "anatomize".to_string(),
             passed: false,
             checks: vec![
                 ("qit_st_structure".to_string(), true),
@@ -723,10 +750,28 @@ mod tests {
         let text = m.to_json();
         let summary = validate_manifest_json(&text).expect("audited manifest should validate");
         assert_eq!(summary.audit_passed, Some(false));
+        assert_eq!(summary.audit_stage.as_deref(), Some("anatomize"));
+        assert_eq!(
+            summary.audit_checks,
+            vec!["qit_st_structure", "l_diversity"]
+        );
 
         // A manifest without an audit reports None.
         let plain = RunManifest::capture("publish", &r).to_json();
-        assert_eq!(validate_manifest_json(&plain).unwrap().audit_passed, None);
+        let plain_summary = validate_manifest_json(&plain).unwrap();
+        assert_eq!(plain_summary.audit_passed, None);
+        assert_eq!(plain_summary.audit_stage, None);
+        assert!(plain_summary.audit_checks.is_empty());
+
+        // A stage-less audit block (older producer) still validates.
+        let unstamped = RunManifest::capture("publish", &r).with_audit(AuditSummary {
+            stage: String::new(),
+            passed: true,
+            checks: vec![("qit_st_structure".to_string(), true)],
+        });
+        let s = validate_manifest_json(&unstamped.to_json()).unwrap();
+        assert_eq!(s.audit_stage, None);
+        assert_eq!(s.audit_passed, Some(true));
 
         // `passed` lying about its per-check outcomes is rejected.
         let lying = text.replace("\"passed\": false", "\"passed\": true");
@@ -734,6 +779,9 @@ mod tests {
         // Non-boolean check outcomes are rejected.
         let bad = text.replace("\"l_diversity\": false", "\"l_diversity\": 0");
         assert!(validate_manifest_json(&bad).is_err());
+        // An empty stage string is rejected.
+        let empty_stage = text.replace("\"stage\": \"anatomize\"", "\"stage\": \"\"");
+        assert!(validate_manifest_json(&empty_stage).is_err());
     }
 
     #[test]

@@ -667,6 +667,88 @@ mod tests {
         assert!(corrupt(&[2, 2, 0, 0, 0, 1, 0, 8, 0, 5, 0, 9, 0])); // overlap
     }
 
+    /// Regression at the chunk population extremes a release of
+    /// n = 65 536·k ± 1 rows produces: a final chunk holding exactly one
+    /// position, or exactly 65 535 of them. Both must round-trip through
+    /// the byte format and count exactly against an accumulator sized
+    /// for that truncated final chunk.
+    #[test]
+    fn chunk_boundary_populations_round_trip_and_count_exactly() {
+        // One position in the final chunk (n = 65 536·k + 1): the
+        // accumulator tail is a single word.
+        let one = Container::from_sorted(&[0]);
+        let mut bytes = Vec::new();
+        one.write_bytes(&mut bytes);
+        let (back, consumed) = Container::from_bytes(&bytes).expect("round trip");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, one);
+        let mut acc = vec![0u64; CHUNK_WORDS + 1];
+        back.or_into(&mut acc, CHUNK_WORDS);
+        assert_eq!(acc[CHUNK_WORDS], 1);
+        assert_eq!(back.and_count(&acc, CHUNK_WORDS), 1);
+
+        // 65 535 positions (n = 65 536·k − 1): one run 0..=65 534, in an
+        // accumulator of exactly ceil(65 535 / 64) = 1024 words.
+        let almost: Vec<u16> = (0..u16::MAX).collect();
+        let c = Container::from_sorted(&almost);
+        assert_eq!(c.kind(), ContainerKind::Run);
+        let mut bytes = Vec::new();
+        c.write_bytes(&mut bytes);
+        let (back, consumed) = Container::from_bytes(&bytes).expect("round trip");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(back, c);
+        let mut acc = vec![0u64; 65_535usize.div_ceil(64)];
+        back.or_into(&mut acc, 0);
+        assert_eq!(
+            acc.iter().map(|w| w.count_ones() as u64).sum::<u64>(),
+            65_535
+        );
+        assert_eq!(back.and_count(&acc, 0), 65_535);
+    }
+
+    /// The decoder's size guards at their exact limits: a full-chunk
+    /// array (the non-canonical encoding of 65 536 positions) and the
+    /// maximum 32 768-run list decode; one element more of either is a
+    /// typed corruption, never a panic or a wrapped count.
+    #[test]
+    fn decoder_accepts_full_chunk_extremes_and_rejects_overfull() {
+        let mut bytes = vec![0u8];
+        bytes.extend_from_slice(&(CHUNK_LEN as u32).to_le_bytes());
+        for p in 0..=u16::MAX {
+            bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        let (c, consumed) = Container::from_bytes(&bytes).expect("full-chunk array");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(c.cardinality(), CHUNK_LEN);
+
+        let mut over = vec![0u8];
+        over.extend_from_slice(&((CHUNK_LEN + 1) as u32).to_le_bytes());
+        over.resize(over.len() + 2 * (CHUNK_LEN + 1), 0);
+        assert!(matches!(
+            Container::from_bytes(&over),
+            Err(QueryError::CorruptIndex(_))
+        ));
+
+        let mut bytes = vec![2u8];
+        bytes.extend_from_slice(&((CHUNK_LEN / 2) as u32).to_le_bytes());
+        for i in 0..(CHUNK_LEN / 2) as u32 {
+            let p = (2 * i) as u16;
+            bytes.extend_from_slice(&p.to_le_bytes());
+            bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        let (c, consumed) = Container::from_bytes(&bytes).expect("maximal run list");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(c.cardinality(), CHUNK_LEN / 2);
+
+        let mut over = vec![2u8];
+        over.extend_from_slice(&((CHUNK_LEN / 2 + 1) as u32).to_le_bytes());
+        over.resize(over.len() + 4 * (CHUNK_LEN / 2 + 1), 0);
+        assert!(matches!(
+            Container::from_bytes(&over),
+            Err(QueryError::CorruptIndex(_))
+        ));
+    }
+
     #[test]
     fn container_mix_accounts_by_kind() {
         let mut mix = ContainerMix::default();

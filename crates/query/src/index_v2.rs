@@ -786,6 +786,78 @@ mod tests {
         }
     }
 
+    /// Row counts straddling the container chunk length (n = 2¹⁶ ± 1
+    /// and 2¹⁶ exactly): the final chunk's accumulator tail is 1 word,
+    /// absent, or full-width, and every path — container byte
+    /// round-trip, serial evaluation, and the chunked batch evaluators —
+    /// must agree with the scalar oracle bit for bit.
+    #[test]
+    fn chunk_boundary_row_counts_agree_with_the_scalar_oracle() {
+        use crate::container::CHUNK_LEN;
+        for n in [CHUNK_LEN - 1, CHUNK_LEN, CHUNK_LEN + 1] {
+            let md = structured_md(n);
+            let (tables, v2, _) = published(&md, 4, BucketStrategy::LargestFirst);
+            let queries = vec![
+                // Dense prefix: B = 0 is a bitmap container in every
+                // chunk, including the truncated final one.
+                CountQuery {
+                    qi_preds: vec![(1, InPredicate::new(vec![0], 2).unwrap())],
+                    sens_pred: InPredicate::new(vec![3], 50).unwrap(),
+                },
+                // Run-shaped C plus sparse A: exercises the run and
+                // array kernels against the short accumulator tail.
+                CountQuery {
+                    qi_preds: vec![
+                        (0, InPredicate::range(0, 38, 78).unwrap()),
+                        (2, InPredicate::new(vec![16], 17).unwrap()),
+                    ],
+                    sens_pred: InPredicate::full(50),
+                },
+                // No QI predicate: the whole-space path.
+                CountQuery {
+                    qi_preds: vec![],
+                    sens_pred: InPredicate::new(vec![0, 49], 50).unwrap(),
+                },
+            ];
+            // Containers round-trip through the byte format at this n.
+            let mut roundtripped = 0usize;
+            for col in v2.qi.iter().chain(v2.sens.iter()) {
+                for vc in &col.values {
+                    for (_, c) in &vc.chunks {
+                        let mut bytes = Vec::new();
+                        c.write_bytes(&mut bytes);
+                        let (back, consumed) = Container::from_bytes(&bytes).expect("round trip");
+                        assert_eq!((&back, consumed), (c, bytes.len()), "n = {n}");
+                        roundtripped += 1;
+                    }
+                }
+            }
+            assert!(roundtripped > 0, "n = {n}: no containers built");
+            let pool = Pool::new(2);
+            let exact_batch = evaluate_exact_batch_v2(&pool, &v2, &queries);
+            let est_batch = estimate_anatomy_batch_v2(&pool, &v2, &tables, &queries);
+            for (i, q) in queries.iter().enumerate() {
+                assert_eq!(
+                    evaluate_exact_indexed_v2(&v2, q),
+                    evaluate_exact(&md, q),
+                    "n = {n}, query {i}"
+                );
+                assert_eq!(exact_batch[i], evaluate_exact(&md, q), "n = {n}, query {i}");
+                let scalar = estimate_anatomy(&tables, q);
+                assert_eq!(
+                    estimate_anatomy_indexed_v2(&v2, &tables, q).to_bits(),
+                    scalar.to_bits(),
+                    "n = {n}, query {i}"
+                );
+                assert_eq!(
+                    est_batch[i].to_bits(),
+                    scalar.to_bits(),
+                    "n = {n}, query {i}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn batch_paths_match_scalar_on_shared_prefix_workloads() {
         let md = structured_md(4000);

@@ -11,7 +11,10 @@
 pub use crate::error::{render_chain, Error};
 pub use crate::publish::{Engine, Publish, Release};
 
-pub use anatomy_audit::{audit_parts, audit_release, AuditFailure, AuditReport};
+pub use anatomy_audit::{
+    audit_increment, audit_parts, audit_release, audit_release_for, AuditFailure, AuditReport,
+    Stage,
+};
 pub use anatomy_core::{
     anatomize, AnatomizeConfig, AnatomizedTables, BucketStrategy, Partition, ShardConfig,
 };

@@ -27,7 +27,7 @@
 //! and capturing the manifest.
 
 use crate::error::Error;
-use anatomy_audit::{audit_release, AuditReport};
+use anatomy_audit::{audit_release_for, AuditReport, Stage};
 use anatomy_core::anatomize_io::{anatomize_external, recommended_pool};
 use anatomy_core::{
     anatomize, anatomize_reference, anatomize_sharded, AnatomizeConfig, AnatomizedTables,
@@ -77,6 +77,16 @@ impl Engine {
             Engine::InMemory | Engine::Reference => "in_memory",
             Engine::External(_) => "external",
             Engine::Sharded(_) => "sharded",
+        }
+    }
+
+    /// The audit [`Stage`] whose registered invariants certify this
+    /// engine's output (recorded in the manifest's `audit.stage`).
+    pub fn stage(&self) -> Stage {
+        match self {
+            Engine::InMemory | Engine::Reference => Stage::Anatomize,
+            Engine::External(_) => Stage::AnatomizeExternal,
+            Engine::Sharded(_) => Stage::AnatomizeSharded,
         }
     }
 }
@@ -224,12 +234,13 @@ impl<'a> Publish<'a> {
         self.engine(Engine::External(cfg))
     }
 
-    /// Audit the release before returning it: re-verify every paper
-    /// invariant (Definitions 1–3, Properties 1–3, Theorem 2, and
-    /// query-layer agreement) from the published pair alone. A failed
+    /// Audit the release before returning it: re-verify every invariant
+    /// registered for the engine's stage (Definitions 1–3, Properties
+    /// 1–3, Theorem 2, and query-layer agreement — see
+    /// `anatomy_audit::REGISTRY`) from the published pair alone. A failed
     /// audit turns into [`Error::Audit`] and the release is withheld;
-    /// a passed audit is recorded in the manifest's `audit` block and
-    /// in [`Release::audit`].
+    /// a passed audit is recorded in the manifest's stage-stamped `audit`
+    /// block and in [`Release::audit`].
     pub fn audit(mut self) -> Self {
         self.audit = true;
         self
@@ -336,9 +347,14 @@ impl<'a> Publish<'a> {
         }
 
         let audit = if self.audit {
-            let report = audit_release(&tables, l);
+            let stage = self.engine.stage();
+            let report = audit_release_for(stage, &tables, l);
             let (passed, checks) = report.summary();
-            manifest = manifest.with_audit(AuditSummary { passed, checks });
+            manifest = manifest.with_audit(AuditSummary {
+                stage: stage.name().to_string(),
+                passed,
+                checks,
+            });
             if let Some(failure) = report.clone().into_failure() {
                 return Err(Error::Audit(failure));
             }
@@ -503,30 +519,45 @@ mod tests {
     #[test]
     fn audited_runs_attach_a_clean_report_and_manifest_block() {
         let md = md(280);
-        for release in [
-            Publish::new(&md).l(4).audit().run().unwrap(),
-            Publish::new(&md)
-                .l(4)
-                .engine(Engine::External(PageConfig::with_page_size(64)))
-                .audit()
-                .run()
-                .unwrap(),
-            Publish::new(&md)
-                .l(4)
-                .engine(Engine::Sharded(
-                    ShardConfig::new(PageConfig::with_page_size(64), 2, 6).unwrap(),
-                ))
-                .audit()
-                .run()
-                .unwrap(),
+        for (release, stage) in [
+            (Publish::new(&md).l(4).audit().run().unwrap(), "anatomize"),
+            (
+                Publish::new(&md)
+                    .l(4)
+                    .engine(Engine::External(PageConfig::with_page_size(64)))
+                    .audit()
+                    .run()
+                    .unwrap(),
+                "anatomize_external",
+            ),
+            (
+                Publish::new(&md)
+                    .l(4)
+                    .engine(Engine::Sharded(
+                        ShardConfig::new(PageConfig::with_page_size(64), 2, 6).unwrap(),
+                    ))
+                    .audit()
+                    .run()
+                    .unwrap(),
+                "anatomize_sharded",
+            ),
         ] {
             let report = release.audit.expect("audited run carries a report");
             assert!(report.passed());
             assert_eq!(report.checks.len(), 6);
             assert_eq!(report.n, md.len());
+            assert_eq!(report.stage.name(), stage);
             let json = release.manifest.to_json();
             let summary = anatomy_obs::validate_manifest_json(&json).unwrap();
             assert_eq!(summary.audit_passed, Some(true));
+            // The manifest's audit block is stage-stamped and its check
+            // set equals the registry for that stage.
+            assert_eq!(summary.audit_stage.as_deref(), Some(stage));
+            let mut expected: Vec<&str> = anatomy_audit::names_for(Stage::parse(stage).unwrap());
+            let mut got: Vec<&str> = summary.audit_checks.iter().map(String::as_str).collect();
+            expected.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expected);
         }
         // Unaudited runs carry neither.
         let plain = Publish::new(&md).l(4).run().unwrap();

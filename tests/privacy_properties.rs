@@ -2,6 +2,7 @@
 //! theorems must hold for *arbitrary* eligible microdata, not just the
 //! datasets we ship.
 
+use anatomy::audit::{audit_release_for, names_for, Stage};
 use anatomy::core::adversary::{individual_breach_probability, tuple_breach_probabilities};
 use anatomy::core::{
     anatomize, rce_lower_bound, rce_of_partition, AnatomizeConfig, AnatomizedTables, CoreError,
@@ -111,6 +112,27 @@ proptest! {
             // And the ST counts sum to n per construction.
             let total: u32 = tables.st_records().iter().map(|r| r.count).sum();
             prop_assert_eq!(total as usize, md.len());
+        }
+    }
+
+    /// Registry enumeration over the in-memory engine: any release it
+    /// publishes passes *every* invariant the `anatomy-audit` registry
+    /// lists for the anatomize stage, and the battery that ran is
+    /// exactly the registered one — an invariant registered tomorrow is
+    /// checked here with no edit to this test.
+    #[test]
+    fn releases_pass_all_registered_invariants(
+        rows in rows_strategy(),
+        l in 2usize..5,
+        seed in 0u64..30,
+    ) {
+        let md = microdata(&rows);
+        if let Ok(p) = anatomize(&md, &AnatomizeConfig::new(l).with_seed(seed)) {
+            let tables = AnatomizedTables::publish(&md, &p, l).unwrap();
+            let report = audit_release_for(Stage::Anatomize, &tables, l);
+            let ran: Vec<&str> = report.checks.iter().map(|c| c.name).collect();
+            prop_assert_eq!(ran, names_for(Stage::Anatomize));
+            prop_assert!(report.passed(), "{}", report.render());
         }
     }
 

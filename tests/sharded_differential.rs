@@ -4,8 +4,12 @@
 //! same ST bytes — or fail with exactly the same error. Property-based
 //! over both bucket strategies, uniform and skewed sensitive
 //! distributions, and input sizes crossing the shard-count and page
-//! boundaries.
+//! boundaries. Every successful pair is additionally audited against
+//! **all invariants the registry lists for the sharded stage**, so a
+//! release that matches the oracle but breaks a paper property still
+//! fails here.
 
+use anatomy::audit::{audit_release_for, Stage};
 use anatomy::core::{
     anatomize, anatomize_sharded, AnatomizeConfig, AnatomizedTables, BucketStrategy, CoreError,
     ShardConfig,
@@ -72,7 +76,23 @@ fn check(rows: &[(u32, u32, u32)], l: usize, seed: u64, strategy: BucketStrategy
     });
 
     match (in_mem, sharded) {
-        (Ok(expect), Ok(got)) => assert_eq!(got, expect, "tables diverge (n={})", md.len()),
+        (Ok(expect), Ok(got)) => {
+            assert_eq!(got, expect, "tables diverge (n={})", md.len());
+            // Registry enumeration: the agreed-on release passes every
+            // invariant registered for the sharded engine's stage. Only
+            // the paper's largest-first strategy promises Property 1
+            // (the ≤ l−1 residue bound is its Lemma); the round-robin
+            // ablation may legitimately leave more residue tuples.
+            if strategy == BucketStrategy::LargestFirst {
+                let report = audit_release_for(Stage::AnatomizeSharded, &got, l);
+                assert!(
+                    report.passed(),
+                    "sharded release fails a registered invariant (n={}):\n{}",
+                    md.len(),
+                    report.render()
+                );
+            }
+        }
         (Err(e), Err(s)) => assert_eq!(
             e.to_string(),
             s.to_string(),
