@@ -267,6 +267,18 @@ fn obs_gate(cfg: &Config) -> BenchResult<(f64, f64, f64)> {
     // the gate certifies that *having* tracing in the binary costs
     // nothing when it is off, exactly the production configuration.
     anatomy_obs::tracer().set_enabled(false);
+    // The window sampler runs for the whole measurement, ticking on a
+    // faster-than-production cadence: the resident-server deployment
+    // keeps one alive permanently, so the gate must certify that
+    // periodic registry snapshots on another thread leave the one-atomic
+    // write path unperturbed. Both arms see the identical sampler.
+    let sampler = anatomy_obs::start_sampler(
+        obs,
+        anatomy_obs::WindowConfig {
+            tick: std::time::Duration::from_millis(100),
+            ..anatomy_obs::WindowConfig::default()
+        },
+    );
     let md = synthetic(40_000, 64, Dist::Uniform, cfg.seed)?;
     let config = AnatomizeConfig::new(4).with_seed(cfg.seed);
     // Warm caches and the allocator before timing.
@@ -290,6 +302,7 @@ fn obs_gate(cfg: &Config) -> BenchResult<(f64, f64, f64)> {
         disabled_ms = disabled_ms.min(pair[0]);
         ratios.push(pair[1] / pair[0]);
     }
+    sampler.stop(obs);
     obs.set_enabled(false);
     ratios.sort_unstable_by(|a, b| a.total_cmp(b));
     let median = ratios[ratios.len() / 2];

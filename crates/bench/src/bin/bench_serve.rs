@@ -177,13 +177,29 @@ fn run(cfg: &Config) -> BenchResult<String> {
     }
     let index = QueryIndex::build(&md, &tables)?;
 
-    // In-process server unless --connect points at an external one.
+    // In-process server unless --connect points at an external one. The
+    // in-process server logs every batch (threshold zero) and samples
+    // windows on a fast tick so the monitoring phase below has material
+    // to scrape even on a --smoke run; the trace journal is on so each
+    // slowlog exemplar can be resolved against a real span afterwards.
     let mut spawned = None;
     let addr = match &cfg.connect {
         Some(addr) => addr.clone(),
         None => {
+            anatomy_obs::tracer().set_enabled(true);
+            let serve_cfg = ServeConfig {
+                slowlog_threshold: Some(std::time::Duration::ZERO),
+                slowlog_capacity: 64,
+                window: anatomy_obs::WindowConfig {
+                    tick: std::time::Duration::from_millis(100),
+                    fine_len: 600,
+                    coarse_every: 60,
+                    coarse_len: 60,
+                },
+                ..ServeConfig::default()
+            };
             let release = ServedRelease::exact(&cfg.release, md.clone(), tables.clone())?;
-            let server = Server::bind(ServeConfig::default(), vec![release])
+            let server = Server::bind(serve_cfg, vec![release])
                 .map_err(|e| format!("cannot bind server: {e}"))?;
             let (addr, handle) = server.spawn();
             spawned = Some(handle);
@@ -221,6 +237,12 @@ fn run(cfg: &Config) -> BenchResult<String> {
             }
         }
     }
+
+    // First scrape, between the phases: the throughput run must make
+    // every counter grow monotonically relative to this baseline.
+    let scrape1 = client.metrics()?;
+    let expo1 = anatomy_obs::validate_exposition(&scrape1)
+        .map_err(|e| format!("first scrape failed validation: {e}"))?;
 
     // Phase 2: throughput. Point-ish queries from concurrent
     // connections; every answer still checked, against the local index.
@@ -271,15 +293,128 @@ fn run(cfg: &Config) -> BenchResult<String> {
         }
     }
 
+    // Monitoring phase: scrape again after the traffic, re-validate,
+    // and require every counter to be monotone across the two scrapes
+    // with at least one that actually grew. A short sleep lets the
+    // sampler fold the final batch deltas into the window rings first.
+    std::thread::sleep(std::time::Duration::from_millis(350));
+    let scrape2 = client.metrics()?;
+    let expo2 = anatomy_obs::validate_exposition(&scrape2)
+        .map_err(|e| format!("second scrape failed validation: {e}"))?;
+    let grew = anatomy_obs::check_counter_monotonic(&expo1, &expo2)?;
+    if grew == 0 {
+        return Err("no counter grew between the two scrapes".into());
+    }
+    eprintln!(
+        "# monitoring: {} families / {} samples per scrape, {grew} counters grew",
+        expo2.families, expo2.samples
+    );
+
+    // In-process the bench shares the server's registry, so the rolling
+    // window percentiles can be checked against the offline histogram:
+    // both are log2-bucket upper bounds clamped to the observed max, so
+    // a healthy sampler stays within one bucket (a factor of two) of
+    // the whole-run value in either direction.
+    let mut windowed = Vec::new();
+    if spawned.is_some() {
+        let offline = anatomy_obs::global()
+            .snapshot()
+            .hists
+            .get("span_ns/serve.batch")
+            .cloned()
+            .ok_or("registry has no span_ns/serve.batch histogram")?;
+        for label in window_labels(&scrape2) {
+            let at = |q: &str| {
+                anatomy_obs::sample_value(
+                    &scrape2,
+                    "anatomy_span_ns_serve_batch",
+                    &[("window", &label), ("quantile", q)],
+                )
+            };
+            let (Some(p50), Some(p99)) = (at("0.5"), at("0.99")) else {
+                continue;
+            };
+            if p50 <= 0.0 {
+                continue; // window predates any batch traffic
+            }
+            for (name, win, off) in [
+                ("p50", p50, offline.percentile(0.5) as f64),
+                ("p99", p99, offline.percentile(0.99) as f64),
+            ] {
+                if win > 2.0 * off || off > 2.0 * win {
+                    return Err(format!(
+                        "window {label} {name} {win:.0} ns vs offline {off:.0} ns: \
+                         outside the one-bucket (2x) tolerance"
+                    )
+                    .into());
+                }
+            }
+            eprintln!("# monitoring: window {label} p50 {p50:.0} ns / p99 {p99:.0} ns agree with offline histogram");
+            windowed.push((label, p50, p99));
+        }
+        if windowed.is_empty() {
+            return Err("no window aggregate captured the batch traffic".into());
+        }
+    }
+
+    // Slowlog round trip: entries come back over the wire as JSON and
+    // re-parse into the same struct the server filled in.
+    let slow = client.slowlog(10_000)?;
+    if spawned.is_some() && slow.is_empty() {
+        return Err("threshold-zero slowlog recorded nothing".into());
+    }
+    for e in &slow {
+        if e.release != cfg.release {
+            return Err(format!("slowlog entry names release `{}`", e.release).into());
+        }
+    }
+    eprintln!("# monitoring: {} slowlog entries round-tripped", slow.len());
+
     if spawned.is_some() || cfg.shutdown {
         client.shutdown()?;
     }
+    let mut exemplars_resolved = false;
     if let Some(handle) = spawned {
         let summary = handle.join().expect("server thread panicked")?;
         eprintln!(
             "# server summary: {} batches, {} queries, {} overloaded, {} errors",
             summary.batches, summary.queries, summary.overloaded, summary.errors
         );
+        // Every slowlog exemplar must point at a span that really began
+        // in the trace journal. Only meaningful when nothing was
+        // dropped — the bounded journals can overflow on a full run.
+        let snap = anatomy_obs::tracer().snapshot();
+        anatomy_obs::tracer().set_enabled(false);
+        if snap.dropped_count() == 0 {
+            let begun: std::collections::HashSet<u64> = snap
+                .threads
+                .iter()
+                .flat_map(|t| t.events.iter())
+                .filter_map(|ev| match ev.kind {
+                    anatomy_obs::EventKind::SpanBegin { id, .. } => Some(id),
+                    _ => None,
+                })
+                .collect();
+            for e in &slow {
+                if e.span_id == 0 || !begun.contains(&e.span_id) {
+                    return Err(format!(
+                        "slowlog span id {} does not resolve to a span in the trace",
+                        e.span_id
+                    )
+                    .into());
+                }
+            }
+            exemplars_resolved = true;
+            eprintln!(
+                "# monitoring: all {} slowlog exemplars resolve in the trace journal",
+                slow.len()
+            );
+        } else {
+            eprintln!(
+                "# monitoring: trace journal dropped {} events; exemplar check skipped",
+                snap.dropped_count()
+            );
+        }
     }
 
     Ok(format!(
@@ -288,6 +423,7 @@ fn run(cfg: &Config) -> BenchResult<String> {
   "differential": {{ "queries": {dq}, "exact_identical": true, "estimate_bit_identical": true }},
   "throughput": {{ "batches": {batches}, "batch": {batch}, "threads": {threads}, "queries": {tq}, "elapsed_ms": {ms:.2}, "queries_per_sec": {qps:.0}, "busy_retries": {busy} }},
   "latency": {latency},
+  "monitoring": {{ "scrapes": 2, "exposition_valid": true, "counters_grew": {grew}, "windows": [{windows}], "slowlog_entries": {slow_n}, "trace_exemplars_resolved": {exemplars} }},
   "answers_identical": true
 }}
 "#,
@@ -309,7 +445,26 @@ fn run(cfg: &Config) -> BenchResult<String> {
         ms = report.elapsed.as_secs_f64() * 1e3,
         busy = report.busy,
         latency = latency.trim(),
+        windows = windowed
+            .iter()
+            .map(|(label, p50, p99)| format!(
+                r#"{{ "window": "{label}", "p50_ns": {p50:.0}, "p99_ns": {p99:.0} }}"#
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
+        slow_n = slow.len(),
+        exemplars = exemplars_resolved,
     ))
+}
+
+/// The window labels a scrape advertises, read from the
+/// `anatomy_window_seconds` metadata family so the bench needs no
+/// out-of-band knowledge of the server's ring layout.
+fn window_labels(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|l| l.strip_prefix("anatomy_window_seconds{window=\""))
+        .filter_map(|rest| rest.find('"').map(|i| rest[..i].to_string()))
+        .collect()
 }
 
 fn main() -> ExitCode {

@@ -175,6 +175,33 @@ pub enum Command {
         max_inflight: usize,
         /// Largest accepted batch, in queries.
         max_batch: usize,
+        /// Slow-query log threshold in milliseconds (`0` logs every
+        /// batch).
+        slowlog_threshold_ms: u64,
+        /// Slow-query log ring capacity.
+        slowlog_capacity: usize,
+    },
+    /// `anatomy top --connect ADDR [--interval-ms N] [--iterations N]
+    ///  [--scrape F] [--slowlog N]`
+    ///
+    /// Live one-screen monitor for a running `anatomy serve`: polls the
+    /// `METRICS` endpoint and renders qps, in-flight batches, BUSY
+    /// rate, index bytes, and rolling latency percentiles. `--scrape F`
+    /// instead writes one raw Prometheus exposition to `F` (`-` for
+    /// stdout) and exits; `--slowlog N` prints the newest `N`
+    /// slow-query entries and exits.
+    Top {
+        /// Server address (`HOST:PORT` or `unix:PATH`).
+        connect: String,
+        /// Refresh period in live mode.
+        interval_ms: u64,
+        /// Stop after this many refreshes (live mode runs until the
+        /// server goes away when omitted).
+        iterations: Option<usize>,
+        /// One-shot: write a raw `METRICS` exposition here and exit.
+        scrape: Option<String>,
+        /// One-shot: print the newest N slow-query entries and exit.
+        slowlog: Option<usize>,
     },
 }
 
@@ -187,7 +214,8 @@ usage:
   anatomy verify  --qit F --st F --schema F --sensitive NAME --l N [--stage STAGE]
   anatomy verify  --list-checks [--stage STAGE]
   anatomy query   --qit F --st F --schema F --sensitive NAME --l N --query 'qi0=1|2;s=0' [--indexed | --index-v2] [--metrics F] [--trace F]
-  anatomy serve   --qit F --st F --schema F --sensitive NAME --l N [--data F] [--listen HOST:PORT|unix:PATH] [--port-file F] [--name NAME] [--max-inflight N] [--max-batch N]";
+  anatomy serve   --qit F --st F --schema F --sensitive NAME --l N [--data F] [--listen HOST:PORT|unix:PATH] [--port-file F] [--name NAME] [--max-inflight N] [--max-batch N] [--slowlog-threshold-ms N] [--slowlog-capacity N]
+  anatomy top     --connect HOST:PORT|unix:PATH [--interval-ms N] [--iterations N] [--scrape F|-] [--slowlog N]";
 
 /// Flags that take no value; their presence alone means "true".
 const BOOLEAN_FLAGS: &[&str] = &["indexed", "index-v2", "audit", "list-checks"];
@@ -378,6 +406,43 @@ pub fn parse_args(args: &[String]) -> CliResult<Command> {
                 })
                 .transpose()?
                 .unwrap_or(65_536),
+            // Unlike `take_usize`, zero is meaningful here: log every
+            // batch (the CI smoke setting).
+            slowlog_threshold_ms: map
+                .remove("slowlog-threshold-ms")
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| "--slowlog-threshold-ms must be an integer")
+                })
+                .transpose()?
+                .unwrap_or(100),
+            slowlog_capacity: take_usize(&mut map, "slowlog-capacity", 128)?,
+        },
+        "top" => Command::Top {
+            connect: take(&mut map, "connect")?,
+            interval_ms: map
+                .remove("interval-ms")
+                .map(|s| match s.parse::<u64>() {
+                    Ok(v) if v > 0 => Ok(v),
+                    _ => Err("--interval-ms must be a positive integer"),
+                })
+                .transpose()?
+                .unwrap_or(1_000),
+            iterations: map
+                .remove("iterations")
+                .map(|s| match s.parse::<usize>() {
+                    Ok(v) if v > 0 => Ok(v),
+                    _ => Err("--iterations must be a positive integer"),
+                })
+                .transpose()?,
+            scrape: map.remove("scrape"),
+            slowlog: map
+                .remove("slowlog")
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| "--slowlog must be an integer")
+                })
+                .transpose()?,
         },
         other => return Err(Error::msg(format!("unknown command `{other}`\n{USAGE}"))),
     };
@@ -602,12 +667,15 @@ mod tests {
                 name: "default".into(),
                 max_inflight: 4,
                 max_batch: 65_536,
+                slowlog_threshold_ms: 100,
+                slowlog_capacity: 128,
             }
         );
         let c = parse_args(&argv(
             "serve --qit q --st t --schema s --sensitive X --l 3 --data d \
              --listen unix:/tmp/a.sock --port-file p --name census \
-             --max-inflight 2 --max-batch 100",
+             --max-inflight 2 --max-batch 100 \
+             --slowlog-threshold-ms 0 --slowlog-capacity 16",
         ))
         .unwrap();
         match c {
@@ -617,6 +685,8 @@ mod tests {
                 name,
                 max_inflight,
                 max_batch,
+                slowlog_threshold_ms,
+                slowlog_capacity,
                 ..
             } => {
                 assert_eq!(data.as_deref(), Some("d"));
@@ -624,6 +694,9 @@ mod tests {
                 assert_eq!(name, "census");
                 assert_eq!(max_inflight, 2);
                 assert_eq!(max_batch, 100);
+                // Zero means "log every batch" and must parse.
+                assert_eq!(slowlog_threshold_ms, 0);
+                assert_eq!(slowlog_capacity, 16);
             }
             _ => panic!("wrong command"),
         }
@@ -631,6 +704,54 @@ mod tests {
             "serve --qit q --st t --schema s --sensitive X --l 3 --max-batch many"
         ))
         .is_err());
+        assert!(parse_args(&argv(
+            "serve --qit q --st t --schema s --sensitive X --l 3 --slowlog-capacity 0"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_top() {
+        assert_eq!(
+            parse_args(&argv("top --connect 127.0.0.1:9000")).unwrap(),
+            Command::Top {
+                connect: "127.0.0.1:9000".into(),
+                interval_ms: 1_000,
+                iterations: None,
+                scrape: None,
+                slowlog: None,
+            }
+        );
+        let c = parse_args(&argv(
+            "top --connect unix:/tmp/a.sock --interval-ms 250 --iterations 3",
+        ))
+        .unwrap();
+        match c {
+            Command::Top {
+                connect,
+                interval_ms,
+                iterations,
+                ..
+            } => {
+                assert_eq!(connect, "unix:/tmp/a.sock");
+                assert_eq!(interval_ms, 250);
+                assert_eq!(iterations, Some(3));
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&argv("top --connect h:1 --scrape out.prom")).unwrap();
+        match c {
+            Command::Top { scrape, .. } => assert_eq!(scrape.as_deref(), Some("out.prom")),
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&argv("top --connect h:1 --slowlog 5")).unwrap();
+        match c {
+            Command::Top { slowlog, .. } => assert_eq!(slowlog, Some(5)),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&argv("top")).is_err(), "--connect is required");
+        assert!(parse_args(&argv("top --connect h:1 --interval-ms 0")).is_err());
+        assert!(parse_args(&argv("top --connect h:1 --iterations 0")).is_err());
     }
 
     #[test]

@@ -170,6 +170,8 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             name,
             max_inflight,
             max_batch,
+            slowlog_threshold_ms,
+            slowlog_capacity,
         } => serve(
             qit,
             st,
@@ -182,6 +184,21 @@ pub fn run(cmd: &Command) -> CliResult<String> {
             name,
             *max_inflight,
             *max_batch,
+            *slowlog_threshold_ms,
+            *slowlog_capacity,
+        ),
+        Command::Top {
+            connect,
+            interval_ms,
+            iterations,
+            scrape,
+            slowlog,
+        } => top(
+            connect,
+            *interval_ms,
+            *iterations,
+            scrape.as_deref(),
+            *slowlog,
         ),
     }
 }
@@ -275,7 +292,6 @@ fn stats(data: &str, schema_path: &str, sensitive: &str) -> CliResult<String> {
     Ok(out)
 }
 
-#[allow(clippy::too_many_arguments)]
 #[allow(clippy::too_many_arguments)]
 fn publish(
     data: &str,
@@ -523,6 +539,8 @@ fn serve(
     name: &str,
     max_inflight: usize,
     max_batch: usize,
+    slowlog_threshold_ms: u64,
+    slowlog_capacity: usize,
 ) -> CliResult<String> {
     let (schema, tables) = load_release(qit_path, st_path, schema_path, sensitive, l)?;
     let release = match data {
@@ -555,6 +573,9 @@ fn serve(
             listen: listen.to_string(),
             max_inflight,
             max_batch,
+            slowlog_threshold: Some(std::time::Duration::from_millis(slowlog_threshold_ms)),
+            slowlog_capacity,
+            ..ServeConfig::default()
         },
         vec![release],
     )
@@ -588,7 +609,156 @@ fn serve(
         "overloaded {} protocol/query errors {}",
         summary.overloaded, summary.errors
     );
+    // The retained slow-query log, dumped so post-mortems survive the
+    // process (newest first, same JSON lines the SLOWLOG verb answers).
+    if !summary.slow.is_empty() {
+        let _ = writeln!(out, "slow queries retained: {}", summary.slow.len());
+        for entry in &summary.slow {
+            let _ = writeln!(out, "{}", entry.to_json());
+        }
+    }
     Ok(out)
+}
+
+/// Pull one value out of an exposition, rendered as a short cell.
+fn top_cell(text: &str, family: &str, labels: &[(&str, &str)]) -> String {
+    match anatomy_obs::sample_value(text, family, labels) {
+        Some(v) if v == v.trunc() && v.abs() < 1e15 => format!("{}", v as i64),
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Window labels advertised by an exposition's `anatomy_window_seconds`
+/// metadata family, in emission order (fine ring first).
+fn top_windows(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("anatomy_window_seconds{window=\"") {
+            if let Some(end) = rest.find('"') {
+                out.push(rest[..end].to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Render one `top` frame from a scraped exposition.
+fn render_top_frame(text: &str, addr: &str, frame: usize) -> String {
+    let windows = top_windows(text);
+    let ns_to_ms = |cell: String| -> String {
+        match cell.parse::<f64>() {
+            Ok(ns) => format!("{:.2}ms", ns / 1e6),
+            Err(_) => cell,
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "anatomy top — {addr} (frame {frame})");
+    let _ = writeln!(
+        out,
+        "  batches {}  queries {}  errors {}  busy {}",
+        top_cell(text, "anatomy_serve_batches", &[]),
+        top_cell(text, "anatomy_serve_queries", &[]),
+        top_cell(text, "anatomy_serve_errors", &[]),
+        top_cell(text, "anatomy_serve_busy_rejections", &[]),
+    );
+    let _ = writeln!(
+        out,
+        "  in-flight {}  connections {}  index bytes v2 {} v1 {}",
+        top_cell(text, "anatomy_serve_in_flight", &[]),
+        top_cell(text, "anatomy_serve_connections_open", &[]),
+        top_cell(text, "anatomy_query_index_v2_bytes", &[]),
+        top_cell(text, "anatomy_query_index_bytes", &[]),
+    );
+    for w in &windows {
+        let wl = [("window", w.as_str())];
+        let q = |quantile: &str| {
+            ns_to_ms(top_cell(
+                text,
+                "anatomy_span_ns_serve_batch",
+                &[("window", w), ("quantile", quantile)],
+            ))
+        };
+        let _ = writeln!(
+            out,
+            "  [{w}] qps {}  batch/s {}  busy/s {}  p50 {}  p90 {}  p99 {}  max {}",
+            top_cell(text, "anatomy_serve_queries_rate", &wl),
+            top_cell(text, "anatomy_serve_batches_rate", &wl),
+            top_cell(text, "anatomy_serve_busy_rejections_rate", &wl),
+            q("0.5"),
+            q("0.9"),
+            q("0.99"),
+            ns_to_ms(top_cell(text, "anatomy_span_ns_serve_batch_max", &wl)),
+        );
+    }
+    if windows.is_empty() {
+        let _ = writeln!(out, "  (no window aggregates yet — sampler warming up)");
+    }
+    out
+}
+
+/// `anatomy top`: poll a running server's `METRICS` endpoint. One-shot
+/// modes (`--scrape`, `--slowlog`) exist so scripts and the CI smoke
+/// can reuse the same entry point non-interactively.
+fn top(
+    connect: &str,
+    interval_ms: u64,
+    iterations: Option<usize>,
+    scrape: Option<&str>,
+    slowlog: Option<usize>,
+) -> CliResult<String> {
+    let mut client = anatomy_serve::ServeClient::connect(connect)
+        .map_err(|e| Error::msg(format!("cannot connect to {connect}: {e}")))?;
+    let fetch = |client: &mut anatomy_serve::ServeClient| -> CliResult<String> {
+        client
+            .metrics()
+            .map_err(|e| Error::msg(format!("METRICS request failed: {e}")))
+    };
+    if let Some(path) = scrape {
+        let text = fetch(&mut client)?;
+        anatomy_obs::validate_exposition(&text)
+            .map_err(|e| Error::msg(format!("server sent an invalid exposition: {e}")))?;
+        if path == "-" {
+            return Ok(text);
+        }
+        fs::write(path, &text).map_err(|e| Error::msg(format!("cannot write {path}: {e}")))?;
+        return Ok(format!(
+            "scrape -> {path} ({} lines)\n",
+            text.lines().count()
+        ));
+    }
+    if let Some(n) = slowlog {
+        let entries = client
+            .slowlog(n)
+            .map_err(|e| Error::msg(format!("SLOWLOG request failed: {e}")))?;
+        let mut out = String::new();
+        let _ = writeln!(out, "slow queries (newest first): {}", entries.len());
+        for e in &entries {
+            let _ = writeln!(out, "{}", e.to_json());
+        }
+        return Ok(out);
+    }
+    // Live mode: redraw in place on a terminal, append frames otherwise
+    // (so piping to a file keeps every frame).
+    use std::io::IsTerminal as _;
+    let live = std::io::stdout().is_terminal();
+    let mut frame = 0usize;
+    loop {
+        let text = fetch(&mut client)?;
+        let rendered = render_top_frame(&text, connect, frame);
+        if live {
+            print!("\x1b[2J\x1b[H{rendered}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        } else {
+            print!("{rendered}");
+        }
+        frame += 1;
+        if iterations.is_some_and(|n| frame >= n) {
+            return Ok(String::new());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 #[cfg(test)]
@@ -1024,5 +1194,140 @@ mod tests {
             sensitive: "NotThere".into(),
         })
         .is_err());
+    }
+
+    #[test]
+    fn top_frame_renders_from_a_synthetic_exposition() {
+        // Build a real exposition from an isolated registry + windows so
+        // the frame renderer is tested against the actual grammar.
+        let r = anatomy_obs::Registry::new();
+        r.set_enabled(true);
+        r.counter("serve.queries").add(120);
+        r.counter("serve.batches").add(3);
+        r.gauge("serve.in_flight").set(2);
+        r.gauge("query.index_v2_bytes").set(4096);
+        r.histogram("span_ns/serve.batch").record(2_000_000);
+        let mut w = anatomy_obs::Windows::new(anatomy_obs::WindowConfig {
+            tick: std::time::Duration::from_secs(1),
+            fine_len: 4,
+            coarse_every: 64,
+            coarse_len: 2,
+        });
+        w.tick(r.snapshot());
+        let text = anatomy_obs::render_exposition(&r.snapshot(), &w.aggregates());
+        anatomy_obs::validate_exposition(&text).unwrap();
+
+        assert_eq!(top_windows(&text), vec!["4s".to_string()]);
+        let frame = render_top_frame(&text, "127.0.0.1:1", 0);
+        assert!(frame.contains("anatomy top — 127.0.0.1:1"), "{frame}");
+        assert!(frame.contains("queries 120"), "{frame}");
+        assert!(frame.contains("in-flight 2"), "{frame}");
+        assert!(frame.contains("index bytes v2 4096"), "{frame}");
+        assert!(frame.contains("[4s] qps 120"), "{frame}");
+        // Percentile upper bounds are clamped to the observed max.
+        assert!(frame.contains("p99 2.00ms"), "{frame}");
+        // Metrics a release never reported render as "-", not a panic.
+        assert!(frame.contains("v1 -"), "{frame}");
+
+        // An exposition with no window aggregates says so.
+        let cold = anatomy_obs::render_exposition(&r.snapshot(), &[]);
+        let frame = render_top_frame(&cold, "x", 1);
+        assert!(frame.contains("sampler warming up"), "{frame}");
+    }
+
+    #[test]
+    fn serve_and_top_round_trip_scrapes_and_slowlog() {
+        let dir = scratch("top");
+        let data = write(&dir, "d.csv", &demo_data());
+        let schema = write(&dir, "s.txt", SCHEMA);
+        let qit = dir.join("qit.csv").to_string_lossy().into_owned();
+        let st = dir.join("st.csv").to_string_lossy().into_owned();
+        run(&Command::Publish {
+            data: data.clone(),
+            schema: schema.clone(),
+            sensitive: "Disease".into(),
+            l: 4,
+            qit: qit.clone(),
+            st: st.clone(),
+            seed: 3,
+            engine: EngineArg::InMemory,
+            audit: false,
+            metrics: None,
+            trace: None,
+        })
+        .unwrap();
+        let port_file = dir.join("port").to_string_lossy().into_owned();
+        let serve_cmd = Command::Serve {
+            qit,
+            st,
+            schema,
+            sensitive: "Disease".into(),
+            l: 4,
+            data: Some(data),
+            listen: "127.0.0.1:0".into(),
+            port_file: Some(port_file.clone()),
+            name: "census".into(),
+            max_inflight: 2,
+            max_batch: 1024,
+            // Log every batch so the slowlog one-shot has entries.
+            slowlog_threshold_ms: 0,
+            slowlog_capacity: 8,
+        };
+        let server = std::thread::spawn(move || run(&serve_cmd));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(a) = fs::read_to_string(&port_file) {
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        // Drive one batch so counters, windows, and the slowlog move.
+        let mut client = anatomy_serve::ServeClient::connect(&addr).unwrap();
+        client
+            .batch_lines("census", anatomy_serve::Mode::Estimate, &{
+                let md = load_microdata(
+                    &write(&dir, "d2.csv", &demo_data()),
+                    &schema_file::parse(SCHEMA).unwrap(),
+                    "Disease",
+                )
+                .unwrap();
+                anatomy_query::WorkloadSpec {
+                    qd: 1,
+                    selectivity: 0.2,
+                    count: 4,
+                    seed: 5,
+                }
+                .generate(&md)
+                .unwrap()
+            })
+            .unwrap();
+
+        // One-shot scrape to stdout ("-") and to a file.
+        let text = top(&addr, 1_000, None, Some("-"), None).unwrap();
+        anatomy_obs::validate_exposition(&text).unwrap();
+        assert!(text.contains("anatomy_serve_batches"), "{text}");
+        let scrape_path = dir.join("m.prom").to_string_lossy().into_owned();
+        let report = top(&addr, 1_000, None, Some(&scrape_path), None).unwrap();
+        assert!(report.starts_with("scrape -> "), "{report}");
+        anatomy_obs::validate_exposition(&fs::read_to_string(&scrape_path).unwrap()).unwrap();
+
+        // One-shot slowlog: the batch above must be there as JSON.
+        let report = top(&addr, 1_000, None, None, Some(10)).unwrap();
+        assert!(
+            report.starts_with("slow queries (newest first): 1"),
+            "{report}"
+        );
+        let entry = anatomy_serve::SlowEntry::from_json(report.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(entry.release, "census");
+        assert_eq!(entry.queries, 4);
+
+        client.shutdown().unwrap();
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("served 1 batches (4 queries)"), "{out}");
+        assert!(out.contains("slow queries retained: 1"), "{out}");
     }
 }

@@ -1,0 +1,69 @@
+//! `check_exposition` — validate Prometheus text expositions scraped
+//! from a running `anatomy serve` (`METRICS` verb or `GET /metrics`).
+//!
+//! ```text
+//! check_exposition FILE [FILE ...]
+//! ```
+//!
+//! Each file must pass `anatomy_obs::validate_exposition` (grammar,
+//! declared families, finite values, quantile labels). When more than
+//! one file is given they are treated as *consecutive scrapes of the
+//! same server*, oldest first, and every counter must be monotone
+//! non-decreasing from one file to the next — the invariant the CI
+//! scrape smoke pins between two scrapes around a traffic burst.
+
+use anatomy_obs::{check_counter_monotonic, validate_exposition, ExpositionSummary};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_exposition FILE [FILE ...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    let mut prev: Option<(String, ExpositionSummary)> = None;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("invalid: {file}: {e}");
+                failed = true;
+                prev = None;
+                continue;
+            }
+        };
+        let summary = match validate_exposition(&text) {
+            Ok(s) => {
+                println!(
+                    "ok: {file} ({} families, {} samples, {} counters)",
+                    s.families,
+                    s.samples,
+                    s.counters.len()
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("invalid: {file}: {e}");
+                failed = true;
+                prev = None;
+                continue;
+            }
+        };
+        if let Some((prev_file, prev_summary)) = &prev {
+            match check_counter_monotonic(prev_summary, &summary) {
+                Ok(n) => println!("ok: {prev_file} -> {file} ({n} counters monotone)"),
+                Err(e) => {
+                    eprintln!("invalid: {prev_file} -> {file}: {e}");
+                    failed = true;
+                }
+            }
+        }
+        prev = Some((file.clone(), summary));
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

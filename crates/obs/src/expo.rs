@@ -1,0 +1,570 @@
+//! Prometheus text exposition of a registry snapshot plus rolling
+//! windows, and the matching validator.
+//!
+//! Hand-rolled like everything else in this crate: the [text format]
+//! is line-oriented and needs no dependency. The mapping is:
+//!
+//! * counter `serve.batches` → family `anatomy_serve_batches` of type
+//!   `counter` (lifetime value), plus a gauge family
+//!   `anatomy_serve_batches_rate` with one `{window="…"}` sample per
+//!   rolling window (events per second over that window);
+//! * gauge `serve.in_flight` → gauge family `anatomy_serve_in_flight`
+//!   (current level) plus `anatomy_serve_in_flight_max` carrying the
+//!   lifetime high-water bare and the *window-sampled* high-water per
+//!   `{window="…"}` label;
+//! * histogram `span_ns/serve.batch` → summary family
+//!   `anatomy_span_ns_serve_batch`: `quantile="0.5|0.9|0.99"` samples
+//!   (bare = lifetime, `window="…"` = rolling), `_sum`/`_count`, and a
+//!   gauge family `…_max` (same bare/windowed split). Quantiles come
+//!   from the log₂ buckets, so they are upper bounds within 2× and
+//!   never exceed the (window-capped) max.
+//!
+//! Span aggregates are not re-rendered: every span path already feeds
+//! its `span_ns/<path>` histogram, which carries strictly more
+//! information (percentiles, not just totals).
+//!
+//! [`validate_exposition`] mirrors `check_manifest`/`check_trace`: it
+//! re-parses an exposition and checks grammar (metric names, label
+//! syntax, float values), that every sample's family has exactly one
+//! preceding `# TYPE` declaration, that counters are finite and
+//! non-negative, and that `quantile` labels are probabilities.
+//!
+//! [text format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::snapshot::Snapshot;
+use crate::window::WindowAggregate;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Quantiles every histogram family exposes.
+const QUANTILES: &[(f64, &str)] = &[(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+/// Map a registry instrument name onto a Prometheus metric name:
+/// `anatomy_` prefix, every character outside `[A-Za-z0-9_]` folded to
+/// `_` (`span_ns/serve.batch` → `anatomy_span_ns_serve_batch`).
+pub fn metric_name(instrument: &str) -> String {
+    let mut out = String::with_capacity(instrument.len() + 8);
+    out.push_str("anatomy_");
+    for c in instrument.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `snapshot` (lifetime aggregates) plus `windows` (rolling
+/// views from the sampler ring) in the Prometheus text format. The
+/// output always ends with a newline; families are emitted in
+/// deterministic (BTreeMap) order.
+pub fn render_exposition(snapshot: &Snapshot, windows: &[WindowAggregate]) -> String {
+    let mut out = String::with_capacity(4096);
+
+    for (name, &value) in &snapshot.counters {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# HELP {m} counter `{name}`");
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {value}");
+        if !windows.is_empty() {
+            let _ = writeln!(out, "# TYPE {m}_rate gauge");
+            for w in windows {
+                let _ = writeln!(
+                    out,
+                    "{m}_rate{{window=\"{}\"}} {}",
+                    escape_label(&w.label),
+                    w.rate(name)
+                );
+            }
+        }
+    }
+
+    for (name, stats) in &snapshot.gauges {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# HELP {m} gauge `{name}`");
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {}", stats.value);
+        let _ = writeln!(out, "# TYPE {m}_max gauge");
+        let _ = writeln!(out, "{m}_max {}", stats.max);
+        for w in windows {
+            if let Some(g) = w.delta.gauges.get(name) {
+                let _ = writeln!(
+                    out,
+                    "{m}_max{{window=\"{}\"}} {}",
+                    escape_label(&w.label),
+                    g.max
+                );
+            }
+        }
+    }
+
+    for (name, hist) in &snapshot.hists {
+        let m = metric_name(name);
+        let _ = writeln!(
+            out,
+            "# HELP {m} log2 histogram `{name}` (quantiles are bucket upper bounds)"
+        );
+        let _ = writeln!(out, "# TYPE {m} summary");
+        for &(q, label) in QUANTILES {
+            let _ = writeln!(out, "{m}{{quantile=\"{label}\"}} {}", hist.percentile(q));
+        }
+        for w in windows {
+            if let Some(wh) = w.delta.hists.get(name) {
+                for &(q, label) in QUANTILES {
+                    let _ = writeln!(
+                        out,
+                        "{m}{{window=\"{}\",quantile=\"{label}\"}} {}",
+                        escape_label(&w.label),
+                        wh.percentile(q)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "{m}_sum {}", hist.sum);
+        let _ = writeln!(out, "{m}_count {}", hist.count);
+        let _ = writeln!(out, "# TYPE {m}_max gauge");
+        let _ = writeln!(out, "{m}_max {}", hist.max);
+        for w in windows {
+            if let Some(wh) = w.delta.hists.get(name) {
+                let _ = writeln!(
+                    out,
+                    "{m}_max{{window=\"{}\"}} {}",
+                    escape_label(&w.label),
+                    wh.max
+                );
+            }
+        }
+    }
+
+    // Window metadata, so a scraper can tell staleness and coverage.
+    if !windows.is_empty() {
+        let _ = writeln!(out, "# TYPE anatomy_window_seconds gauge");
+        for w in windows {
+            let _ = writeln!(
+                out,
+                "anatomy_window_seconds{{window=\"{}\"}} {}",
+                escape_label(&w.label),
+                w.seconds
+            );
+        }
+        let _ = writeln!(out, "# TYPE anatomy_window_buckets gauge");
+        for w in windows {
+            let _ = writeln!(
+                out,
+                "anatomy_window_buckets{{window=\"{}\"}} {}",
+                escape_label(&w.label),
+                w.buckets
+            );
+        }
+    }
+    out
+}
+
+/// What [`validate_exposition`] found in a well-formed exposition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExpositionSummary {
+    /// Declared metric families (`# TYPE` lines).
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+    /// Bare (unlabelled) `counter` samples by family name, for
+    /// monotonicity checks between two scrapes of the same server.
+    pub counters: BTreeMap<String, f64>,
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parsed label pairs plus the unconsumed tail of the line.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parse `{k="v",…}`; returns the labels and the rest of the line.
+fn parse_labels(s: &str, line_no: usize) -> Result<ParsedLabels<'_>, String> {
+    let mut rest = s
+        .strip_prefix('{')
+        .ok_or_else(|| format!("line {line_no}: expected `{{`"))?;
+    let mut labels = Vec::new();
+    loop {
+        if let Some(tail) = rest.strip_prefix('}') {
+            return Ok((labels, tail));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without `=`"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("line {line_no}: bad label name `{name}`"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {line_no}: label value must be quoted"))?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            match chars.next() {
+                None => return Err(format!("line {line_no}: unterminated label value")),
+                Some((i, '"')) => break i,
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, c @ ('\\' | '"'))) => value.push(c),
+                    _ => return Err(format!("line {line_no}: bad escape in label value")),
+                },
+                Some((_, c)) => value.push(c),
+            }
+        };
+        labels.push((name.to_string(), value));
+        rest = &rest[close + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+}
+
+/// Validate one Prometheus text exposition: grammar, one `# TYPE` per
+/// family ahead of its samples, known types, finite values, counter
+/// non-negativity, and `quantile` labels that are probabilities.
+/// Returns what it saw, or the first violation.
+pub fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut summary = ExpositionSummary::default();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {line_no}: TYPE without a family name"))?;
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {line_no}: bad family name `{name}`"));
+                    }
+                    let kind = parts
+                        .next()
+                        .ok_or_else(|| format!("line {line_no}: TYPE {name} without a type"))?;
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                    ) {
+                        return Err(format!("line {line_no}: unknown type `{kind}`"));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        return Err(format!("line {line_no}: family `{name}` declared twice"));
+                    }
+                    summary.families += 1;
+                }
+                _ => continue, // HELP and free-form comments
+            }
+            continue;
+        }
+
+        // A sample: `name[{labels}] value`.
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_ascii_whitespace())
+            .ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {line_no}: bad metric name `{name}`"));
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if rest.starts_with('{') {
+            parse_labels(rest, line_no)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_str = rest.trim();
+        if value_str.is_empty() || value_str.split_whitespace().count() > 1 {
+            return Err(format!("line {line_no}: expected exactly one value"));
+        }
+        let value: f64 = value_str
+            .parse()
+            .map_err(|_| format!("line {line_no}: bad value `{value_str}`"))?;
+        if value.is_nan() {
+            return Err(format!("line {line_no}: NaN sample for `{name}`"));
+        }
+
+        // Resolve the sample to a declared family: its own name, or a
+        // summary/histogram child (`_sum`/`_count`/`_bucket`).
+        let family = if types.contains_key(name) {
+            name.to_string()
+        } else {
+            let parent = ["_sum", "_count", "_bucket"]
+                .iter()
+                .find_map(|suffix| name.strip_suffix(suffix))
+                .filter(|p| {
+                    matches!(
+                        types.get(*p).map(String::as_str),
+                        Some("summary" | "histogram")
+                    )
+                });
+            match parent {
+                Some(p) => p.to_string(),
+                None => {
+                    return Err(format!(
+                        "line {line_no}: sample `{name}` has no preceding # TYPE"
+                    ))
+                }
+            }
+        };
+        let kind = types[&family].clone();
+        if kind == "counter" {
+            if value < 0.0 || !value.is_finite() {
+                return Err(format!(
+                    "line {line_no}: counter `{name}` must be finite and non-negative, got {value}"
+                ));
+            }
+            if labels.is_empty() {
+                summary.counters.insert(name.to_string(), value);
+            }
+        }
+        if name.ends_with("_count") && (value < 0.0 || !value.is_finite()) {
+            return Err(format!("line {line_no}: `{name}` must be non-negative"));
+        }
+        for (k, v) in &labels {
+            if k == "quantile" {
+                let q: f64 = v
+                    .parse()
+                    .map_err(|_| format!("line {line_no}: bad quantile `{v}`"))?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(format!("line {line_no}: quantile {q} outside [0, 1]"));
+                }
+            }
+        }
+        summary.samples += 1;
+    }
+    if summary.samples == 0 {
+        return Err("exposition has no samples".to_string());
+    }
+    Ok(summary)
+}
+
+/// Check that every counter present in `earlier` is present in `later`
+/// with a value no smaller — the between-scrapes invariant of a live
+/// server. Returns the number of counters compared.
+pub fn check_counter_monotonic(
+    earlier: &ExpositionSummary,
+    later: &ExpositionSummary,
+) -> Result<usize, String> {
+    let mut compared = 0;
+    for (name, &v0) in &earlier.counters {
+        let v1 = *later
+            .counters
+            .get(name)
+            .ok_or_else(|| format!("counter `{name}` disappeared between scrapes"))?;
+        if v1 < v0 {
+            return Err(format!(
+                "counter `{name}` went backwards between scrapes: {v0} -> {v1}"
+            ));
+        }
+        compared += 1;
+    }
+    Ok(compared)
+}
+
+/// Look up one sample's value: the sample of `family` whose label set
+/// equals `labels` exactly (order-insensitive). `None` when absent.
+pub fn sample_value(text: &str, family: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') || !line.starts_with(family) {
+            continue;
+        }
+        let rest = &line[family.len()..];
+        let (parsed, rest) = if rest.starts_with('{') {
+            match parse_labels(rest, 0) {
+                Ok(ok) => ok,
+                Err(_) => continue,
+            }
+        } else if rest.starts_with(char::is_whitespace) {
+            (Vec::new(), rest)
+        } else {
+            continue; // longer metric name sharing the prefix
+        };
+        if parsed.len() != labels.len()
+            || !labels
+                .iter()
+                .all(|(k, v)| parsed.iter().any(|(pk, pv)| pk == k && pv == v))
+        {
+            continue;
+        }
+        if let Ok(v) = rest.trim().parse::<f64>() {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{WindowConfig, Windows};
+    use crate::Registry;
+    use std::time::Duration;
+
+    fn monitored_registry() -> (&'static Registry, Vec<WindowAggregate>) {
+        let r: &'static Registry = Box::leak(Box::new(Registry::new()));
+        r.set_enabled(true);
+        // Fine span 4s, coarse span 2×4 = 8s: distinct window labels.
+        let mut w = Windows::new(WindowConfig {
+            tick: Duration::from_secs(1),
+            fine_len: 4,
+            coarse_every: 2,
+            coarse_len: 4,
+        });
+        r.counter("serve.batches").add(10);
+        r.gauge("serve.in_flight").set(3);
+        r.histogram("span_ns/serve.batch").record(1_000);
+        w.tick(r.snapshot());
+        r.counter("serve.batches").add(5);
+        r.histogram("span_ns/serve.batch").record(2_000);
+        w.tick(r.snapshot());
+        (r, w.aggregates())
+    }
+
+    #[test]
+    fn renders_a_validating_exposition() {
+        let (r, windows) = monitored_registry();
+        let text = render_exposition(&r.snapshot(), &windows);
+        let summary = validate_exposition(&text).expect(&text);
+        assert!(summary.families >= 6, "{text}");
+        assert_eq!(summary.counters["anatomy_serve_batches"], 15.0);
+        assert_eq!(
+            sample_value(&text, "anatomy_serve_batches", &[]),
+            Some(15.0)
+        );
+        // Windowed rate: 15 events over two 1s buckets.
+        assert_eq!(
+            sample_value(&text, "anatomy_serve_batches_rate", &[("window", "4s")]),
+            Some(7.5)
+        );
+        // Windowed p99 of the span histogram: capped at the window max.
+        assert_eq!(
+            sample_value(
+                &text,
+                "anatomy_span_ns_serve_batch",
+                &[("window", "4s"), ("quantile", "0.99")]
+            ),
+            Some(2000.0)
+        );
+        assert_eq!(
+            sample_value(&text, "anatomy_window_buckets", &[("window", "4s")]),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn renders_without_windows_too() {
+        let (r, _) = monitored_registry();
+        let text = render_exposition(&r.snapshot(), &[]);
+        validate_exposition(&text).expect(&text);
+        assert!(!text.contains("_rate{"), "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        for (bad, why) in [
+            ("", "no samples"),
+            ("anatomy_x 1\n", "sample without TYPE"),
+            (
+                "# TYPE anatomy_x counter\nanatomy_x -1\n",
+                "negative counter",
+            ),
+            ("# TYPE anatomy_x counter\nanatomy_x NaN\n", "NaN"),
+            ("# TYPE anatomy_x turbo\nanatomy_x 1\n", "unknown type"),
+            (
+                "# TYPE anatomy_x counter\n# TYPE anatomy_x counter\nanatomy_x 1\n",
+                "declared twice",
+            ),
+            (
+                "# TYPE anatomy_x summary\nanatomy_x{quantile=\"1.5\"} 3\n",
+                "quantile outside [0,1]",
+            ),
+            (
+                "# TYPE anatomy_x summary\nanatomy_x{quantile=\"0.5} 3\n",
+                "unterminated label",
+            ),
+            ("# TYPE anatomy_x gauge\nanatomy_x one\n", "bad value"),
+            ("# TYPE anatomy_x gauge\nanatomy_x 1 2\n", "two values"),
+            ("# TYPE anatomy_x gauge\n9metric 1\n", "bad metric name"),
+        ] {
+            assert!(
+                validate_exposition(bad).is_err(),
+                "accepted ({why}): {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_children_resolve_to_their_family() {
+        let text = "\
+# TYPE anatomy_lat summary
+anatomy_lat{quantile=\"0.5\"} 10
+anatomy_lat_sum 100
+anatomy_lat_count 7
+";
+        let s = validate_exposition(text).unwrap();
+        assert_eq!(s.samples, 3);
+        // _sum on an undeclared family is still an error.
+        assert!(validate_exposition("anatomy_lat_sum 1\n").is_err());
+    }
+
+    #[test]
+    fn monotonic_check_catches_regressions() {
+        let a = validate_exposition("# TYPE c counter\nc 5\n").unwrap();
+        let b = validate_exposition("# TYPE c counter\nc 9\n").unwrap();
+        assert_eq!(check_counter_monotonic(&a, &b), Ok(1));
+        assert!(check_counter_monotonic(&b, &a)
+            .unwrap_err()
+            .contains("went backwards"));
+        let empty = validate_exposition("# TYPE g gauge\ng 0\n").unwrap();
+        assert!(check_counter_monotonic(&a, &empty)
+            .unwrap_err()
+            .contains("disappeared"));
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let text = "# TYPE m gauge\nm{k=\"a\\\\b\\\"c\\nd\"} 1\n";
+        let s = validate_exposition(text).unwrap();
+        assert_eq!(s.samples, 1);
+        assert_eq!(sample_value(text, "m", &[("k", "a\\b\"c\nd")]), Some(1.0));
+    }
+
+    #[test]
+    fn sample_value_distinguishes_prefix_families() {
+        let text = "# TYPE m gauge\n# TYPE m_max gauge\nm 1\nm_max 9\n";
+        assert_eq!(sample_value(text, "m", &[]), Some(1.0));
+        assert_eq!(sample_value(text, "m_max", &[]), Some(9.0));
+    }
+}

@@ -191,6 +191,24 @@ impl HistSnapshot {
             buckets,
         }
     }
+
+    /// Fold another snapshot of the *same* histogram into this one —
+    /// the composition a rolling window needs when its per-tick deltas
+    /// are re-aggregated over a ring. Buckets, counts, and sums add;
+    /// `max` takes the larger side, so a merged window's percentiles —
+    /// capped at `max` like every percentile — can never exceed the
+    /// largest (window-capped) max of any constituent delta.
+    pub fn merge_in(&mut self, other: &HistSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] = self.buckets[i].saturating_add(c);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,19 @@
 //! so enabling later activates them retroactively; there is no "noop
 //! handle" variant to accidentally keep after enabling.
 //!
+//! ## Rolling windows and scrape exposition
+//!
+//! A resident process gets continuous monitoring from the same
+//! instruments: [`start_sampler`] runs a thread that periodically folds
+//! [`Snapshot`] deltas into fixed rings of time buckets ([`Windows`],
+//! 60×1s plus 60×1m by default), so every counter gains per-window
+//! rates and every histogram rolling p50/p90/p99/max — with O(ring)
+//! memory and no change to the one-atomic write path.
+//! [`render_exposition`] renders a snapshot plus window aggregates in
+//! the Prometheus text format; [`validate_exposition`] (and the
+//! `check_exposition` binary) re-parse and check an exposition the way
+//! `check_manifest`/`check_trace` do for manifests and traces.
+//!
 //! ## Reading results
 //!
 //! [`Registry::snapshot`] captures everything at a point in time;
@@ -61,6 +74,7 @@
 //! (and the `check_manifest` binary) verify an emitted manifest is
 //! well-formed.
 
+mod expo;
 mod hist;
 mod json;
 mod manifest;
@@ -68,7 +82,12 @@ mod registry;
 mod snapshot;
 mod span;
 mod trace;
+mod window;
 
+pub use expo::{
+    check_counter_monotonic, metric_name, render_exposition, sample_value, validate_exposition,
+    ExpositionSummary,
+};
 pub use hist::{HistSnapshot, Histogram};
 pub use json::Json;
 pub use manifest::{
@@ -81,6 +100,9 @@ pub use span::{Span, SpanStats};
 pub use trace::{
     tracer, validate_trace, EventKind, ThreadTrace, TraceEvent, TraceMark, TraceSnapshot,
     TraceSummary, Tracer, DEFAULT_JOURNAL_CAPACITY,
+};
+pub use window::{
+    start_sampler, start_sampler_into, Sampler, WindowAggregate, WindowConfig, Windows,
 };
 
 use std::sync::OnceLock;

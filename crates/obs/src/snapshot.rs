@@ -71,6 +71,31 @@ impl Snapshot {
             spans,
         }
     }
+
+    /// Fold a *later* delta into this one, so a rolling window can
+    /// re-aggregate a ring of per-tick deltas into one view. Counters
+    /// add; histograms and spans merge ([`HistSnapshot::merge_in`],
+    /// [`SpanStats::merge_in`]); gauges keep the later delta's value
+    /// while widening `max` across both sides — with sampled per-tick
+    /// gauges that makes the merged `max` a window-scoped high-water
+    /// mark, not the lifetime one.
+    pub fn merge_in(&mut self, later: &Snapshot) {
+        for (k, &v) in &later.counters {
+            let slot = self.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(v);
+        }
+        for (k, g) in &later.gauges {
+            let slot = self.gauges.entry(k.clone()).or_default();
+            slot.value = g.value;
+            slot.max = slot.max.max(g.max);
+        }
+        for (k, h) in &later.hists {
+            self.hists.entry(k.clone()).or_default().merge_in(h);
+        }
+        for (k, s) in &later.spans {
+            self.spans.entry(k.clone()).or_default().merge_in(s);
+        }
+    }
 }
 
 #[cfg(test)]

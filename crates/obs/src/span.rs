@@ -78,6 +78,23 @@ impl SpanStats {
             max_ns: self.max_ns,
         }
     }
+
+    /// Fold another delta of the same span path into this one (rolling
+    /// windows re-aggregating per-tick deltas). Calls and totals add;
+    /// extrema widen, with an empty side contributing nothing.
+    pub fn merge_in(&mut self, other: &SpanStats) {
+        if other.calls == 0 {
+            return;
+        }
+        self.min_ns = if self.calls == 0 {
+            other.min_ns
+        } else {
+            self.min_ns.min(other.min_ns)
+        };
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.calls = self.calls.saturating_add(other.calls);
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+    }
 }
 
 /// Where a metrics-recording span deposits its timing on drop: the
@@ -108,6 +125,15 @@ impl Span {
     /// The guard handed out while both metrics and tracing are off.
     pub(crate) fn inert() -> Span {
         Span { rec: None }
+    }
+
+    /// The span's journal id when the [`tracer`](crate::tracer) was
+    /// enabled at open — the id its `SpanBegin`/`SpanEnd` events carry,
+    /// usable as a trace exemplar linking an aggregate (a slow-query
+    /// log entry, a bench cell) to one concrete span in the exported
+    /// trace. `0` while untraced or inert.
+    pub fn trace_id(&self) -> u64 {
+        self.rec.as_ref().map_or(0, |r| r.trace_id)
     }
 
     pub(crate) fn open(name: &'static str, sink: Option<SpanSink>, traced: bool) -> Span {

@@ -92,6 +92,27 @@ impl ServeClient {
             .ok_or_else(|| ServeError::Protocol("STATS returned no payload".to_string()))
     }
 
+    /// The metrics endpoint: a Prometheus text exposition of the
+    /// server's registry plus rolling-window aggregates, as one string
+    /// (trailing newline included).
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let lines = self.request("METRICS")?;
+        let mut text = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for l in &lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        Ok(text)
+    }
+
+    /// The newest `n` slow-query log entries, newest first.
+    pub fn slowlog(&mut self, n: usize) -> Result<Vec<crate::slowlog::SlowEntry>, ServeError> {
+        self.request(&format!("SLOWLOG {n}"))?
+            .iter()
+            .map(|l| crate::slowlog::SlowEntry::from_json(l).map_err(ServeError::Protocol))
+            .collect()
+    }
+
     /// Ask the server to stop accepting and exit cleanly.
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
         self.request("SHUTDOWN").map(|_| ())

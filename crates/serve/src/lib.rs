@@ -21,7 +21,8 @@
 //! body. Every response starts with a status line:
 //!
 //! ```text
-//! request  := "PING" | "RELEASES" | "STATS" | "SHUTDOWN"
+//! request  := "PING" | "RELEASES" | "STATS" | "METRICS"
+//!           | "SLOWLOG" [SP n] | "SHUTDOWN"
 //!           | "BATCH" SP name SP mode SP count NL query-line{count}
 //! mode     := "exact" | "estimate"
 //! query-line := the `anatomy_query::workload_to_text` line format,
@@ -38,6 +39,26 @@
 //! parses back to the identical bits, so served answers stay bit-for-bit
 //! comparable to in-process evaluation). `STATS` answers one line of
 //! manifest JSON. `PING` and `SHUTDOWN` answer `OK 0`.
+//!
+//! ## Continuous monitoring
+//!
+//! `METRICS` answers a Prometheus text exposition
+//! ([`render_exposition`](anatomy_obs::render_exposition)) of the
+//! process registry plus rolling-window aggregates — a sampler thread
+//! runs for the server's lifetime, folding registry deltas into fixed
+//! rings of time buckets (60×1s and 60×1m by default, see
+//! [`anatomy_obs::WindowConfig`]), so scrapes carry per-window rates
+//! and rolling p50/p90/p99/max at O(ring) memory and zero added
+//! write-path cost. The same listener also answers HTTP
+//! `GET /metrics` (one response per connection, then close), so stock
+//! scrapers need no protocol shim.
+//!
+//! `SLOWLOG n` answers the newest `n` slow-query log entries (all
+//! retained entries when `n` is omitted), newest first, one JSON
+//! object per line ([`SlowEntry`]): batches whose wall time reached
+//! `slowlog_threshold` are recorded with the workload's first line and
+//! the `serve.batch` span's journal id, linking each outlier to its
+//! span in the exported trace when the process tracer is on.
 //!
 //! ## Overload semantics
 //!
@@ -87,8 +108,10 @@ pub mod client;
 pub mod protocol;
 pub mod release;
 pub mod server;
+pub mod slowlog;
 
 pub use client::{replay, LoadgenReport, ServeClient};
 pub use protocol::{Mode, ServeError};
 pub use release::ServedRelease;
 pub use server::{ServeConfig, ServeSummary, Server};
+pub use slowlog::{SlowEntry, SlowLog};

@@ -1,9 +1,10 @@
 //! The accept loop, per-connection protocol handling, admission
-//! control, and the stats endpoint.
+//! control, and the monitoring endpoints (stats, metrics, slowlog).
 
 use crate::protocol::{connect_stream, LineEvent, LineReader, Mode, Stream};
 use crate::release::ServedRelease;
-use anatomy_obs::RunManifest;
+use crate::slowlog::{SlowEntry, SlowLog};
+use anatomy_obs::{render_exposition, ParamValue, RunManifest, WindowConfig, Windows};
 use anatomy_pool::Pool;
 use anatomy_query::{estimate_anatomy_batch_v2, evaluate_exact_batch_v2, workload_from_text};
 use std::collections::HashMap;
@@ -13,9 +14,9 @@ use std::net::TcpListener;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a connection thread notices a shutdown while idle.
 const IDLE_POLL: Duration = Duration::from_millis(200);
@@ -29,6 +30,14 @@ pub struct ServeConfig {
     pub max_inflight: usize,
     /// Largest accepted batch, in queries.
     pub max_batch: usize,
+    /// Batches at or above this wall time land in the slow-query log;
+    /// `Some(ZERO)` logs every batch, `None` disables the log.
+    pub slowlog_threshold: Option<Duration>,
+    /// Slow-query entries retained (a ring; newest win).
+    pub slowlog_capacity: usize,
+    /// Ring layout for the rolling metric windows fed by the sampler
+    /// thread that [`Server::run`] starts.
+    pub window: WindowConfig,
 }
 
 impl Default for ServeConfig {
@@ -37,12 +46,15 @@ impl Default for ServeConfig {
             listen: "127.0.0.1:0".to_string(),
             max_inflight: 4,
             max_batch: 65_536,
+            slowlog_threshold: Some(Duration::from_millis(100)),
+            slowlog_capacity: 128,
+            window: WindowConfig::default(),
         }
     }
 }
 
 /// What the server did over its lifetime, returned by [`Server::run`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ServeSummary {
     /// Batches answered with `OK`.
     pub batches: u64,
@@ -52,6 +64,8 @@ pub struct ServeSummary {
     pub overloaded: u64,
     /// Requests answered with `ERR`.
     pub errors: u64,
+    /// The slow-query log at shutdown, newest first.
+    pub slow: Vec<SlowEntry>,
 }
 
 /// Observability handles, registered once against the global registry.
@@ -60,7 +74,12 @@ struct ServeObs {
     queries: anatomy_obs::Counter,
     overloaded: anatomy_obs::Counter,
     errors: anatomy_obs::Counter,
+    busy_rejections: anatomy_obs::Counter,
+    stats_requests: anatomy_obs::Counter,
+    metrics_requests: anatomy_obs::Counter,
+    slowlog_entries: anatomy_obs::Counter,
     in_flight: anatomy_obs::Gauge,
+    connections_open: anatomy_obs::Gauge,
 }
 
 impl ServeObs {
@@ -71,9 +90,30 @@ impl ServeObs {
             queries: registry.counter("serve.queries"),
             overloaded: registry.counter("serve.overloaded"),
             errors: registry.counter("serve.errors"),
+            busy_rejections: registry.counter("serve.busy_rejections"),
+            stats_requests: registry.counter("serve.stats_requests"),
+            metrics_requests: registry.counter("serve.metrics_requests"),
+            slowlog_entries: registry.counter("serve.slowlog_entries"),
             in_flight: registry.gauge("serve.in_flight"),
+            connections_open: registry.gauge("serve.connections_open"),
         }
     }
+}
+
+/// Decrements `serve.connections_open` when a connection thread exits,
+/// however it exits.
+struct ConnGuard<'a> {
+    obs: &'a ServeObs,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.obs.connections_open.add(-1);
+    }
+}
+
+fn windows_lock(m: &Mutex<Windows>) -> MutexGuard<'_, Windows> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// State shared by the accept loop and every connection thread.
@@ -90,6 +130,14 @@ struct Shared {
     queries: AtomicU64,
     overloaded: AtomicU64,
     errors: AtomicU64,
+    /// Ring state the sampler thread feeds and `METRICS` reads.
+    windows: Arc<Mutex<Windows>>,
+    slowlog: SlowLog,
+    /// The immutable portion of every `STATS` manifest — releases and
+    /// tuning knobs never change after bind, so they are captured once
+    /// here instead of being re-built per request.
+    stats_params: Vec<(String, ParamValue)>,
+    conn_seq: AtomicU64,
 }
 
 impl Shared {
@@ -189,16 +237,24 @@ impl Server {
             #[cfg(unix)]
             Listener::Unix(_, path) => format!("unix:{path}"),
         };
+        let releases: HashMap<String, ServedRelease> = releases
+            .into_iter()
+            .map(|r| (r.name().to_string(), r))
+            .collect();
+        let max_inflight = cfg.max_inflight.max(1);
+        let max_batch = cfg.max_batch.max(1);
+        let stats_params = vec![
+            ("releases".to_string(), ParamValue::from(releases.len())),
+            ("max_inflight".to_string(), ParamValue::from(max_inflight)),
+            ("max_batch".to_string(), ParamValue::from(max_batch)),
+        ];
         Ok(Server {
             listener,
             addr,
             shared: Arc::new(Shared {
-                releases: releases
-                    .into_iter()
-                    .map(|r| (r.name().to_string(), r))
-                    .collect(),
-                max_inflight: cfg.max_inflight.max(1),
-                max_batch: cfg.max_batch.max(1),
+                releases,
+                max_inflight,
+                max_batch,
                 in_flight: AtomicUsize::new(0),
                 stop: AtomicBool::new(false),
                 obs: ServeObs::new(),
@@ -206,6 +262,10 @@ impl Server {
                 queries: AtomicU64::new(0),
                 overloaded: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
+                windows: Arc::new(Mutex::new(Windows::new(cfg.window.clone()))),
+                slowlog: SlowLog::new(cfg.slowlog_threshold, cfg.slowlog_capacity),
+                stats_params,
+                conn_seq: AtomicU64::new(0),
             }),
         })
     }
@@ -218,7 +278,9 @@ impl Server {
 
     /// Serve until a `SHUTDOWN` request, then join every connection
     /// thread and return the lifetime summary. Enables the global
-    /// observability registry so the stats endpoint always has data.
+    /// observability registry so the stats endpoint always has data,
+    /// and runs the window sampler thread for the server's lifetime so
+    /// `METRICS` answers carry rolling rates and percentiles.
     pub fn run(self) -> io::Result<ServeSummary> {
         anatomy_obs::global().set_enabled(true);
         // The release indexes were built before the registry turned on,
@@ -227,6 +289,10 @@ impl Server {
         for release in self.shared.releases.values() {
             release.index().report_gauges();
         }
+        let sampler = anatomy_obs::start_sampler_into(
+            anatomy_obs::global(),
+            Arc::clone(&self.shared.windows),
+        );
         let mut handles: Vec<JoinHandle<()>> = Vec::new();
         loop {
             let conn = match self.listener.accept() {
@@ -259,6 +325,9 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        // Stop takes one final tick, so work finished just before the
+        // SHUTDOWN still lands in a window for any post-mortem scrape.
+        sampler.stop(anatomy_obs::global());
         #[cfg(unix)]
         if let Listener::Unix(_, path) = &self.listener {
             let _ = std::fs::remove_file(path);
@@ -268,6 +337,7 @@ impl Server {
             queries: self.shared.queries.load(Ordering::Relaxed),
             overloaded: self.shared.overloaded.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
+            slow: self.shared.slowlog.dump(),
         })
     }
 
@@ -294,7 +364,28 @@ fn next_request(rd: &mut LineReader, shared: &Shared) -> io::Result<Option<Strin
     }
 }
 
+/// Render the current registry state plus window aggregates in the
+/// Prometheus text format — the shared body of `METRICS` and
+/// `GET /metrics`.
+fn render_metrics(shared: &Shared) -> String {
+    let snapshot = anatomy_obs::global().snapshot();
+    let aggregates = windows_lock(&shared.windows).aggregates();
+    render_exposition(&snapshot, &aggregates)
+}
+
+/// The cached-params `STATS` manifest: only the live registry block is
+/// re-captured per request; the release/config params were frozen at
+/// bind time.
+fn stats_manifest(shared: &Shared) -> RunManifest {
+    let mut manifest = RunManifest::capture("serve", anatomy_obs::global());
+    manifest.params = shared.stats_params.clone();
+    manifest
+}
+
 fn handle_connection(conn: Box<dyn Stream>, shared: &Arc<Shared>, addr: &str) -> io::Result<()> {
+    let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    shared.obs.connections_open.add(1);
+    let _open = ConnGuard { obs: &shared.obs };
     conn.set_read_timeout_opt(Some(IDLE_POLL))?;
     let writer = conn.try_clone_stream()?;
     let mut wr = io::BufWriter::with_capacity(1 << 16, writer);
@@ -320,11 +411,54 @@ fn handle_connection(conn: Box<dyn Stream>, shared: &Arc<Shared>, addr: &str) ->
                 write!(wr, "OK {}\n{body}", shared.releases.len())?;
             }
             Some("STATS") => {
-                let manifest = RunManifest::capture("serve", anatomy_obs::global())
-                    .with_param("releases", shared.releases.len() as u64)
-                    .with_param("max_inflight", shared.max_inflight as u64)
-                    .with_param("max_batch", shared.max_batch as u64);
-                writeln!(wr, "OK 1\n{}", manifest.to_json_compact())?;
+                shared.obs.stats_requests.incr();
+                writeln!(wr, "OK 1\n{}", stats_manifest(shared).to_json_compact())?;
+            }
+            Some("METRICS") => {
+                shared.obs.metrics_requests.incr();
+                let body = render_metrics(shared);
+                write!(wr, "OK {}\n{body}", body.lines().count())?;
+            }
+            Some("SLOWLOG") => {
+                let n = match parts.next() {
+                    None => usize::MAX,
+                    Some(t) => match t.parse::<usize>() {
+                        Ok(n) if parts.next().is_none() => n,
+                        _ => {
+                            shared.errors.fetch_add(1, Ordering::Relaxed);
+                            shared.obs.errors.incr();
+                            writeln!(wr, "ERR malformed SLOWLOG request `{req}`")?;
+                            wr.flush()?;
+                            continue;
+                        }
+                    },
+                };
+                let entries = shared.slowlog.recent(n);
+                writeln!(wr, "OK {}", entries.len())?;
+                for e in &entries {
+                    writeln!(wr, "{}", e.to_json())?;
+                }
+            }
+            // `GET /metrics` convenience on the same listener, so stock
+            // scrapers (curl, Prometheus) need no protocol shim. One
+            // response per connection, then close — which also makes the
+            // unread remainder of the HTTP request headers harmless.
+            Some("GET") => {
+                shared.obs.metrics_requests.incr();
+                let (status, body) = match parts.next() {
+                    Some(p) if p == "/metrics" || p.starts_with("/metrics?") => {
+                        ("200 OK", render_metrics(shared))
+                    }
+                    _ => ("404 Not Found", "try /metrics\n".to_string()),
+                };
+                write!(
+                    wr,
+                    "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; \
+                     charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                )?;
+                wr.flush()?;
+                return Ok(());
             }
             Some("SHUTDOWN") => {
                 wr.write_all(b"OK 0\n")?;
@@ -335,7 +469,7 @@ fn handle_connection(conn: Box<dyn Stream>, shared: &Arc<Shared>, addr: &str) ->
                 return Ok(());
             }
             Some("BATCH") => {
-                if !handle_batch(&req, parts, &mut rd, &mut wr, shared)? {
+                if !handle_batch(&req, parts, &mut rd, &mut wr, shared, conn_id)? {
                     wr.flush()?;
                     return Ok(()); // stream out of sync: close it
                 }
@@ -360,6 +494,7 @@ fn handle_batch(
     rd: &mut LineReader,
     wr: &mut impl Write,
     shared: &Arc<Shared>,
+    conn_id: u64,
 ) -> io::Result<bool> {
     let err = |shared: &Shared| {
         shared.errors.fetch_add(1, Ordering::Relaxed);
@@ -452,14 +587,18 @@ fn handle_batch(
         Err(in_flight) => {
             shared.overloaded.fetch_add(1, Ordering::Relaxed);
             shared.obs.overloaded.incr();
+            shared.obs.busy_rejections.incr();
             writeln!(wr, "BUSY {in_flight} {}", shared.max_inflight)?;
             return Ok(true);
         }
     };
 
     // The span behind the stats endpoint's latency block: one per
-    // served batch, covering evaluation and answer formatting.
+    // served batch, covering evaluation and answer formatting. Its
+    // journal id doubles as the slow-query log's trace exemplar.
+    let started = Instant::now();
     let span = anatomy_obs::global().span("serve.batch");
+    let span_id = span.trace_id();
     let mut out = String::with_capacity(8 * count + 16);
     let _ = writeln!(out, "OK {count}");
     match mode {
@@ -482,10 +621,48 @@ fn handle_batch(
         }
     }
     drop(span);
+    if shared.slowlog.observe(
+        &name,
+        mode,
+        count as u64,
+        started.elapsed(),
+        conn_id,
+        span_id,
+        &body,
+    ) {
+        shared.obs.slowlog_entries.incr();
+    }
     wr.write_all(out.as_bytes())?;
     shared.batches.fetch_add(1, Ordering::Relaxed);
     shared.queries.fetch_add(count as u64, Ordering::Relaxed);
     shared.obs.batches.incr();
     shared.obs.queries.add(count as u64);
     Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_stats_params_pin_the_with_param_chain_json() {
+        // The params block is frozen at bind; a STATS response must stay
+        // byte-identical to the old per-request `with_param` chain.
+        let server = Server::bind(
+            ServeConfig {
+                max_inflight: 3,
+                max_batch: 77,
+                ..ServeConfig::default()
+            },
+            vec![],
+        )
+        .unwrap();
+        let manifest = stats_manifest(&server.shared);
+        let chained =
+            RunManifest::from_snapshot(&manifest.name, manifest.enabled, manifest.snapshot.clone())
+                .with_param("releases", 0u64)
+                .with_param("max_inflight", 3u64)
+                .with_param("max_batch", 77u64);
+        assert_eq!(manifest.to_json_compact(), chained.to_json_compact());
+    }
 }

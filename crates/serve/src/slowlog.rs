@@ -1,0 +1,280 @@
+//! The slow-query log: bounded, threshold-sampled batch outliers with
+//! trace exemplars.
+//!
+//! Aggregates (windows, percentiles) say *that* something was slow;
+//! the slow-query log says *which request*. Every served batch whose
+//! wall time reaches the configured threshold is recorded: the release
+//! and mode, the first workload line as an exemplar of what ran, the
+//! latency, the connection it arrived on, and the `serve.batch` span's
+//! journal id — so when the process tracer is on, an entry links
+//! directly to its span in the exported Perfetto trace (`span_id` is
+//! `0` while tracing is off).
+//!
+//! The log is a fixed ring: the newest `capacity` entries win, `seq`
+//! keeps growing, so `seq - len` entries have been evicted. Clients
+//! read it with the `SLOWLOG n` verb (newest first, one JSON object
+//! per line); the server dumps it on shutdown.
+
+use crate::protocol::Mode;
+use anatomy_obs::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Longest exemplar kept from the batch body's first line.
+const MAX_QUERY_CHARS: usize = 256;
+
+/// One slow batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowEntry {
+    /// Monotone id; `seq` of the oldest retained entry reveals how many
+    /// were evicted.
+    pub seq: u64,
+    /// Release the batch addressed.
+    pub release: String,
+    /// `exact` or `estimate`.
+    pub mode: Mode,
+    /// Queries in the batch.
+    pub queries: u64,
+    /// Wall time of evaluation plus answer formatting.
+    pub latency_ns: u64,
+    /// Threshold in force when the entry was recorded.
+    pub threshold_ns: u64,
+    /// Server-side connection id the batch arrived on.
+    pub conn: u64,
+    /// The `serve.batch` span's trace-journal id (`0` = tracing off).
+    pub span_id: u64,
+    /// First line of the batch body, truncated to 256 chars.
+    pub query: String,
+}
+
+impl SlowEntry {
+    /// One-line JSON object, the `SLOWLOG` wire format.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("seq".into(), Json::Num(self.seq as f64)),
+            ("release".into(), Json::Str(self.release.clone())),
+            ("mode".into(), Json::Str(self.mode.as_str().to_string())),
+            ("queries".into(), Json::Num(self.queries as f64)),
+            ("latency_ns".into(), Json::Num(self.latency_ns as f64)),
+            ("threshold_ns".into(), Json::Num(self.threshold_ns as f64)),
+            ("conn".into(), Json::Num(self.conn as f64)),
+            ("span_id".into(), Json::Num(self.span_id as f64)),
+            ("query".into(), Json::Str(self.query.clone())),
+        ])
+        .render(false)
+    }
+
+    /// Parse the wire format back (used by clients and the CI smoke).
+    pub fn from_json(line: &str) -> Result<SlowEntry, String> {
+        let v = Json::parse(line)?;
+        let num = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("slowlog entry missing numeric `{key}`"))
+        };
+        let text = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("slowlog entry missing string `{key}`"))
+        };
+        let mode_str = text("mode")?;
+        let mode = Mode::parse(&mode_str).ok_or_else(|| format!("bad mode `{mode_str}`"))?;
+        Ok(SlowEntry {
+            seq: num("seq")?,
+            release: text("release")?,
+            mode,
+            queries: num("queries")?,
+            latency_ns: num("latency_ns")?,
+            threshold_ns: num("threshold_ns")?,
+            conn: num("conn")?,
+            span_id: num("span_id")?,
+            query: text("query")?,
+        })
+    }
+}
+
+/// The bounded log. Recording takes the ring mutex only *after* the
+/// threshold check, so the fast path for sub-threshold batches is one
+/// comparison against an already-measured latency.
+#[derive(Debug)]
+pub struct SlowLog {
+    /// `None` disables recording entirely.
+    threshold: Option<Duration>,
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<SlowEntry>>,
+}
+
+fn lock(m: &Mutex<VecDeque<SlowEntry>>) -> MutexGuard<'_, VecDeque<SlowEntry>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SlowLog {
+    pub fn new(threshold: Option<Duration>, capacity: usize) -> SlowLog {
+        SlowLog {
+            threshold,
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The active threshold, if recording is on.
+    pub fn threshold(&self) -> Option<Duration> {
+        self.threshold
+    }
+
+    /// Record one served batch if it crossed the threshold. Returns
+    /// whether it was logged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe(
+        &self,
+        release: &str,
+        mode: Mode,
+        queries: u64,
+        latency: Duration,
+        conn: u64,
+        span_id: u64,
+        body: &str,
+    ) -> bool {
+        let Some(threshold) = self.threshold else {
+            return false;
+        };
+        if latency < threshold {
+            return false;
+        }
+        let first_line = body.lines().next().unwrap_or("");
+        let query: String = first_line.chars().take(MAX_QUERY_CHARS).collect();
+        let entry = SlowEntry {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            release: release.to_string(),
+            mode,
+            queries,
+            latency_ns: latency.as_nanos().min(u64::MAX as u128) as u64,
+            threshold_ns: threshold.as_nanos().min(u64::MAX as u128) as u64,
+            conn,
+            span_id,
+            query,
+        };
+        let mut ring = lock(&self.ring);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+        true
+    }
+
+    /// The newest `n` entries, newest first.
+    pub fn recent(&self, n: usize) -> Vec<SlowEntry> {
+        lock(&self.ring).iter().rev().take(n).cloned().collect()
+    }
+
+    /// Every retained entry, newest first (the shutdown dump).
+    pub fn dump(&self) -> Vec<SlowEntry> {
+        self.recent(usize::MAX)
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        lock(&self.ring).len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Batches ever logged (retained or evicted).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_one(log: &SlowLog, latency_ms: u64) -> bool {
+        log.observe(
+            "census",
+            Mode::Estimate,
+            5,
+            Duration::from_millis(latency_ms),
+            7,
+            42,
+            "qi0=1;s=0\nqi0=2;s=1\n",
+        )
+    }
+
+    #[test]
+    fn threshold_gates_recording() {
+        let log = SlowLog::new(Some(Duration::from_millis(10)), 8);
+        assert!(!log_one(&log, 9));
+        assert!(log_one(&log, 10));
+        assert!(log_one(&log, 11));
+        assert_eq!(log.len(), 2);
+        let off = SlowLog::new(None, 8);
+        assert!(!log_one(&off, 1_000));
+        assert!(off.is_empty());
+        // Threshold zero records everything (the CI smoke setting).
+        let all = SlowLog::new(Some(Duration::ZERO), 8);
+        assert!(log_one(&all, 0));
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_evictions() {
+        let log = SlowLog::new(Some(Duration::ZERO), 3);
+        for _ in 0..5 {
+            log_one(&log, 1);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.recorded(), 5);
+        let recent = log.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].seq, 4, "newest first");
+        assert_eq!(recent[1].seq, 3);
+        assert_eq!(log.dump().len(), 3);
+        assert_eq!(log.dump()[2].seq, 2, "seq 0 and 1 evicted");
+    }
+
+    #[test]
+    fn entries_round_trip_through_json() {
+        let log = SlowLog::new(Some(Duration::from_millis(1)), 4);
+        log.observe(
+            "census \"q\"",
+            Mode::Exact,
+            3,
+            Duration::from_millis(2),
+            1,
+            99,
+            "qi0=1|2;s=0",
+        );
+        let entry = log.recent(1).remove(0);
+        let line = entry.to_json();
+        assert!(!line.contains('\n'), "wire format is one line: {line}");
+        assert_eq!(SlowEntry::from_json(&line), Ok(entry));
+        assert!(SlowEntry::from_json("{}").is_err());
+        assert!(SlowEntry::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn exemplar_is_first_line_truncated() {
+        let log = SlowLog::new(Some(Duration::ZERO), 2);
+        let long = "x".repeat(1000);
+        log.observe(
+            "r",
+            Mode::Estimate,
+            1,
+            Duration::ZERO,
+            0,
+            0,
+            &format!("{long}\nsecond"),
+        );
+        let e = log.recent(1).remove(0);
+        assert_eq!(e.query.len(), 256);
+        assert!(!e.query.contains("second"));
+    }
+}

@@ -282,6 +282,12 @@ fn saturating_a_one_slot_server_surfaces_busy() {
     }
     assert!(saw_busy > 0, "admission control never rejected a batch");
     let mut client = ServeClient::connect(&addr).unwrap();
+    // BUSY must leave a registry trace, not just a wire response.
+    let scrape = client.metrics().unwrap();
+    assert!(
+        anatomy_obs::sample_value(&scrape, "anatomy_serve_busy_rejections", &[]).unwrap() >= 1.0,
+        "no busy_rejections counter in:\n{scrape}"
+    );
     client.shutdown().unwrap();
     let summary = handle.join().unwrap().unwrap();
     assert!(summary.overloaded > 0);
@@ -310,4 +316,170 @@ fn wire_format_is_workload_text() {
     );
     s.write_all(b"SHUTDOWN\n").unwrap();
     handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn metrics_endpoint_exposes_validating_windowed_scrapes() {
+    // Fast ticks so window aggregates materialize within the test; the
+    // fine ring still spans ~6s so traffic cannot age out mid-assert.
+    let (md, _, server) = exact_server(
+        600,
+        ServeConfig {
+            window: anatomy_obs::WindowConfig {
+                tick: std::time::Duration::from_millis(10),
+                fine_len: 600,
+                coarse_every: 100,
+                coarse_len: 60,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let (addr, handle) = server.spawn();
+    let mut client = ServeClient::connect(&addr).unwrap();
+
+    let first = client.metrics().unwrap();
+    let s1 = anatomy_obs::validate_exposition(&first).unwrap();
+    assert!(s1.samples > 0, "empty first scrape:\n{first}");
+    // The satellite instruments registered at bind must be visible even
+    // before they fire, and our own connection holds the gauge open.
+    assert!(first.contains("anatomy_serve_busy_rejections"), "{first}");
+    assert!(first.contains("anatomy_serve_stats_requests"), "{first}");
+    assert!(
+        anatomy_obs::sample_value(&first, "anatomy_serve_connections_open", &[]).unwrap() >= 1.0,
+        "own connection not in the gauge:\n{first}"
+    );
+
+    let stats_before =
+        anatomy_obs::sample_value(&first, "anatomy_serve_stats_requests", &[]).unwrap();
+    client.stats().unwrap();
+    let queries = workload(&md, 32, 21);
+    client.batch_exact("demo", &queries).unwrap();
+
+    // Poll until the sampler absorbs the batch into the fine window.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let second = loop {
+        let text = client.metrics().unwrap();
+        let windowed =
+            anatomy_obs::sample_value(&text, "anatomy_serve_queries_rate", &[("window", "6s")]);
+        if windowed.is_some_and(|v| v > 0.0) {
+            break text;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sampler never absorbed the batch:\n{text}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    let s2 = anatomy_obs::validate_exposition(&second).unwrap();
+    let grew = anatomy_obs::check_counter_monotonic(&s1, &s2).unwrap();
+    assert!(grew > 0, "no counters in common between scrapes");
+    assert!(
+        anatomy_obs::sample_value(&second, "anatomy_serve_stats_requests", &[]).unwrap()
+            > stats_before,
+        "STATS left no registry trace:\n{second}"
+    );
+    // The per-batch span surfaces as a summary family with windowed
+    // quantiles capped by the windowed max.
+    let p99 = anatomy_obs::sample_value(
+        &second,
+        "anatomy_span_ns_serve_batch",
+        &[("window", "6s"), ("quantile", "0.99")],
+    )
+    .expect("windowed p99 for serve.batch");
+    let max = anatomy_obs::sample_value(
+        &second,
+        "anatomy_span_ns_serve_batch_max",
+        &[("window", "6s")],
+    )
+    .expect("windowed max for serve.batch");
+    assert!(p99 <= max, "windowed p99 {p99} exceeds windowed max {max}");
+
+    // GET /metrics serves the same exposition to stock HTTP scrapers.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    use std::io::Read as _;
+    BufReader::new(s).read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+    let body = raw.split("\r\n\r\n").nth(1).expect("http body");
+    anatomy_obs::validate_exposition(body).unwrap();
+    assert!(body.contains("anatomy_serve_batches"), "{body}");
+    // Unknown paths get a 404, not a protocol ERR.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    BufReader::new(s).read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn slowlog_captures_batches_with_resolving_trace_exemplars() {
+    anatomy_obs::tracer().set_enabled(true);
+    let (md, _, server) = exact_server(
+        600,
+        ServeConfig {
+            // Log every batch: the test pins the ring, wire format, and
+            // trace linkage, not the threshold (unit-tested in slowlog).
+            slowlog_threshold: Some(std::time::Duration::ZERO),
+            slowlog_capacity: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let (addr, handle) = server.spawn();
+    let mut client = ServeClient::connect(&addr).unwrap();
+    for seed in 0..6 {
+        client
+            .batch_exact("demo", &workload(&md, 8, 30 + seed))
+            .unwrap();
+    }
+
+    let entries = client.slowlog(10).unwrap();
+    assert_eq!(entries.len(), 4, "capacity bounds retention: {entries:?}");
+    assert_eq!(entries[0].seq, 5, "newest first");
+    for e in &entries {
+        assert_eq!(e.release, "demo");
+        assert_eq!(e.mode, Mode::Exact);
+        assert_eq!(e.queries, 8);
+        assert_eq!(e.threshold_ns, 0);
+        assert_ne!(e.span_id, 0, "tracing was on, span id must resolve");
+        assert!(!e.query.is_empty(), "missing workload exemplar");
+    }
+    let two = client.slowlog(2).unwrap();
+    assert_eq!(two.len(), 2);
+    assert_eq!(two[0], entries[0]);
+
+    client.shutdown().unwrap();
+    let summary = handle.join().unwrap().unwrap();
+    assert_eq!(summary.slow.len(), 4, "shutdown dump mirrors the ring");
+    assert_eq!(summary.slow[0], entries[0]);
+
+    // Every exemplar must point at a real span in the exported trace.
+    let snap = anatomy_obs::tracer().snapshot();
+    let begun: std::collections::HashSet<u64> = snap
+        .threads
+        .iter()
+        .flat_map(|t| t.events.iter())
+        .filter_map(|ev| match ev.kind {
+            anatomy_obs::EventKind::SpanBegin { id, .. } => Some(id),
+            _ => None,
+        })
+        .collect();
+    for e in &summary.slow {
+        assert!(
+            begun.contains(&e.span_id),
+            "slowlog span id {} not in the trace journal",
+            e.span_id
+        );
+    }
+    // A full trace validation only means something when nothing was
+    // dropped (concurrent tests share the process journals).
+    if snap.dropped_count() == 0 {
+        anatomy_obs::validate_trace(&snap.to_chrome_json()).unwrap();
+    } else {
+        eprintln!("skipping validate_trace: {} dropped", snap.dropped_count());
+    }
 }
